@@ -1,0 +1,73 @@
+//! Ablation benchmarks (A1–A3 in DESIGN.md): the design choices behind the
+//! validation pipeline.
+//!
+//! * `early_exit_vs_record_all` — how much work the early-exit rule saves;
+//! * `runner_comparison` — staged pipeline vs sequential vs per-file rayon;
+//! * `worker_scaling` — throughput as the stage worker pools grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use vv_bench::{probed_workload, sizes};
+use vv_dclang::DirectiveModel;
+use vv_pipeline::{PipelineConfig, ValidationPipeline};
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_early_exit(c: &mut Criterion) {
+    let workload = probed_workload(DirectiveModel::OpenAcc, sizes::BENCH_SUITE, 404);
+    let mut group = c.benchmark_group("early_exit_vs_record_all");
+    configure(&mut group);
+    group.bench_function("early_exit", |b| {
+        let pipeline = ValidationPipeline::new(PipelineConfig::default());
+        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).stats.judged));
+    });
+    group.bench_function("record_all", |b| {
+        let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
+        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).stats.judged));
+    });
+    group.finish();
+}
+
+fn bench_runner_comparison(c: &mut Criterion) {
+    let workload = probed_workload(DirectiveModel::OpenMp, sizes::BENCH_SUITE, 505);
+    let mut group = c.benchmark_group("runner_comparison");
+    configure(&mut group);
+    let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
+    group.bench_function("staged_pipeline", |b| {
+        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).records.len()));
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| criterion::black_box(pipeline.run_sequential(workload.items.clone()).records.len()));
+    });
+    group.bench_function("rayon_per_file", |b| {
+        b.iter(|| criterion::black_box(pipeline.run_batch_rayon(workload.items.clone()).records.len()));
+    });
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let workload = probed_workload(DirectiveModel::OpenAcc, sizes::BENCH_SUITE, 606);
+    let mut group = c.benchmark_group("worker_scaling");
+    configure(&mut group);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let pipeline = ValidationPipeline::new(PipelineConfig {
+                compile_workers: w,
+                exec_workers: w,
+                judge_workers: w,
+                ..PipelineConfig::default()
+            });
+            b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).records.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_early_exit, bench_runner_comparison, bench_worker_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Per-stage microbenchmarks: the cost of compiling, executing and judging
+//! a single candidate test, plus prompt construction and tokenization.
+//! These quantify why the pipeline orders its stages cheap-to-expensive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use vv_bench::{probed_workload, sizes};
+use vv_dclang::DirectiveModel;
+use vv_judge::{
+    build_prompt, estimate_tokens, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge,
+    ToolContext, ToolRecord,
+};
+use vv_simcompiler::{compiler_for, Lang};
+use vv_simexec::Executor;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let workload = probed_workload(DirectiveModel::OpenAcc, sizes::MICRO, 707);
+    let valid = workload
+        .items
+        .iter()
+        .zip(&workload.issues)
+        .find(|(_, issue)| issue.is_valid())
+        .map(|(item, _)| item.clone())
+        .expect("workload contains a valid file");
+    let broken = workload
+        .items
+        .iter()
+        .zip(&workload.issues)
+        .find(|(_, issue)| !issue.is_valid())
+        .map(|(item, _)| item.clone())
+        .expect("workload contains a mutated file");
+
+    let mut group = c.benchmark_group("stage_costs");
+    configure(&mut group);
+
+    group.bench_function("compile_valid_file", |b| {
+        let compiler = compiler_for(DirectiveModel::OpenAcc);
+        b.iter(|| criterion::black_box(compiler.compile(&valid.source, Lang::C).return_code));
+    });
+    group.bench_function("compile_mutated_file", |b| {
+        let compiler = compiler_for(DirectiveModel::OpenAcc);
+        b.iter(|| criterion::black_box(compiler.compile(&broken.source, Lang::C).return_code));
+    });
+    group.bench_function("execute_valid_file", |b| {
+        let compiler = compiler_for(DirectiveModel::OpenAcc);
+        let program = compiler.compile(&valid.source, Lang::C).artifact.expect("valid file compiles");
+        let executor = Executor::default();
+        b.iter(|| criterion::black_box(executor.run(&program).return_code));
+    });
+    group.bench_function("judge_agent_prompt", |b| {
+        let session = JudgeSession::new(
+            SurrogateLlmJudge::new(JudgeProfile::deepseek_agent_direct(), 1),
+            PromptStyle::AgentDirect,
+        );
+        let tools = ToolContext {
+            compile: Some(ToolRecord { return_code: 0, stdout: String::new(), stderr: String::new() }),
+            run: Some(ToolRecord { return_code: 0, stdout: "Test passed\n".into(), stderr: String::new() }),
+        };
+        b.iter(|| {
+            criterion::black_box(
+                session.evaluate(&valid.source, DirectiveModel::OpenAcc, Some(&tools)).verdict,
+            )
+        });
+    });
+    group.bench_function("build_prompt_and_tokenize", |b| {
+        b.iter(|| {
+            let prompt =
+                build_prompt(PromptStyle::AgentIndirect, DirectiveModel::OpenAcc, &valid.source, None);
+            criterion::black_box(estimate_tokens(&prompt))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

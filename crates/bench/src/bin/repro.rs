@@ -1,0 +1,113 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p vv-bench --bin repro            # everything, paper-scale suites
+//! cargo run --release -p vv-bench --bin repro -- quick   # everything, 10x smaller suites
+//! cargo run --release -p vv-bench --bin repro -- table4 figure5
+//! ```
+//!
+//! The output mirrors the layout of Tables I–IX and the data series behind
+//! Figures 3–6; EXPERIMENTS.md records a paper-vs-measured comparison.
+
+use llm4vv::experiment::{
+    run_part_one, run_part_two, PartOneConfig, PartOneResults, PartTwoConfig, PartTwoResults,
+};
+use llm4vv::reproduce;
+
+struct Experiments {
+    p1_acc: PartOneResults,
+    p1_omp: PartOneResults,
+    p2_acc: PartTwoResults,
+    p2_omp: PartTwoResults,
+}
+
+fn scaled(config_size: usize, scale: f64) -> usize {
+    ((config_size as f64 * scale).round() as usize).max(12)
+}
+
+fn run_experiments(scale: f64) -> Experiments {
+    let mut p1_acc_cfg = PartOneConfig::paper_openacc();
+    p1_acc_cfg.suite_size = scaled(p1_acc_cfg.suite_size, scale);
+    let mut p1_omp_cfg = PartOneConfig::paper_openmp();
+    p1_omp_cfg.suite_size = scaled(p1_omp_cfg.suite_size, scale);
+    let mut p2_acc_cfg = PartTwoConfig::paper_openacc();
+    p2_acc_cfg.suite_size = scaled(p2_acc_cfg.suite_size, scale);
+    let mut p2_omp_cfg = PartTwoConfig::paper_openmp();
+    p2_omp_cfg.suite_size = scaled(p2_omp_cfg.suite_size, scale);
+
+    eprintln!(
+        "running experiments (Part One: {} ACC / {} OMP files; Part Two: {} ACC / {} OMP files)...",
+        p1_acc_cfg.suite_size, p1_omp_cfg.suite_size, p2_acc_cfg.suite_size, p2_omp_cfg.suite_size
+    );
+    Experiments {
+        p1_acc: run_part_one(&p1_acc_cfg),
+        p1_omp: run_part_one(&p1_omp_cfg),
+        p2_acc: run_part_two(&p2_acc_cfg),
+        p2_omp: run_part_two(&p2_omp_cfg),
+    }
+}
+
+fn artifact(name: &str, e: &Experiments) -> Option<String> {
+    Some(match name {
+        "table1" => reproduce::table_1(&e.p1_acc),
+        "table2" => reproduce::table_2(&e.p1_omp),
+        "table3" => reproduce::table_3(&e.p1_acc, &e.p1_omp),
+        "table4" => reproduce::table_4(&e.p2_acc),
+        "table5" => reproduce::table_5(&e.p2_omp),
+        "table6" => reproduce::table_6(&e.p2_acc, &e.p2_omp),
+        "table7" => reproduce::table_7(&e.p2_acc),
+        "table8" => reproduce::table_8(&e.p2_omp),
+        "table9" => reproduce::table_9(&e.p2_acc, &e.p2_omp),
+        "figure3" => reproduce::figure_3(&e.p2_acc),
+        "figure4" => reproduce::figure_4(&e.p2_omp),
+        "figure5" => reproduce::figure_5(&e.p1_acc, &e.p2_acc),
+        "figure6" => reproduce::figure_6(&e.p1_omp, &e.p2_omp),
+        _ => return None,
+    })
+}
+
+const ALL_ARTIFACTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "figure3", "figure4", "figure5", "figure6",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0;
+    let mut requested: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "quick" => scale = 0.1,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [quick] [table1..table9 figure3..figure6]\n\
+                     With no artifact names, every table and figure is printed."
+                );
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() {
+        requested = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &requested {
+        if !ALL_ARTIFACTS.contains(&name.as_str()) {
+            eprintln!("unknown artifact '{name}'; known: {}", ALL_ARTIFACTS.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let experiments = run_experiments(scale);
+    // Sanity line also used by the OpenACC-vs-OpenMP discussion in the paper.
+    eprintln!(
+        "part one overall accuracy: ACC {:.1}%  OMP {:.1}%",
+        experiments.p1_acc.overall().accuracy * 100.0,
+        experiments.p1_omp.overall().accuracy * 100.0
+    );
+
+    for name in requested {
+        let text = artifact(&name, &experiments).expect("validated above");
+        println!("{text}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared workload builders for the benchmark harness and the `repro`
+//! binary.
+//!
+//! Every benchmark and every reproduced table/figure draws its workload from
+//! these helpers so that the `cargo bench` targets, the `repro` binary and
+//! the integration tests all agree on what "the Table IV workload" means.
+
+use vv_corpus::{generate_suite, SuiteConfig};
+use vv_dclang::DirectiveModel;
+use vv_pipeline::WorkItem;
+use vv_probing::{build_probed_suite, IssueKind, ProbeConfig, ProbedSuite};
+
+/// A probed workload plus the ground-truth issue of each file.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The programming model.
+    pub model: DirectiveModel,
+    /// Pipeline work items (id, source, lang, model).
+    pub items: Vec<WorkItem>,
+    /// The injected issue for each item, index-aligned with `items`.
+    pub issues: Vec<IssueKind>,
+}
+
+impl Workload {
+    /// Number of files in the workload.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Build a probed workload of `size` files for `model`.
+pub fn probed_workload(model: DirectiveModel, size: usize, seed: u64) -> Workload {
+    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+    let probed: ProbedSuite = build_probed_suite(&suite, &ProbeConfig::with_seed(seed ^ 0xBEEF));
+    let issues = probed.cases.iter().map(|c| c.issue).collect();
+    let items = probed
+        .cases
+        .iter()
+        .map(|c| WorkItem { id: c.case.id.clone(), source: c.source.clone(), lang: c.case.lang, model })
+        .collect();
+    Workload { model, items, issues }
+}
+
+/// The default benchmark sizes (kept small so `cargo bench` finishes in
+/// minutes; the `repro` binary defaults to the paper's full sizes).
+pub mod sizes {
+    /// Files per model in the throughput/ablation benchmarks.
+    pub const BENCH_SUITE: usize = 64;
+    /// Files per model in the per-stage microbenchmarks.
+    pub const MICRO: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builder_aligns_items_and_issues() {
+        let w = probed_workload(DirectiveModel::OpenAcc, 20, 3);
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.items.len(), w.issues.len());
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! `llm4vv` — the top-level crate of the LLM4VV reproduction.
+//!
+//! This crate ties the substrates together into the experiments the paper
+//! reports:
+//!
+//! * **Part One** ([`experiment::run_part_one`]): negative probing of the
+//!   plain (non-agent) judge with the direct-analysis prompt — Tables I–III;
+//! * **Part Two** ([`experiment::run_part_two`]): the record-all validation
+//!   pipeline with both agent-based judges (LLMJ 1 / LLMJ 2), from which the
+//!   stand-alone agent-judge results (Tables VII–IX) and the pipeline
+//!   results (Tables IV–VI) are both derived, plus the radar figures
+//!   (Figures 3–6);
+//! * [`reproduce`]: one function per table and figure that renders the
+//!   corresponding output in the paper's layout.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llm4vv::experiment::{run_part_one, PartOneConfig};
+//! use vv_dclang::DirectiveModel;
+//!
+//! let config = PartOneConfig::quick(DirectiveModel::OpenAcc, 24);
+//! let results = run_part_one(&config);
+//! let overall = results.overall();
+//! assert_eq!(overall.total, 24);
+//! assert!(overall.accuracy >= 0.0 && overall.accuracy <= 1.0);
+//! ```
+
+pub mod experiment;
+pub mod reproduce;
+
+pub use experiment::{
+    run_part_one, run_part_two, Evaluator, PartOneConfig, PartOneRecord, PartOneResults,
+    PartTwoConfig, PartTwoRecord, PartTwoResults,
+};
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use vv_corpus as corpus;
+pub use vv_dclang as dclang;
+pub use vv_judge as judge;
+pub use vv_metrics as metrics;
+pub use vv_pipeline as pipeline;
+pub use vv_probing as probing;
+pub use vv_simcompiler as simcompiler;
+pub use vv_simexec as simexec;
+pub use vv_specs as specs;

@@ -1,0 +1,259 @@
+//! Feature catalog for the synthetic testsuites.
+//!
+//! Each feature corresponds to one family of tests in the real OpenACC /
+//! OpenMP V&V suites (one directive or clause exercised per file).
+
+use vv_dclang::DirectiveModel;
+
+/// OpenACC features covered by the generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccFeature {
+    /// `#pragma acc parallel loop` element-wise computation.
+    ParallelLoop,
+    /// `parallel loop` with a `reduction(+:...)` clause.
+    ParallelLoopReduction,
+    /// `#pragma acc kernels loop`.
+    KernelsLoop,
+    /// `#pragma acc serial loop`.
+    SerialLoop,
+    /// Structured `#pragma acc data` region with copyin/copyout.
+    DataRegion,
+    /// Unstructured data movement: enter data / update self / exit data.
+    EnterExitData,
+    /// `gang`/`vector` scheduling clauses.
+    GangVector,
+    /// `collapse(2)` on nested loops.
+    Collapse,
+    /// `private` clause on a scratch variable.
+    Private,
+    /// `firstprivate` clause on a scaling constant.
+    FirstPrivate,
+    /// `#pragma acc atomic update` counter.
+    AtomicUpdate,
+    /// `if` clause controlling offload.
+    IfClause,
+    /// `num_gangs`/`vector_length` tuning clauses.
+    NumGangs,
+    /// `#pragma acc routine seq` device function.
+    RoutineSeq,
+    /// `copy` clause (both directions) on a data region.
+    DataCopy,
+}
+
+/// OpenMP (4.5) features covered by the generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OmpFeature {
+    /// `#pragma omp target` + `parallel for` with explicit maps.
+    TargetParallelFor,
+    /// Combined `target teams distribute parallel for`.
+    TargetTeamsDistribute,
+    /// Combined construct with a reduction clause.
+    TargetTeamsReduction,
+    /// Structured `target data` region.
+    TargetDataRegion,
+    /// Unstructured `target enter data` / `target update` / `target exit data`.
+    TargetEnterExitData,
+    /// Host `parallel for`.
+    ParallelFor,
+    /// Host `parallel for` with reduction.
+    ParallelForReduction,
+    /// `schedule(static)` / `num_threads` clauses.
+    ScheduleStatic,
+    /// `#pragma omp simd` vectorized loop.
+    Simd,
+    /// `map(tofrom:)` on a single array.
+    MapTofrom,
+    /// `#pragma omp atomic update` counter.
+    AtomicUpdate,
+    /// `#pragma omp critical` section.
+    Critical,
+    /// `collapse(2)` on nested loops.
+    Collapse,
+    /// `firstprivate` clause.
+    FirstPrivate,
+    /// `#pragma omp master` region.
+    Master,
+}
+
+/// A feature from either model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// An OpenACC feature.
+    Acc(AccFeature),
+    /// An OpenMP feature.
+    Omp(OmpFeature),
+}
+
+impl Feature {
+    /// All features available for a model, in a stable order.
+    pub fn all_for(model: DirectiveModel) -> Vec<Feature> {
+        match model {
+            DirectiveModel::OpenAcc => ACC_FEATURES.iter().copied().map(Feature::Acc).collect(),
+            DirectiveModel::OpenMp => OMP_FEATURES.iter().copied().map(Feature::Omp).collect(),
+        }
+    }
+
+    /// The model this feature belongs to.
+    pub fn model(&self) -> DirectiveModel {
+        match self {
+            Feature::Acc(_) => DirectiveModel::OpenAcc,
+            Feature::Omp(_) => DirectiveModel::OpenMp,
+        }
+    }
+
+    /// Snake-case feature name used in test ids and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Feature::Acc(f) => match f {
+                AccFeature::ParallelLoop => "parallel_loop",
+                AccFeature::ParallelLoopReduction => "parallel_loop_reduction",
+                AccFeature::KernelsLoop => "kernels_loop",
+                AccFeature::SerialLoop => "serial_loop",
+                AccFeature::DataRegion => "data_region",
+                AccFeature::EnterExitData => "enter_exit_data",
+                AccFeature::GangVector => "gang_vector",
+                AccFeature::Collapse => "collapse",
+                AccFeature::Private => "private",
+                AccFeature::FirstPrivate => "firstprivate",
+                AccFeature::AtomicUpdate => "atomic_update",
+                AccFeature::IfClause => "if_clause",
+                AccFeature::NumGangs => "num_gangs",
+                AccFeature::RoutineSeq => "routine_seq",
+                AccFeature::DataCopy => "data_copy",
+            },
+            Feature::Omp(f) => match f {
+                OmpFeature::TargetParallelFor => "target_parallel_for",
+                OmpFeature::TargetTeamsDistribute => "target_teams_distribute",
+                OmpFeature::TargetTeamsReduction => "target_teams_reduction",
+                OmpFeature::TargetDataRegion => "target_data_region",
+                OmpFeature::TargetEnterExitData => "target_enter_exit_data",
+                OmpFeature::ParallelFor => "parallel_for",
+                OmpFeature::ParallelForReduction => "parallel_for_reduction",
+                OmpFeature::ScheduleStatic => "schedule_static",
+                OmpFeature::Simd => "simd",
+                OmpFeature::MapTofrom => "map_tofrom",
+                OmpFeature::AtomicUpdate => "atomic_update",
+                OmpFeature::Critical => "critical",
+                OmpFeature::Collapse => "collapse",
+                OmpFeature::FirstPrivate => "firstprivate",
+                OmpFeature::Master => "master",
+            },
+        }
+    }
+
+    /// A human-readable description of the directive under test, used in the
+    /// header comment of generated files.
+    pub fn description(&self) -> String {
+        match self {
+            Feature::Acc(f) => format!("OpenACC {}", acc_directive_text(*f)),
+            Feature::Omp(f) => format!("OpenMP {}", omp_directive_text(*f)),
+        }
+    }
+}
+
+const ACC_FEATURES: &[AccFeature] = &[
+    AccFeature::ParallelLoop,
+    AccFeature::ParallelLoopReduction,
+    AccFeature::KernelsLoop,
+    AccFeature::SerialLoop,
+    AccFeature::DataRegion,
+    AccFeature::EnterExitData,
+    AccFeature::GangVector,
+    AccFeature::Collapse,
+    AccFeature::Private,
+    AccFeature::FirstPrivate,
+    AccFeature::AtomicUpdate,
+    AccFeature::IfClause,
+    AccFeature::NumGangs,
+    AccFeature::RoutineSeq,
+    AccFeature::DataCopy,
+];
+
+const OMP_FEATURES: &[OmpFeature] = &[
+    OmpFeature::TargetParallelFor,
+    OmpFeature::TargetTeamsDistribute,
+    OmpFeature::TargetTeamsReduction,
+    OmpFeature::TargetDataRegion,
+    OmpFeature::TargetEnterExitData,
+    OmpFeature::ParallelFor,
+    OmpFeature::ParallelForReduction,
+    OmpFeature::ScheduleStatic,
+    OmpFeature::Simd,
+    OmpFeature::MapTofrom,
+    OmpFeature::AtomicUpdate,
+    OmpFeature::Critical,
+    OmpFeature::Collapse,
+    OmpFeature::FirstPrivate,
+    OmpFeature::Master,
+];
+
+fn acc_directive_text(feature: AccFeature) -> &'static str {
+    match feature {
+        AccFeature::ParallelLoop => "parallel loop construct",
+        AccFeature::ParallelLoopReduction => "parallel loop reduction clause",
+        AccFeature::KernelsLoop => "kernels loop construct",
+        AccFeature::SerialLoop => "serial loop construct",
+        AccFeature::DataRegion => "structured data construct",
+        AccFeature::EnterExitData => "enter data and exit data directives",
+        AccFeature::GangVector => "gang and vector clauses",
+        AccFeature::Collapse => "collapse clause",
+        AccFeature::Private => "private clause",
+        AccFeature::FirstPrivate => "firstprivate clause",
+        AccFeature::AtomicUpdate => "atomic update directive",
+        AccFeature::IfClause => "if clause",
+        AccFeature::NumGangs => "num_gangs and vector_length clauses",
+        AccFeature::RoutineSeq => "routine directive",
+        AccFeature::DataCopy => "copy data clause",
+    }
+}
+
+fn omp_directive_text(feature: OmpFeature) -> &'static str {
+    match feature {
+        OmpFeature::TargetParallelFor => "target construct with parallel for",
+        OmpFeature::TargetTeamsDistribute => "target teams distribute parallel for construct",
+        OmpFeature::TargetTeamsReduction => "target teams reduction clause",
+        OmpFeature::TargetDataRegion => "target data construct",
+        OmpFeature::TargetEnterExitData => "target enter data and target exit data directives",
+        OmpFeature::ParallelFor => "parallel for construct",
+        OmpFeature::ParallelForReduction => "parallel for reduction clause",
+        OmpFeature::ScheduleStatic => "schedule clause",
+        OmpFeature::Simd => "simd construct",
+        OmpFeature::MapTofrom => "map tofrom clause",
+        OmpFeature::AtomicUpdate => "atomic update directive",
+        OmpFeature::Critical => "critical construct",
+        OmpFeature::Collapse => "collapse clause",
+        OmpFeature::FirstPrivate => "firstprivate clause",
+        OmpFeature::Master => "master construct",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_catalogs_are_nonempty_and_model_consistent() {
+        for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+            let features = Feature::all_for(model);
+            assert!(features.len() >= 10);
+            assert!(features.iter().all(|f| f.model() == model));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_per_model() {
+        for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+            let names: Vec<_> = Feature::all_for(model).iter().map(|f| f.name()).collect();
+            let mut deduped = names.clone();
+            deduped.sort();
+            deduped.dedup();
+            assert_eq!(names.len(), deduped.len());
+        }
+    }
+
+    #[test]
+    fn descriptions_mention_the_model() {
+        assert!(Feature::Acc(AccFeature::DataRegion).description().contains("OpenACC"));
+        assert!(Feature::Omp(OmpFeature::Simd).description().contains("OpenMP"));
+    }
+}

@@ -1,0 +1,191 @@
+//! `vv-corpus` — a deterministic generator of directive-based compiler
+//! validation tests.
+//!
+//! The paper draws its experimental population from the OpenACC V&V and
+//! OpenMP V&V testsuites (hand-written C/C++/Fortran tests, one feature per
+//! file, each structured as *initialize → compute with directives → verify
+//! against a serial reference → exit 0/1*). Those suites are external
+//! projects; this crate substitutes a generator that emits the same *kind*
+//! of file:
+//!
+//! * one focused feature per test (parallel loops, reductions, data regions,
+//!   unstructured data movement, atomics, collapse, privatization, ...);
+//! * the canonical V&V shape: allocate, initialize, offload, verify, return
+//!   a nonzero exit code on mismatch;
+//! * realistic surface diversity (heap vs stack arrays, different variable
+//!   naming schemes, array sizes, scaling constants, C vs C++ flavor,
+//!   header comments) driven entirely by a seedable RNG, so suites are
+//!   reproducible.
+//!
+//! Every generated test is *valid by construction*: it compiles under the
+//! simulated vendor compiler and passes its own verification when executed
+//! (`tests/` assert this invariant). Negative probing (`vv-probing`) then
+//! damages copies of these files.
+
+pub mod features;
+pub mod random_code;
+pub mod templates;
+
+pub use features::{AccFeature, Feature, OmpFeature};
+pub use random_code::generate_non_directive_code;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vv_dclang::DirectiveModel;
+use vv_simcompiler::Lang;
+
+/// A single generated compiler-validation test.
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// Stable identifier, e.g. `acc_parallel_loop_reduction_0007`.
+    pub id: String,
+    /// The programming model the test targets.
+    pub model: DirectiveModel,
+    /// Source language flavor.
+    pub lang: Lang,
+    /// The feature under test.
+    pub feature: Feature,
+    /// Full source text.
+    pub source: String,
+}
+
+/// A generated testsuite for one programming model.
+#[derive(Clone, Debug)]
+pub struct TestSuite {
+    /// The programming model shared by all cases.
+    pub model: DirectiveModel,
+    /// The generated cases.
+    pub cases: Vec<TestCase>,
+}
+
+impl TestSuite {
+    /// Number of cases in the suite.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// True if the suite has no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Count of cases per feature (sorted by feature name).
+    pub fn feature_histogram(&self) -> Vec<(Feature, usize)> {
+        let mut counts: Vec<(Feature, usize)> = Vec::new();
+        for case in &self.cases {
+            match counts.iter_mut().find(|(f, _)| *f == case.feature) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((case.feature, 1)),
+            }
+        }
+        counts.sort_by_key(|(f, _)| f.name());
+        counts
+    }
+}
+
+/// Configuration for suite generation.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// The programming model to generate tests for.
+    pub model: DirectiveModel,
+    /// Number of test files.
+    pub size: usize,
+    /// RNG seed; the same seed always produces the same suite.
+    pub seed: u64,
+    /// Language flavors to draw from (the paper's Part Two uses C and C++).
+    pub langs: Vec<Lang>,
+    /// Restrict generation to these features (all features when empty).
+    pub features: Vec<Feature>,
+}
+
+impl SuiteConfig {
+    /// A suite configuration mirroring the paper's defaults for a model.
+    pub fn new(model: DirectiveModel, size: usize, seed: u64) -> Self {
+        Self { model, size, seed, langs: vec![Lang::C, Lang::Cpp], features: Vec::new() }
+    }
+
+    /// Restrict to C files only (the paper's Part One OpenMP suite).
+    pub fn c_only(mut self) -> Self {
+        self.langs = vec![Lang::C];
+        self
+    }
+}
+
+/// Generate a testsuite.
+pub fn generate_suite(config: &SuiteConfig) -> TestSuite {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x56_56_43_4F_52_50_55_53);
+    let features: Vec<Feature> = if config.features.is_empty() {
+        Feature::all_for(config.model)
+    } else {
+        config.features.clone()
+    };
+    assert!(!features.is_empty(), "no features available for {:?}", config.model);
+
+    let mut cases = Vec::with_capacity(config.size);
+    for index in 0..config.size {
+        // Round-robin over features for coverage, with RNG-driven parameters
+        // for diversity.
+        let feature = features[index % features.len()];
+        let lang = if config.langs.len() == 1 {
+            config.langs[0]
+        } else {
+            config.langs[rng.gen_range(0..config.langs.len())]
+        };
+        let source = templates::emit(feature, lang, &mut rng);
+        let id = format!("{}_{}_{index:04}", model_prefix(config.model), feature.name());
+        cases.push(TestCase { id, model: config.model, lang, feature, source });
+    }
+    TestSuite { model: config.model, cases }
+}
+
+fn model_prefix(model: DirectiveModel) -> &'static str {
+    match model {
+        DirectiveModel::OpenAcc => "acc",
+        DirectiveModel::OpenMp => "omp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SuiteConfig::new(DirectiveModel::OpenAcc, 20, 42);
+        let a = generate_suite(&config);
+        let b = generate_suite(&config);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.cases.iter().zip(b.cases.iter()) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 1));
+        let b = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 2));
+        assert!(a.cases.iter().zip(b.cases.iter()).any(|(x, y)| x.source != y.source));
+    }
+
+    #[test]
+    fn all_features_are_covered_in_a_large_suite() {
+        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 64, 7));
+        let histogram = suite.feature_histogram();
+        assert_eq!(histogram.len(), Feature::all_for(DirectiveModel::OpenAcc).len());
+    }
+
+    #[test]
+    fn c_only_restriction_is_respected() {
+        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 30, 3).c_only());
+        assert!(suite.cases.iter().all(|c| c.lang == Lang::C));
+    }
+
+    #[test]
+    fn sources_mention_their_model() {
+        let acc = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 16, 9));
+        assert!(acc.cases.iter().all(|c| c.source.contains("#pragma acc")));
+        let omp = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 16, 9));
+        assert!(omp.cases.iter().all(|c| c.source.contains("#pragma omp")));
+    }
+}

@@ -1,0 +1,171 @@
+//! Generator of plain (non-directive) C programs.
+//!
+//! Negative-probing issue class 3 replaces a V&V test with "randomly
+//! generated non-OpenACC & OpenMP code" (paper §III-A). This module provides
+//! that replacement corpus: small, self-contained programs that compile and
+//! run cleanly but contain no directives at all and no V&V verification
+//! structure, so only the judge stage can recognize them as invalid compiler
+//! tests.
+
+use rand::Rng;
+
+/// Generate a random non-directive C program.
+pub fn generate_non_directive_code(rng: &mut impl Rng) -> String {
+    match rng.gen_range(0..5) {
+        0 => fibonacci(rng),
+        1 => bubble_sort(rng),
+        2 => prime_count(rng),
+        3 => matrix_trace(rng),
+        _ => running_average(rng),
+    }
+}
+
+fn fibonacci(rng: &mut impl Rng) -> String {
+    let count = rng.gen_range(10..25);
+    format!(
+        "// Print the first terms of the Fibonacci sequence.\n\
+         #include <stdio.h>\n\n\
+         int main() {{\n    \
+             long prev = 0;\n    \
+             long curr = 1;\n    \
+             for (int i = 0; i < {count}; i++) {{\n        \
+                 long next = prev + curr;\n        \
+                 printf(\"fib(%d) = %ld\\n\", i, curr);\n        \
+                 prev = curr;\n        \
+                 curr = next;\n    \
+             }}\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+fn bubble_sort(rng: &mut impl Rng) -> String {
+    let size = rng.gen_range(12..40);
+    let seed = rng.gen_range(1..1000);
+    format!(
+        "// Sort a small array of pseudo-random integers with bubble sort.\n\
+         #include <stdio.h>\n\
+         #include <stdlib.h>\n\
+         #define SIZE {size}\n\n\
+         int main() {{\n    \
+             int values[SIZE];\n    \
+             srand({seed});\n    \
+             for (int i = 0; i < SIZE; i++) {{\n        \
+                 values[i] = rand() % 100;\n    \
+             }}\n    \
+             for (int i = 0; i < SIZE; i++) {{\n        \
+                 for (int j = 0; j < SIZE - i - 1; j++) {{\n            \
+                     if (values[j] > values[j + 1]) {{\n                \
+                         int tmp = values[j];\n                \
+                         values[j] = values[j + 1];\n                \
+                         values[j + 1] = tmp;\n            \
+                     }}\n        \
+                 }}\n    \
+             }}\n    \
+             printf(\"smallest=%d largest=%d\\n\", values[0], values[SIZE - 1]);\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+fn prime_count(rng: &mut impl Rng) -> String {
+    let limit = rng.gen_range(50..200);
+    format!(
+        "// Count prime numbers below a limit with trial division.\n\
+         #include <stdio.h>\n\n\
+         int is_prime(int value) {{\n    \
+             if (value < 2) {{\n        return 0;\n    }}\n    \
+             for (int d = 2; d * d <= value; d++) {{\n        \
+                 if (value % d == 0) {{\n            return 0;\n        }}\n    \
+             }}\n    \
+             return 1;\n\
+         }}\n\n\
+         int main() {{\n    \
+             int count = 0;\n    \
+             for (int i = 2; i < {limit}; i++) {{\n        \
+                 count += is_prime(i);\n    \
+             }}\n    \
+             printf(\"primes below {limit}: %d\\n\", count);\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+fn matrix_trace(rng: &mut impl Rng) -> String {
+    let dim = rng.gen_range(4..12);
+    format!(
+        "// Compute the trace of a small matrix.\n\
+         #include <stdio.h>\n\
+         #include <stdlib.h>\n\
+         #define DIM {dim}\n\n\
+         int main() {{\n    \
+             double *matrix = (double *)malloc(DIM * DIM * sizeof(double));\n    \
+             for (int i = 0; i < DIM; i++) {{\n        \
+                 for (int j = 0; j < DIM; j++) {{\n            \
+                     matrix[i * DIM + j] = i * 1.0 + j * 2.0;\n        \
+                 }}\n    \
+             }}\n    \
+             double trace = 0.0;\n    \
+             for (int i = 0; i < DIM; i++) {{\n        \
+                 trace = trace + matrix[i * DIM + i];\n    \
+             }}\n    \
+             printf(\"trace = %f\\n\", trace);\n    \
+             free(matrix);\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+fn running_average(rng: &mut impl Rng) -> String {
+    let size = rng.gen_range(16..64);
+    format!(
+        "// Maintain a running average of a synthetic signal.\n\
+         #include <stdio.h>\n\
+         #define SAMPLES {size}\n\n\
+         int main() {{\n    \
+             double total = 0.0;\n    \
+             for (int i = 0; i < SAMPLES; i++) {{\n        \
+                 double sample = i * 0.25;\n        \
+                 total = total + sample;\n        \
+                 if (i == SAMPLES - 1) {{\n            \
+                     printf(\"mean = %f\\n\", total / SAMPLES);\n        \
+                 }}\n    \
+             }}\n    \
+             return 0;\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_code_has_no_directives() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..25 {
+            let code = generate_non_directive_code(&mut rng);
+            assert!(!code.contains("#pragma"));
+            assert!(!code.contains("acc_"));
+            assert!(!code.contains("omp_"));
+        }
+    }
+
+    #[test]
+    fn generated_code_parses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..25 {
+            let code = generate_non_directive_code(&mut rng);
+            assert!(vv_dclang::parse_source(&code).is_ok(), "{code}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_non_directive_code(&mut StdRng::seed_from_u64(9));
+        let b = generate_non_directive_code(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

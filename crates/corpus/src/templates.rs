@@ -1,0 +1,607 @@
+//! Source-code emitters for each feature.
+//!
+//! Every emitter produces the canonical V&V test shape:
+//!
+//! ```text
+//! header comment
+//! #include ...            (C or C++ flavored)
+//! #define N ...
+//! int main() {
+//!     allocate / initialize data
+//!     <directive-based computation>
+//!     verify against the expected result
+//!     return 0 on success, nonzero on failure
+//! }
+//! ```
+//!
+//! Emitters draw sizes, scaling constants and naming schemes from the RNG so
+//! that a large suite has realistic surface diversity, while every constant
+//! is chosen so that floating-point results are exactly representable and
+//! the verification comparison is exact (as the hand-written V&V tests do by
+//! comparing against a serially computed reference).
+
+use crate::features::{AccFeature, Feature, OmpFeature};
+use rand::Rng;
+use vv_simcompiler::Lang;
+
+/// Tunable surface parameters for one generated test.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Problem size (`#define N ...`).
+    pub n: usize,
+    /// Integer scaling constant used in the computation.
+    pub scale: i64,
+    /// Additive constant (exactly representable).
+    pub shift: i64,
+    /// Array naming scheme `(input, output, scratch)`.
+    pub names: (&'static str, &'static str, &'static str),
+    /// Heap (`malloc`) vs stack arrays.
+    pub heap: bool,
+}
+
+const NAME_SCHEMES: &[(&str, &str, &str)] = &[
+    ("a", "b", "c"),
+    ("x", "y", "z"),
+    ("input_data", "output_data", "scratch"),
+    ("src", "dst", "tmp"),
+    ("data_in", "data_out", "work"),
+];
+
+impl Params {
+    /// Draw parameters from the RNG.
+    pub fn draw(rng: &mut impl Rng) -> Self {
+        let sizes = [64usize, 128, 256, 512];
+        Self {
+            n: sizes[rng.gen_range(0..sizes.len())],
+            scale: rng.gen_range(2..=5),
+            shift: rng.gen_range(0..=3),
+            names: NAME_SCHEMES[rng.gen_range(0..NAME_SCHEMES.len())],
+            heap: rng.gen_bool(0.55),
+        }
+    }
+}
+
+/// Emit the source text for a feature.
+pub fn emit(feature: Feature, lang: Lang, rng: &mut impl Rng) -> String {
+    let params = Params::draw(rng);
+    match feature {
+        Feature::Acc(f) => emit_acc(f, lang, &params, rng),
+        Feature::Omp(f) => emit_omp(f, lang, &params, rng),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared building blocks
+// ---------------------------------------------------------------------------
+
+fn header(feature: Feature, lang: Lang) -> String {
+    let flavor = match lang {
+        Lang::C => "C",
+        Lang::Cpp => "C++",
+    };
+    format!(
+        "// Functional test of the {}.\n\
+         // Part of the synthetic validation and verification testsuite; the\n\
+         // {} computation below is verified against a serial reference and\n\
+         // the test exits with a nonzero code if any element mismatches.\n",
+        feature.description(),
+        flavor
+    )
+}
+
+fn includes(lang: Lang) -> String {
+    match lang {
+        Lang::C => "#include <stdio.h>\n#include <stdlib.h>\n".to_string(),
+        Lang::Cpp => "#include <cstdio>\n#include <cstdlib>\n".to_string(),
+    }
+}
+
+fn alloc_array(name: &str, heap: bool) -> String {
+    if heap {
+        format!("    double *{name} = (double *)malloc(N * sizeof(double));\n")
+    } else {
+        format!("    double {name}[N];\n")
+    }
+}
+
+fn free_array(name: &str, heap: bool) -> String {
+    if heap {
+        format!("    free({name});\n")
+    } else {
+        String::new()
+    }
+}
+
+/// The standard element-wise kernel test: `out[i] = in[i] * scale + shift`.
+///
+/// `pragmas` are emitted immediately before the offloaded loop;
+/// `region` optionally wraps the loop in a structured data region
+/// (opening line, needs its own `{`/`}` emitted by this helper);
+/// `standalone_pre`/`standalone_post` are standalone directives emitted
+/// before and after the computation (for unstructured data movement).
+struct Elementwise<'a> {
+    feature: Feature,
+    lang: Lang,
+    params: &'a Params,
+    pragmas: Vec<String>,
+    region: Option<String>,
+    standalone_pre: Vec<String>,
+    standalone_post: Vec<String>,
+    extra_decls: Vec<String>,
+    loop_body: Option<String>,
+}
+
+impl<'a> Elementwise<'a> {
+    fn new(feature: Feature, lang: Lang, params: &'a Params) -> Self {
+        Self {
+            feature,
+            lang,
+            params,
+            pragmas: Vec::new(),
+            region: None,
+            standalone_pre: Vec::new(),
+            standalone_post: Vec::new(),
+            extra_decls: Vec::new(),
+            loop_body: None,
+        }
+    }
+
+    fn pragma(mut self, line: impl Into<String>) -> Self {
+        self.pragmas.push(line.into());
+        self
+    }
+
+    fn region(mut self, line: impl Into<String>) -> Self {
+        self.region = Some(line.into());
+        self
+    }
+
+    fn pre(mut self, line: impl Into<String>) -> Self {
+        self.standalone_pre.push(line.into());
+        self
+    }
+
+    fn post(mut self, line: impl Into<String>) -> Self {
+        self.standalone_post.push(line.into());
+        self
+    }
+
+    fn decl(mut self, line: impl Into<String>) -> Self {
+        self.extra_decls.push(line.into());
+        self
+    }
+
+    fn body(mut self, body: impl Into<String>) -> Self {
+        self.loop_body = Some(body.into());
+        self
+    }
+
+    fn build(self) -> String {
+        let p = self.params;
+        let (a, b, _) = p.names;
+        let scale = p.scale;
+        let shift = p.shift;
+        let mut s = String::new();
+        s.push_str(&header(self.feature, self.lang));
+        s.push_str(&includes(self.lang));
+        s.push_str(&format!("#define N {}\n\n", p.n));
+        s.push_str("int main() {\n");
+        s.push_str(&alloc_array(a, p.heap));
+        s.push_str(&alloc_array(b, p.heap));
+        for decl in &self.extra_decls {
+            s.push_str(&format!("    {decl}\n"));
+        }
+        s.push_str(&format!(
+            "    for (int i = 0; i < N; i++) {{\n        {a}[i] = i * 0.5;\n        {b}[i] = 0.0;\n    }}\n"
+        ));
+        for line in &self.standalone_pre {
+            s.push_str(&format!("{line}\n"));
+        }
+        let indent = if self.region.is_some() { "    " } else { "" };
+        if let Some(region) = &self.region {
+            s.push_str(&format!("{region}\n    {{\n"));
+        }
+        for pragma in &self.pragmas {
+            s.push_str(&format!("{pragma}\n"));
+        }
+        let body = self.loop_body.unwrap_or_else(|| {
+            format!("{b}[i] = {a}[i] * {scale}.0 + {shift}.0;")
+        });
+        s.push_str(&format!(
+            "{indent}    for (int i = 0; i < N; i++) {{\n{indent}        {body}\n{indent}    }}\n"
+        ));
+        if self.region.is_some() {
+            s.push_str("    }\n");
+        }
+        for line in &self.standalone_post {
+            s.push_str(&format!("{line}\n"));
+        }
+        s.push_str(&format!(
+            "    int err = 0;\n    for (int i = 0; i < N; i++) {{\n        if ({b}[i] != {a}[i] * {scale}.0 + {shift}.0) {{\n            err = err + 1;\n        }}\n    }}\n"
+        ));
+        s.push_str(&free_array(a, p.heap));
+        s.push_str(&free_array(b, p.heap));
+        s.push_str(
+            "    if (err != 0) {\n        printf(\"Test failed with %d errors\\n\", err);\n        return 1;\n    }\n",
+        );
+        s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+        s
+    }
+}
+
+/// A reduction-style test: a serial reference sum is compared against the
+/// offloaded reduction.
+fn reduction_test(feature: Feature, lang: Lang, params: &Params, pragma: &str) -> String {
+    let (a, _, _) = params.names;
+    let mut s = String::new();
+    s.push_str(&header(feature, lang));
+    s.push_str(&includes(lang));
+    s.push_str(&format!("#define N {}\n\n", params.n));
+    s.push_str("int main() {\n");
+    s.push_str(&alloc_array(a, params.heap));
+    s.push_str(&format!(
+        "    double expected = 0.0;\n    for (int i = 0; i < N; i++) {{\n        {a}[i] = i * 0.25;\n        expected = expected + {a}[i];\n    }}\n"
+    ));
+    s.push_str("    double sum = 0.0;\n");
+    s.push_str(&format!("{pragma}\n"));
+    s.push_str(&format!(
+        "    for (int i = 0; i < N; i++) {{\n        sum += {a}[i];\n    }}\n"
+    ));
+    s.push_str(&free_array(a, params.heap));
+    s.push_str(
+        "    if (sum != expected) {\n        printf(\"Test failed: sum %f expected %f\\n\", sum, expected);\n        return 1;\n    }\n",
+    );
+    s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+    s
+}
+
+/// A counter test for atomic/critical constructs: every iteration increments
+/// a shared counter; the final value must equal N.
+fn counter_test(feature: Feature, lang: Lang, params: &Params, outer: &str, inner: Option<&str>) -> String {
+    let mut s = String::new();
+    s.push_str(&header(feature, lang));
+    s.push_str(&includes(lang));
+    s.push_str(&format!("#define N {}\n\n", params.n));
+    s.push_str("int main() {\n    int counter = 0;\n");
+    s.push_str(&format!("{outer}\n"));
+    s.push_str("    for (int i = 0; i < N; i++) {\n");
+    if let Some(inner) = inner {
+        s.push_str(&format!("{inner}\n"));
+    }
+    s.push_str("        counter += 1;\n    }\n");
+    s.push_str(
+        "    if (counter != N) {\n        printf(\"Test failed: counter %d\\n\", counter);\n        return 1;\n    }\n",
+    );
+    s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+    s
+}
+
+/// A 2-D test used for `collapse(2)` clauses.
+fn collapse_test(feature: Feature, lang: Lang, params: &Params, pragma: &str) -> String {
+    let (a, b, _) = params.names;
+    let dim = 24usize;
+    let scale = params.scale;
+    let mut s = String::new();
+    s.push_str(&header(feature, lang));
+    s.push_str(&includes(lang));
+    s.push_str(&format!("#define M {dim}\n\n"));
+    s.push_str("int main() {\n");
+    s.push_str(&format!(
+        "    double *{a} = (double *)malloc(M * M * sizeof(double));\n    double *{b} = (double *)malloc(M * M * sizeof(double));\n"
+    ));
+    s.push_str(&format!(
+        "    for (int i = 0; i < M; i++) {{\n        for (int j = 0; j < M; j++) {{\n            {a}[i * M + j] = i * 1.0 + j * 0.5;\n            {b}[i * M + j] = 0.0;\n        }}\n    }}\n"
+    ));
+    s.push_str(&format!("{pragma}\n"));
+    s.push_str(&format!(
+        "    for (int i = 0; i < M; i++) {{\n        for (int j = 0; j < M; j++) {{\n            {b}[i * M + j] = {a}[i * M + j] * {scale}.0;\n        }}\n    }}\n"
+    ));
+    s.push_str(&format!(
+        "    int err = 0;\n    for (int i = 0; i < M; i++) {{\n        for (int j = 0; j < M; j++) {{\n            if ({b}[i * M + j] != {a}[i * M + j] * {scale}.0) {{\n                err = err + 1;\n            }}\n        }}\n    }}\n"
+    ));
+    s.push_str(&format!("    free({a});\n    free({b});\n"));
+    s.push_str(
+        "    if (err != 0) {\n        printf(\"Test failed with %d errors\\n\", err);\n        return 1;\n    }\n",
+    );
+    s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// OpenACC emitters
+// ---------------------------------------------------------------------------
+
+fn emit_acc(feature: AccFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> String {
+    let f = Feature::Acc(feature);
+    let (a, b, _) = p.names;
+    let n_clause = format!("{a}[0:N]");
+    let out_clause = format!("{b}[0:N]");
+    match feature {
+        AccFeature::ParallelLoop => Elementwise::new(f, lang, p)
+            .pragma(format!("#pragma acc parallel loop copyin({n_clause}) copyout({out_clause})"))
+            .build(),
+        AccFeature::ParallelLoopReduction => reduction_test(
+            f,
+            lang,
+            p,
+            &format!("#pragma acc parallel loop reduction(+:sum) copyin({n_clause})"),
+        ),
+        AccFeature::KernelsLoop => Elementwise::new(f, lang, p)
+            .pragma(format!("#pragma acc kernels loop copyin({n_clause}) copyout({out_clause})"))
+            .build(),
+        AccFeature::SerialLoop => Elementwise::new(f, lang, p)
+            .pragma(format!("#pragma acc serial loop copyin({n_clause}) copyout({out_clause})"))
+            .build(),
+        AccFeature::DataRegion => Elementwise::new(f, lang, p)
+            .region(format!("#pragma acc data copyin({n_clause}) copyout({out_clause})"))
+            .pragma("#pragma acc parallel loop")
+            .build(),
+        AccFeature::EnterExitData => Elementwise::new(f, lang, p)
+            .pre(format!("#pragma acc enter data copyin({n_clause}) create({out_clause})"))
+            .pragma(format!("#pragma acc parallel loop present({n_clause}) present({out_clause})"))
+            .post(format!("#pragma acc update self({out_clause})"))
+            .post(format!("#pragma acc exit data delete({n_clause}) delete({out_clause})"))
+            .build(),
+        AccFeature::GangVector => Elementwise::new(f, lang, p)
+            .pragma(format!(
+                "#pragma acc parallel loop gang vector copyin({n_clause}) copyout({out_clause})"
+            ))
+            .build(),
+        AccFeature::Collapse => collapse_test(
+            f,
+            lang,
+            p,
+            &format!("#pragma acc parallel loop collapse(2) copyin({a}[0:M*M]) copyout({b}[0:M*M])"),
+        ),
+        AccFeature::Private => {
+            let scale = p.scale;
+            Elementwise::new(f, lang, p)
+                .decl("double workval = 0.0;")
+                .pragma(format!(
+                    "#pragma acc parallel loop private(workval) copyin({n_clause}) copyout({out_clause})"
+                ))
+                .body(format!(
+                    "workval = {a}[i] * {scale}.0;\n        {b}[i] = workval + {}.0;",
+                    p.shift
+                ))
+                .build()
+        }
+        AccFeature::FirstPrivate => {
+            let scale = p.scale;
+            Elementwise::new(f, lang, p)
+                .decl(format!("double factor = {scale}.0;"))
+                .pragma(format!(
+                    "#pragma acc parallel loop firstprivate(factor) copyin({n_clause}) copyout({out_clause})"
+                ))
+                .body(format!("{b}[i] = {a}[i] * factor + {}.0;", p.shift))
+                .build()
+        }
+        AccFeature::AtomicUpdate => counter_test(
+            f,
+            lang,
+            p,
+            "#pragma acc parallel loop copy(counter)",
+            Some("#pragma acc atomic update"),
+        ),
+        AccFeature::IfClause => Elementwise::new(f, lang, p)
+            .decl("int use_device = 1;")
+            .pragma(format!(
+                "#pragma acc parallel loop if(use_device) copyin({n_clause}) copyout({out_clause})"
+            ))
+            .build(),
+        AccFeature::NumGangs => {
+            let gangs = [4, 8, 16][rng.gen_range(0..3)];
+            Elementwise::new(f, lang, p)
+                .pragma(format!(
+                    "#pragma acc parallel loop num_gangs({gangs}) vector_length(64) copyin({n_clause}) copyout({out_clause})"
+                ))
+                .build()
+        }
+        AccFeature::RoutineSeq => {
+            let scale = p.scale;
+            let shift = p.shift;
+            let mut s = String::new();
+            s.push_str(&header(f, lang));
+            s.push_str(&includes(lang));
+            s.push_str(&format!("#define N {}\n\n", p.n));
+            s.push_str("#pragma acc routine seq\n");
+            s.push_str(&format!(
+                "double transform(double value) {{\n    return value * {scale}.0 + {shift}.0;\n}}\n\n"
+            ));
+            s.push_str("int main() {\n");
+            s.push_str(&alloc_array(a, p.heap));
+            s.push_str(&alloc_array(b, p.heap));
+            s.push_str(&format!(
+                "    for (int i = 0; i < N; i++) {{\n        {a}[i] = i * 0.5;\n        {b}[i] = 0.0;\n    }}\n"
+            ));
+            s.push_str(&format!(
+                "#pragma acc parallel loop copyin({n_clause}) copyout({out_clause})\n"
+            ));
+            s.push_str(&format!(
+                "    for (int i = 0; i < N; i++) {{\n        {b}[i] = transform({a}[i]);\n    }}\n"
+            ));
+            s.push_str(&format!(
+                "    int err = 0;\n    for (int i = 0; i < N; i++) {{\n        if ({b}[i] != {a}[i] * {scale}.0 + {shift}.0) {{\n            err = err + 1;\n        }}\n    }}\n"
+            ));
+            s.push_str(&free_array(a, p.heap));
+            s.push_str(&free_array(b, p.heap));
+            s.push_str(
+                "    if (err != 0) {\n        printf(\"Test failed with %d errors\\n\", err);\n        return 1;\n    }\n",
+            );
+            s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+            s
+        }
+        AccFeature::DataCopy => Elementwise::new(f, lang, p)
+            .region(format!("#pragma acc data copy({n_clause}) copy({out_clause})"))
+            .pragma("#pragma acc parallel loop")
+            .build(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP emitters
+// ---------------------------------------------------------------------------
+
+fn emit_omp(feature: OmpFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> String {
+    let f = Feature::Omp(feature);
+    let (a, b, _) = p.names;
+    let to_clause = format!("map(to: {a}[0:N])");
+    let from_clause = format!("map(from: {b}[0:N])");
+    match feature {
+        OmpFeature::TargetParallelFor => Elementwise::new(f, lang, p)
+            .region(format!("#pragma omp target {to_clause} {from_clause}"))
+            .pragma("#pragma omp parallel for")
+            .build(),
+        OmpFeature::TargetTeamsDistribute => Elementwise::new(f, lang, p)
+            .pragma(format!(
+                "#pragma omp target teams distribute parallel for {to_clause} {from_clause}"
+            ))
+            .build(),
+        OmpFeature::TargetTeamsReduction => reduction_test(
+            f,
+            lang,
+            p,
+            &format!(
+                "#pragma omp target teams distribute parallel for reduction(+:sum) map(to: {a}[0:N]) map(tofrom: sum)"
+            ),
+        ),
+        OmpFeature::TargetDataRegion => Elementwise::new(f, lang, p)
+            .region(format!("#pragma omp target data {to_clause} {from_clause}"))
+            .pragma("#pragma omp target teams distribute parallel for")
+            .build(),
+        OmpFeature::TargetEnterExitData => Elementwise::new(f, lang, p)
+            .pre(format!(
+                "#pragma omp target enter data map(to: {a}[0:N]) map(alloc: {b}[0:N])"
+            ))
+            .pragma("#pragma omp target teams distribute parallel for")
+            .post(format!("#pragma omp target update from({b}[0:N])"))
+            .post(format!(
+                "#pragma omp target exit data map(delete: {a}[0:N]) map(delete: {b}[0:N])"
+            ))
+            .build(),
+        OmpFeature::ParallelFor => Elementwise::new(f, lang, p)
+            .pragma("#pragma omp parallel for")
+            .build(),
+        OmpFeature::ParallelForReduction => reduction_test(
+            f,
+            lang,
+            p,
+            "#pragma omp parallel for reduction(+:sum)",
+        ),
+        OmpFeature::ScheduleStatic => {
+            let threads = [2, 4, 8][rng.gen_range(0..3)];
+            Elementwise::new(f, lang, p)
+                .pragma(format!(
+                    "#pragma omp parallel for schedule(static) num_threads({threads})"
+                ))
+                .build()
+        }
+        OmpFeature::Simd => Elementwise::new(f, lang, p)
+            .pragma("#pragma omp simd")
+            .build(),
+        OmpFeature::MapTofrom => Elementwise::new(f, lang, p)
+            .pragma(format!(
+                "#pragma omp target teams distribute parallel for map(to: {a}[0:N]) map(tofrom: {b}[0:N])"
+            ))
+            .build(),
+        OmpFeature::AtomicUpdate => counter_test(
+            f,
+            lang,
+            p,
+            "#pragma omp parallel for",
+            Some("#pragma omp atomic update"),
+        ),
+        OmpFeature::Critical => counter_test(
+            f,
+            lang,
+            p,
+            "#pragma omp parallel for",
+            Some("#pragma omp critical"),
+        ),
+        OmpFeature::Collapse => collapse_test(
+            f,
+            lang,
+            p,
+            &format!(
+                "#pragma omp target teams distribute parallel for collapse(2) map(to: {a}[0:M*M]) map(from: {b}[0:M*M])"
+            ),
+        ),
+        OmpFeature::FirstPrivate => {
+            let scale = p.scale;
+            Elementwise::new(f, lang, p)
+                .decl(format!("double factor = {scale}.0;"))
+                .pragma("#pragma omp parallel for firstprivate(factor)")
+                .body(format!("{b}[i] = {a}[i] * factor + {}.0;", p.shift))
+                .build()
+        }
+        OmpFeature::Master => {
+            let mut s = String::new();
+            s.push_str(&header(f, lang));
+            s.push_str(&includes(lang));
+            s.push_str(&format!("#define N {}\n\n", p.n));
+            s.push_str("int main() {\n    int flag = 0;\n    int total = 0;\n");
+            s.push_str("#pragma omp parallel\n    {\n");
+            s.push_str("#pragma omp master\n        {\n            flag = 1;\n        }\n");
+            s.push_str("    }\n");
+            s.push_str("#pragma omp parallel for reduction(+:total)\n");
+            s.push_str("    for (int i = 0; i < N; i++) {\n        total += 1;\n    }\n");
+            s.push_str(
+                "    if (flag != 1) {\n        printf(\"Test failed: master region not executed\\n\");\n        return 1;\n    }\n",
+            );
+            s.push_str(
+                "    if (total != N) {\n        printf(\"Test failed: total %d\\n\", total);\n        return 1;\n    }\n",
+            );
+            s.push_str("    printf(\"Test passed\\n\");\n    return 0;\n}\n");
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vv_dclang::DirectiveModel;
+
+    #[test]
+    fn every_feature_emits_parsable_source() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+            for feature in Feature::all_for(model) {
+                for lang in [Lang::C, Lang::Cpp] {
+                    let source = emit(feature, lang, &mut rng);
+                    let parsed = vv_dclang::parse_source(&source);
+                    assert!(
+                        parsed.is_ok(),
+                        "feature {} ({lang:?}) does not parse:\n{source}\n{:?}",
+                        feature.name(),
+                        parsed.err()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_sources_have_verification_logic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for feature in Feature::all_for(DirectiveModel::OpenAcc) {
+            let source = emit(feature, Lang::C, &mut rng);
+            assert!(source.contains("Test passed"), "{}", feature.name());
+            assert!(source.contains("return 1;"), "{}", feature.name());
+            assert!(source.contains("return 0;"), "{}", feature.name());
+        }
+    }
+
+    #[test]
+    fn params_draw_is_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = Params::draw(&mut rng);
+            assert!(p.n >= 64 && p.n <= 512);
+            assert!((2..=5).contains(&p.scale));
+            assert!((0..=3).contains(&p.shift));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The central corpus invariant: every generated test is *valid* — it
+//! compiles under the simulated vendor compiler for its model and passes its
+//! own verification when executed. Negative probing relies on this.
+
+use vv_corpus::{generate_suite, Feature, SuiteConfig};
+use vv_dclang::DirectiveModel;
+use vv_simcompiler::compiler_for;
+use vv_simexec::Executor;
+
+fn assert_suite_valid(model: DirectiveModel, seed: u64, size: usize) {
+    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+    let compiler = compiler_for(model);
+    let executor = Executor::default();
+    for case in &suite.cases {
+        let compiled = compiler.compile(&case.source, case.lang);
+        assert!(
+            compiled.succeeded(),
+            "case {} failed to compile:\n{}\nsource:\n{}",
+            case.id,
+            compiled.stderr,
+            case.source
+        );
+        let ran = executor.run(&compiled.artifact.unwrap());
+        assert_eq!(
+            ran.return_code, 0,
+            "case {} failed at runtime (stdout: {} stderr: {}):\n{}",
+            case.id, ran.stdout, ran.stderr, case.source
+        );
+        assert!(ran.stdout.contains("Test passed"), "case {} printed: {}", case.id, ran.stdout);
+    }
+}
+
+#[test]
+fn every_openacc_feature_produces_valid_tests() {
+    // Two full passes over the feature list with different surface params.
+    let size = Feature::all_for(DirectiveModel::OpenAcc).len() * 2;
+    assert_suite_valid(DirectiveModel::OpenAcc, 20240822, size);
+}
+
+#[test]
+fn every_openmp_feature_produces_valid_tests() {
+    let size = Feature::all_for(DirectiveModel::OpenMp).len() * 2;
+    assert_suite_valid(DirectiveModel::OpenMp, 20240823, size);
+}
+
+#[test]
+fn larger_mixed_suites_remain_valid() {
+    assert_suite_valid(DirectiveModel::OpenAcc, 7, 45);
+    assert_suite_valid(DirectiveModel::OpenMp, 8, 45);
+}
+
+#[test]
+fn non_directive_programs_compile_and_run_cleanly() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(99);
+    let compiler = compiler_for(DirectiveModel::OpenAcc);
+    let executor = Executor::default();
+    for _ in 0..20 {
+        let code = vv_corpus::generate_non_directive_code(&mut rng);
+        let compiled = compiler.compile(&code, vv_simcompiler::Lang::C);
+        assert!(compiled.succeeded(), "random code failed to compile:\n{}\n{code}", compiled.stderr);
+        let ran = executor.run(&compiled.artifact.unwrap());
+        assert_eq!(ran.return_code, 0, "random code failed at runtime: {}\n{code}", ran.stderr);
+    }
+}

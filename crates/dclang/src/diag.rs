@@ -1,0 +1,105 @@
+//! Diagnostics shared by the lexer, parser, and the simulated compilers.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// A warning: compilation can continue.
+    Warning,
+    /// A hard error: the translation unit is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message with a source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// How severe the diagnostic is.
+    pub severity: Severity,
+    /// Where in the source it points.
+    pub span: Span,
+    /// Human-readable message (vendor-neutral; the simulated compiler
+    /// frontends re-render these into vendor-specific formats).
+    pub message: String,
+    /// A short machine-readable category, e.g. `"undeclared-identifier"`,
+    /// `"syntax"`, `"directive"`. Used by tests and by the frontends to
+    /// style their output.
+    pub code: &'static str,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(span: Span, code: &'static str, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Error, span, message: message.into(), code }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(span: Span, code: &'static str, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Warning, span, message: message.into(), code }
+    }
+
+    /// Construct a note diagnostic.
+    pub fn note(span: Span, code: &'static str, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Note, span, message: message.into(), code }
+    }
+
+    /// True if this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.span, self.severity, self.message)
+    }
+}
+
+/// Returns true if any diagnostic in the slice is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let d = Diagnostic::error(Span::new(4, 2), "syntax", "expected '}'");
+        assert!(d.is_error());
+        assert_eq!(d.code, "syntax");
+        assert_eq!(d.to_string(), "4:2: error: expected '}'");
+        let w = Diagnostic::warning(Span::new(1, 1), "unused", "unused variable");
+        assert!(!w.is_error());
+    }
+
+    #[test]
+    fn has_errors_detects() {
+        let diags = vec![
+            Diagnostic::warning(Span::unknown(), "w", "warn"),
+            Diagnostic::error(Span::unknown(), "e", "err"),
+        ];
+        assert!(has_errors(&diags));
+        assert!(!has_errors(&diags[..1]));
+    }
+}

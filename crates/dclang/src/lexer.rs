@@ -1,0 +1,689 @@
+//! Lexer for the mini directive-C language.
+//!
+//! The lexer handles the (small) preprocessor surface that directive-based
+//! V&V tests actually use:
+//!
+//! * `#include <...>` / `#include "..."` — recorded, not expanded;
+//! * object-like `#define NAME replacement` — expanded by token substitution;
+//! * `#pragma ...` — emitted as a single [`TokenKind::Pragma`] token whose
+//!   payload is the rest of the (logical) line;
+//! * `//` and `/* ... */` comments;
+//! * line continuations (`\` at end of line) inside preprocessor lines.
+//!
+//! Function-like macros are not supported (the corpus never emits them); a
+//! warning is recorded if one is defined.
+
+use crate::diag::Diagnostic;
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Result of lexing a source file.
+#[derive(Clone, Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, terminated by a single [`TokenKind::Eof`] token.
+    pub tokens: Vec<Token>,
+    /// Header names mentioned in `#include` lines, in order of appearance.
+    pub includes: Vec<String>,
+    /// Object-like macro definitions, in order of appearance.
+    pub defines: Vec<(String, String)>,
+    /// Diagnostics produced while lexing (may contain errors).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LexOutput {
+    /// True if lexing produced at least one error diagnostic.
+    pub fn has_errors(&self) -> bool {
+        crate::diag::has_errors(&self.diagnostics)
+    }
+}
+
+/// The lexer itself. Construct with [`Lexer::new`] and call [`Lexer::lex`].
+pub struct Lexer<'a> {
+    chars: Vec<char>,
+    source: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// When true, preprocessor lines are not recognized (used for macro
+    /// replacement fragments).
+    fragment: bool,
+    defines: HashMap<String, String>,
+    out: LexOutput,
+}
+
+const MAX_MACRO_DEPTH: usize = 16;
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over an entire source file.
+    pub fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            source,
+            pos: 0,
+            line: 1,
+            col: 1,
+            fragment: false,
+            defines: HashMap::new(),
+            out: LexOutput::default(),
+        }
+    }
+
+    fn new_fragment(source: &'a str, span: Span) -> Self {
+        let mut lexer = Self::new(source);
+        lexer.fragment = true;
+        lexer.line = span.line.max(1);
+        lexer.col = span.col.max(1);
+        lexer
+    }
+
+    /// Lex the whole input, expanding object-like macros, and return the
+    /// token stream together with preprocessor metadata and diagnostics.
+    pub fn lex(mut self) -> LexOutput {
+        self.run();
+        let defines = self.defines.clone();
+        let mut out = std::mem::take(&mut self.out);
+        out.tokens = expand_macros(out.tokens, &defines, &mut out.diagnostics);
+        out
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.skip_trivia();
+            if self.pos >= self.chars.len() {
+                break;
+            }
+            let span = self.span();
+            let c = self.peek();
+            if c == '#' && !self.fragment {
+                self.lex_preprocessor_line(span);
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_ident(span);
+            } else if c.is_ascii_digit() {
+                self.lex_number(span);
+            } else if c == '"' {
+                self.lex_string(span);
+            } else if c == '\'' {
+                self.lex_char(span);
+            } else {
+                self.lex_punct(span);
+            }
+        }
+        let span = self.span();
+        self.out.tokens.push(Token::new(TokenKind::Eof, span));
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> char {
+        self.chars.get(self.pos).copied().unwrap_or('\0')
+    }
+
+    fn peek_at(&self, offset: usize) -> char {
+        self.chars.get(self.pos + offset).copied().unwrap_or('\0')
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.peek();
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let c = self.peek();
+            if c == '\0' && self.pos >= self.chars.len() {
+                return;
+            }
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek_at(1) == '/' {
+                while self.pos < self.chars.len() && self.peek() != '\n' {
+                    self.bump();
+                }
+            } else if c == '/' && self.peek_at(1) == '*' {
+                let start = self.span();
+                self.bump();
+                self.bump();
+                let mut closed = false;
+                while self.pos < self.chars.len() {
+                    if self.peek() == '*' && self.peek_at(1) == '/' {
+                        self.bump();
+                        self.bump();
+                        closed = true;
+                        break;
+                    }
+                    self.bump();
+                }
+                if !closed {
+                    self.out
+                        .diagnostics
+                        .push(Diagnostic::error(start, "comment", "unterminated block comment"));
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Read the rest of a logical line (handling `\` continuations) and
+    /// return it without the leading character already consumed.
+    fn read_logical_line(&mut self) -> String {
+        let mut text = String::new();
+        while self.pos < self.chars.len() {
+            let c = self.peek();
+            if c == '\\' && self.peek_at(1) == '\n' {
+                self.bump();
+                self.bump();
+                text.push(' ');
+                continue;
+            }
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump());
+        }
+        text
+    }
+
+    fn lex_preprocessor_line(&mut self, span: Span) {
+        self.bump(); // '#'
+        let line = self.read_logical_line();
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("include") {
+            let name = rest
+                .trim()
+                .trim_start_matches(['<', '"'])
+                .trim_end_matches(['>', '"'])
+                .to_string();
+            if name.is_empty() {
+                self.out.diagnostics.push(Diagnostic::warning(
+                    span,
+                    "preprocessor",
+                    "#include with empty header name",
+                ));
+            } else {
+                self.out.includes.push(name);
+            }
+        } else if let Some(rest) = trimmed.strip_prefix("define") {
+            let rest = rest.trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "preprocessor",
+                    "macro name missing in #define",
+                ));
+                return;
+            }
+            let after_name = &rest[name.len()..];
+            if after_name.starts_with('(') {
+                self.out.diagnostics.push(Diagnostic::warning(
+                    span,
+                    "preprocessor",
+                    format!("function-like macro '{name}' is not expanded by this compiler subset"),
+                ));
+                return;
+            }
+            let value = after_name.trim().to_string();
+            self.defines.insert(name.clone(), value.clone());
+            self.out.defines.push((name, value));
+        } else if let Some(rest) = trimmed.strip_prefix("pragma") {
+            let payload = rest.trim().to_string();
+            self.out.tokens.push(Token::new(TokenKind::Pragma(payload), span));
+        } else if trimmed.starts_with("ifdef")
+            || trimmed.starts_with("ifndef")
+            || trimmed.starts_with("endif")
+            || trimmed.starts_with("else")
+            || trimmed.starts_with("if ")
+            || trimmed.starts_with("undef")
+            || trimmed == "if"
+        {
+            // Conditional compilation is accepted but not evaluated: all
+            // branches are lexed. V&V tests in the corpus never rely on it.
+            self.out.diagnostics.push(Diagnostic::note(
+                span,
+                "preprocessor",
+                format!("conditional preprocessor directive '#{trimmed}' is ignored"),
+            ));
+        } else {
+            self.out.diagnostics.push(Diagnostic::warning(
+                span,
+                "preprocessor",
+                format!("unrecognized preprocessor directive '#{}'", trimmed),
+            ));
+        }
+    }
+
+    fn lex_ident(&mut self, span: Span) {
+        let mut name = String::new();
+        while self.peek().is_ascii_alphanumeric() || self.peek() == '_' {
+            name.push(self.bump());
+        }
+        let kind = match Keyword::from_str(&name) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(name),
+        };
+        self.out.tokens.push(Token::new(kind, span));
+    }
+
+    fn lex_number(&mut self, span: Span) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek() == '0' && (self.peek_at(1) == 'x' || self.peek_at(1) == 'X') {
+            self.bump();
+            self.bump();
+            let mut hex = String::new();
+            while self.peek().is_ascii_hexdigit() {
+                hex.push(self.bump());
+            }
+            let value = i64::from_str_radix(&hex, 16).unwrap_or_else(|_| {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "literal",
+                    format!("invalid hexadecimal literal '0x{hex}'"),
+                ));
+                0
+            });
+            self.consume_number_suffix();
+            self.out.tokens.push(Token::new(TokenKind::IntLit(value), span));
+            return;
+        }
+        while self.peek().is_ascii_digit() {
+            text.push(self.bump());
+        }
+        if self.peek() == '.' && self.peek_at(1).is_ascii_digit() {
+            is_float = true;
+            text.push(self.bump());
+            while self.peek().is_ascii_digit() {
+                text.push(self.bump());
+            }
+        } else if self.peek() == '.' && !self.peek_at(1).is_ascii_alphanumeric() {
+            // e.g. "2." — still a float literal
+            is_float = true;
+            text.push(self.bump());
+            text.push('0');
+        }
+        if self.peek() == 'e' || self.peek() == 'E' {
+            let mut lookahead = 1;
+            if self.peek_at(1) == '+' || self.peek_at(1) == '-' {
+                lookahead = 2;
+            }
+            if self.peek_at(lookahead).is_ascii_digit() {
+                is_float = true;
+                text.push(self.bump());
+                if self.peek() == '+' || self.peek() == '-' {
+                    text.push(self.bump());
+                }
+                while self.peek().is_ascii_digit() {
+                    text.push(self.bump());
+                }
+            }
+        }
+        self.consume_number_suffix();
+        if is_float {
+            let value = text.parse::<f64>().unwrap_or_else(|_| {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "literal",
+                    format!("invalid floating literal '{text}'"),
+                ));
+                0.0
+            });
+            self.out.tokens.push(Token::new(TokenKind::FloatLit(value), span));
+        } else {
+            let value = text.parse::<i64>().unwrap_or_else(|_| {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "literal",
+                    format!("integer literal '{text}' out of range"),
+                ));
+                0
+            });
+            self.out.tokens.push(Token::new(TokenKind::IntLit(value), span));
+        }
+    }
+
+    fn consume_number_suffix(&mut self) {
+        while matches!(self.peek(), 'f' | 'F' | 'l' | 'L' | 'u' | 'U') {
+            self.bump();
+        }
+    }
+
+    fn lex_escape(&mut self) -> char {
+        // caller consumed the backslash
+        match self.bump() {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            '\\' => '\\',
+            '"' => '"',
+            '\'' => '\'',
+            other => other,
+        }
+    }
+
+    fn lex_string(&mut self, span: Span) {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            if self.pos >= self.chars.len() || self.peek() == '\n' {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "literal",
+                    "missing terminating '\"' character",
+                ));
+                break;
+            }
+            let c = self.bump();
+            if c == '"' {
+                break;
+            }
+            if c == '\\' {
+                value.push(self.lex_escape());
+            } else {
+                value.push(c);
+            }
+        }
+        self.out.tokens.push(Token::new(TokenKind::StrLit(value), span));
+    }
+
+    fn lex_char(&mut self, span: Span) {
+        self.bump(); // opening quote
+        let c = if self.peek() == '\\' {
+            self.bump();
+            self.lex_escape()
+        } else {
+            self.bump()
+        };
+        if self.peek() == '\'' {
+            self.bump();
+        } else {
+            self.out.diagnostics.push(Diagnostic::error(
+                span,
+                "literal",
+                "missing terminating ' character",
+            ));
+        }
+        self.out.tokens.push(Token::new(TokenKind::CharLit(c), span));
+    }
+
+    fn lex_punct(&mut self, span: Span) {
+        use Punct::*;
+        let c = self.bump();
+        let next = self.peek();
+        let (punct, extra) = match (c, next) {
+            ('+', '+') => (PlusPlus, 1),
+            ('-', '-') => (MinusMinus, 1),
+            ('+', '=') => (PlusAssign, 1),
+            ('-', '=') => (MinusAssign, 1),
+            ('*', '=') => (StarAssign, 1),
+            ('/', '=') => (SlashAssign, 1),
+            ('=', '=') => (EqEq, 1),
+            ('!', '=') => (NotEq, 1),
+            ('<', '=') => (Le, 1),
+            ('>', '=') => (Ge, 1),
+            ('<', '<') => (Shl, 1),
+            ('>', '>') => (Shr, 1),
+            ('&', '&') => (AndAnd, 1),
+            ('|', '|') => (OrOr, 1),
+            ('-', '>') => (Arrow, 1),
+            ('{', _) => (LBrace, 0),
+            ('}', _) => (RBrace, 0),
+            ('(', _) => (LParen, 0),
+            (')', _) => (RParen, 0),
+            ('[', _) => (LBracket, 0),
+            (']', _) => (RBracket, 0),
+            (';', _) => (Semi, 0),
+            (',', _) => (Comma, 0),
+            ('+', _) => (Plus, 0),
+            ('-', _) => (Minus, 0),
+            ('*', _) => (Star, 0),
+            ('/', _) => (Slash, 0),
+            ('%', _) => (Percent, 0),
+            ('=', _) => (Assign, 0),
+            ('<', _) => (Lt, 0),
+            ('>', _) => (Gt, 0),
+            ('!', _) => (Not, 0),
+            ('&', _) => (Amp, 0),
+            ('|', _) => (Pipe, 0),
+            ('^', _) => (Caret, 0),
+            ('~', _) => (Tilde, 0),
+            ('.', _) => (Dot, 0),
+            ('?', _) => (Question, 0),
+            (':', _) => (Colon, 0),
+            (other, _) => {
+                self.out.diagnostics.push(Diagnostic::error(
+                    span,
+                    "syntax",
+                    format!("stray '{other}' in program"),
+                ));
+                return;
+            }
+        };
+        for _ in 0..extra {
+            self.bump();
+        }
+        self.out.tokens.push(Token::new(TokenKind::Punct(punct), span));
+    }
+
+    /// The original source this lexer was constructed over.
+    pub fn source(&self) -> &'a str {
+        self.source
+    }
+}
+
+/// Expand object-like macros in a token stream by repeated substitution.
+fn expand_macros(
+    tokens: Vec<Token>,
+    defines: &HashMap<String, String>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<Token> {
+    if defines.is_empty() {
+        return tokens;
+    }
+    let mut result = Vec::with_capacity(tokens.len());
+    for token in tokens {
+        expand_token(token, defines, diagnostics, 0, &mut result);
+    }
+    result
+}
+
+fn expand_token(
+    token: Token,
+    defines: &HashMap<String, String>,
+    diagnostics: &mut Vec<Diagnostic>,
+    depth: usize,
+    out: &mut Vec<Token>,
+) {
+    if let TokenKind::Ident(name) = &token.kind {
+        if let Some(replacement) = defines.get(name) {
+            if depth >= MAX_MACRO_DEPTH {
+                diagnostics.push(Diagnostic::error(
+                    token.span,
+                    "preprocessor",
+                    format!("macro '{name}' expansion exceeds maximum depth"),
+                ));
+                out.push(token);
+                return;
+            }
+            if replacement.trim().is_empty() {
+                return; // empty macro: token disappears
+            }
+            let fragment = Lexer::new_fragment(replacement, token.span);
+            let lexed = {
+                let mut l = fragment;
+                l.run();
+                std::mem::take(&mut l.out)
+            };
+            for mut inner in lexed.tokens {
+                if matches!(inner.kind, TokenKind::Eof) {
+                    continue;
+                }
+                inner.span = token.span;
+                // Guard against self-referential macros by refusing to
+                // re-expand the same name.
+                if matches!(&inner.kind, TokenKind::Ident(n) if n == name) {
+                    out.push(inner);
+                } else {
+                    expand_token(inner, defines, diagnostics, depth + 1, out);
+                }
+            }
+            return;
+        }
+    }
+    out.push(token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        Lexer::new(source).lex().tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_tokens() {
+        let ks = kinds("int x = 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::IntLit(42),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_float_and_suffixes() {
+        let ks = kinds("double y = 3.5f; double z = 1e3;");
+        assert!(ks.contains(&TokenKind::FloatLit(3.5)));
+        assert!(ks.contains(&TokenKind::FloatLit(1000.0)));
+    }
+
+    #[test]
+    fn lex_hex_literal() {
+        let ks = kinds("int mask = 0xFF;");
+        assert!(ks.contains(&TokenKind::IntLit(255)));
+    }
+
+    #[test]
+    fn lex_string_with_escapes() {
+        let ks = kinds(r#"printf("a\tb\n");"#);
+        assert!(ks.contains(&TokenKind::StrLit("a\tb\n".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("int a; // trailing\n/* block\ncomment */ int b;");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Ident(_)))
+            .collect();
+        assert_eq!(idents.len(), 2);
+    }
+
+    #[test]
+    fn include_and_define_are_recorded() {
+        let out = Lexer::new("#include <stdio.h>\n#define N 128\nint main() { return N; }").lex();
+        assert_eq!(out.includes, vec!["stdio.h".to_string()]);
+        assert_eq!(out.defines, vec![("N".to_string(), "128".to_string())]);
+        assert!(out.tokens.iter().any(|t| t.kind == TokenKind::IntLit(128)));
+        // The macro name must have been substituted away.
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "N")));
+    }
+
+    #[test]
+    fn pragma_becomes_token() {
+        let out = Lexer::new("#pragma acc parallel loop gang\nfor(;;);").lex();
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Pragma("acc parallel loop gang".into())));
+    }
+
+    #[test]
+    fn pragma_with_line_continuation() {
+        let out = Lexer::new("#pragma omp target \\\n  map(tofrom: a)\nint x;").lex();
+        let pragma = out
+            .tokens
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Pragma(p) => Some(p.clone()),
+                _ => None,
+            })
+            .expect("pragma token");
+        assert!(pragma.contains("map(tofrom: a)"));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let out = Lexer::new("char *s = \"oops;\n").lex();
+        assert!(out.has_errors());
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        let out = Lexer::new("int a = 1 @ 2;").lex();
+        assert!(out.has_errors());
+    }
+
+    #[test]
+    fn function_like_macro_warns_and_is_ignored() {
+        let out = Lexer::new("#define SQ(x) ((x)*(x))\nint main() { return 0; }").lex();
+        assert!(!out.has_errors());
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("function-like")));
+    }
+
+    #[test]
+    fn macro_expansion_is_not_infinitely_recursive() {
+        let out = Lexer::new("#define A A\nint x = A;").lex();
+        // self-referential macro: the identifier survives, no hang, no error
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "A")));
+    }
+
+    #[test]
+    fn nested_macro_expansion() {
+        let out = Lexer::new("#define N 64\n#define M N\nint x = M;").lex();
+        assert!(out.tokens.iter().any(|t| t.kind == TokenKind::IntLit(64)));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let out = Lexer::new("int a;\nint b;\n").lex();
+        let b_token = out
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "b"))
+            .unwrap();
+        assert_eq!(b_token.span.line, 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! `vv-dclang` — the mini directive-C language used throughout the LLM4VV
+//! reproduction.
+//!
+//! This crate provides everything needed to treat compiler-validation test
+//! files as *programs* rather than opaque strings:
+//!
+//! * a [`lexer`] that understands C-style comments, string/char literals,
+//!   object-like `#define` macros, `#include` recording and `#pragma` lines;
+//! * an [`ast`] covering the subset of C/C++ that directive-based V&V tests
+//!   are written in (declarations, pointers, arrays, loops, conditionals,
+//!   calls, casts);
+//! * a [`directive`] module that parses `#pragma acc ...` / `#pragma omp ...`
+//!   lines into structured directives and clauses;
+//! * a recursive-descent [`parser`] producing a [`ast::TranslationUnit`];
+//! * a [`printer`] that renders an AST back to compilable source text;
+//! * [`diag`]nostics with line/column information, shared with the simulated
+//!   compilers in `vv-simcompiler`.
+//!
+//! The language is deliberately a *subset*: it is rich enough to express the
+//! synthetic OpenACC/OpenMP validation tests produced by `vv-corpus` (and the
+//! damaged variants produced by `vv-probing`), yet small enough that the
+//! simulated compiler and interpreter can implement it completely.
+
+pub mod ast;
+pub mod diag;
+pub mod directive;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    AssignOp, BaseType, BinOp, Block, Expr, Function, Param, Stmt, TranslationUnit, Type, UnOp,
+    VarDecl,
+};
+pub use diag::{Diagnostic, Severity};
+pub use directive::{Clause, Directive, DirectiveModel};
+pub use lexer::{LexOutput, Lexer};
+pub use parser::{ParseOutput, Parser};
+pub use span::Span;
+pub use token::{Keyword, Punct, Token, TokenKind};
+
+/// Parse a complete source file into a translation unit.
+///
+/// This is the main entry point used by the simulated compilers. On success
+/// the returned [`ParseOutput`] carries the translation unit together with
+/// any non-fatal diagnostics (e.g. unknown preprocessor directives). On
+/// failure the error carries at least one [`Diagnostic`] with
+/// [`Severity::Error`].
+pub fn parse_source(source: &str) -> Result<ParseOutput, Vec<Diagnostic>> {
+    let lexed = Lexer::new(source).lex();
+    let mut diags = lexed.diagnostics.clone();
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return Err(diags);
+    }
+    let parser = Parser::new(lexed);
+    match parser.parse() {
+        Ok(mut out) => {
+            out.diagnostics.append(&mut diags);
+            Ok(out)
+        }
+        Err(mut errs) => {
+            diags.append(&mut errs);
+            Err(diags)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_main() {
+        let out = parse_source("int main() { return 0; }").expect("parse");
+        assert_eq!(out.unit.functions.len(), 1);
+        assert_eq!(out.unit.functions[0].name, "main");
+    }
+
+    #[test]
+    fn parse_error_reports_diagnostic() {
+        let err = parse_source("int main() { return 0; ").unwrap_err();
+        assert!(err.iter().any(|d| d.severity == Severity::Error));
+    }
+}

@@ -1,0 +1,349 @@
+//! Source printer: renders an AST back to compilable source text.
+//!
+//! The printer is used for round-trip testing (parse → print → parse must be
+//! stable) and by tools that modify programs at the AST level and need to
+//! re-emit source for the simulated compilers.
+
+use crate::ast::*;
+
+/// Render a translation unit to source text.
+pub fn print_unit(unit: &TranslationUnit) -> String {
+    let mut p = Printer::default();
+    p.unit(unit);
+    p.out
+}
+
+/// Render a single statement at the given indentation level.
+pub fn print_stmt(stmt: &Stmt, indent: usize) -> String {
+    let mut p = Printer { indent, ..Default::default() };
+    p.stmt(stmt);
+    p.out
+}
+
+/// Render an expression to source text.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn unit(&mut self, unit: &TranslationUnit) {
+        for include in &unit.includes {
+            self.line(&format!("#include <{include}>"));
+        }
+        for (name, value) in &unit.defines {
+            if value.is_empty() {
+                self.line(&format!("#define {name}"));
+            } else {
+                self.line(&format!("#define {name} {value}"));
+            }
+        }
+        if !unit.includes.is_empty() || !unit.defines.is_empty() {
+            self.out.push('\n');
+        }
+        for directive in &unit.file_directives {
+            self.line(&directive.render());
+        }
+        for global in &unit.globals {
+            let decl = self.render_declarator(global);
+            self.line(&format!("{decl};"));
+        }
+        for (i, func) in unit.functions.iter().enumerate() {
+            if i > 0 {
+                self.out.push('\n');
+            }
+            self.function(func);
+        }
+    }
+
+    fn function(&mut self, func: &Function) {
+        for d in &func.leading_directives {
+            self.line(&d.render());
+        }
+        let params = if func.params.is_empty() {
+            String::new()
+        } else {
+            func.params
+                .iter()
+                .map(|p| format!("{} {}", p.ty.render(), p.name))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        self.line(&format!("{} {}({}) {{", func.ret.render(), func.name, params));
+        self.indent += 1;
+        for stmt in &func.body.stmts {
+            self.stmt(stmt);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn render_declarator(&mut self, decl: &VarDecl) -> String {
+        let mut s = format!("{} {}", decl.ty.render(), decl.name);
+        for dim in &decl.array_dims {
+            s.push('[');
+            s.push_str(&print_expr(dim));
+            s.push(']');
+        }
+        if let Some(init) = &decl.init {
+            s.push_str(" = ");
+            s.push_str(&print_expr(init));
+        }
+        s
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    let rendered = self.render_declarator(d);
+                    self.line(&format!("{rendered};"));
+                }
+            }
+            Stmt::Expr(expr) => {
+                let rendered = print_expr(expr);
+                self.line(&format!("{rendered};"));
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.line(&format!("if ({}) {{", print_expr(cond)));
+                self.indent += 1;
+                self.stmt_unwrapped(then_branch);
+                self.indent -= 1;
+                if let Some(else_branch) = else_branch {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.stmt_unwrapped(else_branch);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                let init_s = match init.as_deref() {
+                    Some(Stmt::Decl(decls)) if decls.len() == 1 => self.render_declarator(&decls[0]),
+                    Some(Stmt::Expr(e)) => print_expr(e),
+                    _ => String::new(),
+                };
+                let cond_s = cond.as_ref().map(print_expr).unwrap_or_default();
+                let step_s = step.as_ref().map(print_expr).unwrap_or_default();
+                self.line(&format!("for ({init_s}; {cond_s}; {step_s}) {{"));
+                self.indent += 1;
+                self.stmt_unwrapped(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line(&format!("while ({}) {{", print_expr(cond)));
+                self.indent += 1;
+                self.stmt_unwrapped(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.line("do {");
+                self.indent += 1;
+                self.stmt_unwrapped(body);
+                self.indent -= 1;
+                self.line(&format!("}} while ({});", print_expr(cond)));
+            }
+            Stmt::Return(value, _) => match value {
+                Some(v) => self.line(&format!("return {};", print_expr(v))),
+                None => self.line("return;"),
+            },
+            Stmt::Break(_) => self.line("break;"),
+            Stmt::Continue(_) => self.line("continue;"),
+            Stmt::Block(block) => {
+                self.line("{");
+                self.indent += 1;
+                for s in &block.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Directive { directive, body } => {
+                self.line(&directive.render());
+                if let Some(body) = body {
+                    self.stmt(body);
+                }
+            }
+            Stmt::Empty(_) => self.line(";"),
+        }
+    }
+
+    /// Print a statement that is the body of a control construct: blocks are
+    /// flattened into the parent's braces.
+    fn stmt_unwrapped(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Block(block) => {
+                for s in &block.stmts {
+                    self.stmt(s);
+                }
+            }
+            other => self.stmt(other),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) {
+        self.out.push_str(&render_expr(expr));
+    }
+}
+
+fn render_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(v, _) => v.to_string(),
+        Expr::FloatLit(v, _) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::StrLit(s, _) => format!("\"{}\"", escape_string(s)),
+        Expr::CharLit(c, _) => format!("'{}'", escape_char(*c)),
+        Expr::Ident(name, _) => name.clone(),
+        Expr::Unary { op, expr, .. } => format!("{}{}", op.as_str(), render_operand(expr)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("{} {} {}", render_operand(lhs), op.as_str(), render_operand(rhs))
+        }
+        Expr::Assign { op, target, value, .. } => {
+            format!("{} {} {}", render_expr(target), op.as_str(), render_expr(value))
+        }
+        Expr::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{}({})", name, args.join(", "))
+        }
+        Expr::Index { base, index, .. } => {
+            format!("{}[{}]", render_operand(base), render_expr(index))
+        }
+        Expr::Cast { ty, expr, .. } => format!("({}){}", ty.render(), render_operand(expr)),
+        Expr::SizeofType { ty, .. } => format!("sizeof({})", ty.render()),
+        Expr::Ternary { cond, then_expr, else_expr, .. } => format!(
+            "{} ? {} : {}",
+            render_operand(cond),
+            render_expr(then_expr),
+            render_expr(else_expr)
+        ),
+        Expr::Postfix { target, decrement, .. } => {
+            format!("{}{}", render_operand(target), if *decrement { "--" } else { "++" })
+        }
+    }
+}
+
+/// Render an operand, parenthesising compound sub-expressions so the printed
+/// form preserves the tree's grouping regardless of operator precedence.
+fn render_operand(expr: &Expr) -> String {
+    match expr {
+        Expr::Binary { .. } | Expr::Ternary { .. } | Expr::Assign { .. } => {
+            format!("({})", render_expr(expr))
+        }
+        _ => render_expr(expr),
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn escape_char(c: char) -> String {
+    match c {
+        '\n' => "\\n".to_string(),
+        '\t' => "\\t".to_string(),
+        '\'' => "\\'".to_string(),
+        '\\' => "\\\\".to_string(),
+        '\0' => "\\0".to_string(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_source;
+
+    const SAMPLE: &str = r#"#include <stdio.h>
+#include <stdlib.h>
+#define N 64
+
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    double sum = 0.0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 0.5;
+    }
+#pragma acc parallel loop reduction(+:sum) copyin(a[0:N])
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+    if (sum < 0.0) {
+        printf("FAIL\n");
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+"#;
+
+    #[test]
+    fn print_then_reparse_is_stable() {
+        let first = parse_source(SAMPLE).expect("parse original");
+        let printed = print_unit(&first.unit);
+        let second = parse_source(&printed).expect("parse printed output");
+        let reprinted = print_unit(&second.unit);
+        assert_eq!(printed, reprinted, "printer must reach a fixpoint after one round trip");
+        assert_eq!(first.unit.functions.len(), second.unit.functions.len());
+        assert_eq!(
+            first.unit.all_directives().len(),
+            second.unit.all_directives().len()
+        );
+    }
+
+    #[test]
+    fn printed_output_contains_pragma_and_escapes() {
+        let parsed = parse_source(SAMPLE).unwrap();
+        let printed = print_unit(&parsed.unit);
+        assert!(printed.contains("#pragma acc parallel loop reduction(+:sum) copyin(a[0:N])"));
+        assert!(printed.contains("printf(\"PASS\\n\")"));
+    }
+
+    #[test]
+    fn expression_rendering_preserves_grouping() {
+        let parsed = parse_source("int main() { int x = (1 + 2) * 3; return x; }").unwrap();
+        let printed = print_unit(&parsed.unit);
+        assert!(printed.contains("(1 + 2) * 3"));
+    }
+
+    #[test]
+    fn print_stmt_and_expr_helpers() {
+        let parsed = parse_source("int main() { return 1 + 2; }").unwrap();
+        let body = &parsed.unit.functions[0].body.stmts[0];
+        let rendered = print_stmt(body, 0);
+        assert_eq!(rendered.trim(), "return 1 + 2;");
+    }
+}

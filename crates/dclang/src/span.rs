@@ -1,0 +1,54 @@
+//! Source positions.
+
+use std::fmt;
+
+/// A 1-based line/column position in a source file.
+///
+/// The mini-language never needs byte ranges; diagnostics in real compilers
+/// for these tests are line-oriented, so a single point span is sufficient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number (0 means "unknown").
+    pub line: u32,
+    /// 1-based column number (0 means "unknown").
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+
+    /// The "unknown location" span.
+    pub fn unknown() -> Self {
+        Self { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_known_and_unknown() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::unknown().to_string(), "<unknown>");
+    }
+
+    #[test]
+    fn ordering_is_line_major() {
+        assert!(Span::new(2, 1) > Span::new(1, 80));
+        assert!(Span::new(2, 5) > Span::new(2, 4));
+    }
+}

@@ -1,0 +1,304 @@
+//! Token definitions for the mini directive-C language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Reserved words recognized by the lexer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Void,
+    Char,
+    Int,
+    Long,
+    Float,
+    Double,
+    Unsigned,
+    Const,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Sizeof,
+    Struct,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier-like lexeme.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "void" => Keyword::Void,
+            "char" => Keyword::Char,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "unsigned" => Keyword::Unsigned,
+            "const" => Keyword::Const,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "sizeof" => Keyword::Sizeof,
+            "struct" => Keyword::Struct,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Void => "void",
+            Keyword::Char => "char",
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Const => "const",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Sizeof => "sizeof",
+            Keyword::Struct => "struct",
+        }
+    }
+
+    /// True if the keyword starts a type name (`int`, `double`, `const`, ...).
+    pub fn starts_type(&self) -> bool {
+        matches!(
+            self,
+            Keyword::Void
+                | Keyword::Char
+                | Keyword::Int
+                | Keyword::Long
+                | Keyword::Float
+                | Keyword::Double
+                | Keyword::Unsigned
+                | Keyword::Const
+        )
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    PlusPlus,
+    MinusMinus,
+    Arrow,
+    Dot,
+    Question,
+    Colon,
+    Shl,
+    Shr,
+}
+
+impl Punct {
+    /// The source spelling of the punctuator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::EqEq => "==",
+            Punct::NotEq => "!=",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Not => "!",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+            Punct::Arrow => "->",
+            Punct::Dot => ".",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+        }
+    }
+}
+
+/// The kind of a token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (after macro substitution).
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating point literal.
+    FloatLit(f64),
+    /// A string literal (unescaped contents).
+    StrLit(String),
+    /// A character literal.
+    CharLit(char),
+    /// A reserved word.
+    Keyword(Keyword),
+    /// A punctuator or operator.
+    Punct(Punct),
+    /// A `#pragma` line; the payload is everything after `#pragma`,
+    /// whitespace-trimmed, with line continuations spliced.
+    Pragma(String),
+    /// End of file.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier '{name}'"),
+            TokenKind::IntLit(v) => format!("integer literal '{v}'"),
+            TokenKind::FloatLit(v) => format!("floating literal '{v}'"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::CharLit(c) => format!("character literal '{c}'"),
+            TokenKind::Keyword(k) => format!("keyword '{}'", k.as_str()),
+            TokenKind::Punct(p) => format!("'{}'", p.as_str()),
+            TokenKind::Pragma(_) => "'#pragma'".to_string(),
+            TokenKind::Eof => "end of file".to_string(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it begins in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Self { kind, span }
+    }
+
+    /// True if the token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True if the token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Void,
+            Keyword::Int,
+            Keyword::Double,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::Sizeof,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("banana"), None);
+    }
+
+    #[test]
+    fn type_starters() {
+        assert!(Keyword::Int.starts_type());
+        assert!(Keyword::Const.starts_type());
+        assert!(!Keyword::For.starts_type());
+        assert!(!Keyword::Return.starts_type());
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Punct(Punct::Semi), Span::new(1, 1));
+        assert!(t.is_punct(Punct::Semi));
+        assert!(!t.is_punct(Punct::Comma));
+        let k = Token::new(TokenKind::Keyword(Keyword::If), Span::new(1, 1));
+        assert!(k.is_keyword(Keyword::If));
+        assert!(!k.is_keyword(Keyword::Else));
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(
+            TokenKind::Ident("foo".to_string()).describe(),
+            "identifier 'foo'"
+        );
+        assert_eq!(TokenKind::Punct(Punct::LBrace).describe(), "'{'");
+    }
+}

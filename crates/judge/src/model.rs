@@ -1,0 +1,603 @@
+//! The surrogate judge model: code-signal extraction and the calibrated
+//! decision layer.
+//!
+//! The model sees *only the prompt text* (exactly what the real LLM saw) and
+//! re-derives its evidence from that text: directive presence, brace
+//! balance, undeclared assignments, corrupted directive keywords, pointers
+//! that are never allocated, missing verification logic, and — for the
+//! agent-based prompts — the embedded compiler/runtime return codes and
+//! outputs. A calibrated per-signal reliability (see [`crate::profile`])
+//! decides whether each piece of evidence actually influences the verdict,
+//! reproducing the measured unreliability of `deepseek-coder-33B-instruct`.
+
+use crate::profile::JudgeProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use vv_dclang::directive::parse_pragma;
+use vv_dclang::{DirectiveModel, Span};
+use vv_specs::directive_spec;
+
+/// Evidence extracted from a prompt (code section + tool section).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CodeSignals {
+    /// The code contains at least one directive of the target model.
+    pub has_target_directives: bool,
+    /// Number of `{` minus number of `}` in the code (nonzero = imbalance).
+    pub brace_delta: i64,
+    /// An identifier that is assigned but never declared, if any.
+    pub undeclared_assignment: Option<String>,
+    /// A directive keyword that is not in the target model's specification.
+    pub corrupted_directive: Option<String>,
+    /// A pointer that is indexed but never allocated or assigned.
+    pub unallocated_pointer: Option<String>,
+    /// The code has no verification logic (no failure return path).
+    pub missing_verification: bool,
+    /// Tool information was present in the prompt.
+    pub tools_present: bool,
+    /// The embedded compiler output reports failure.
+    pub compile_failed: bool,
+    /// The embedded runtime output reports failure.
+    pub runtime_failed: bool,
+    /// The embedded program output mentions a passing test.
+    pub outputs_mention_pass: bool,
+}
+
+const TYPE_KEYWORDS: &[&str] = &["int", "long", "float", "double", "char", "unsigned", "void"];
+
+/// Extract code and tool signals from a prompt.
+pub fn extract_signals(prompt: &str, model: DirectiveModel) -> CodeSignals {
+    let code = code_section(prompt);
+    let sentinel = format!("#pragma {}", model.sentinel());
+
+    let mut signals = CodeSignals {
+        has_target_directives: code.contains(&sentinel),
+        brace_delta: code.matches('{').count() as i64 - code.matches('}').count() as i64,
+        ..Default::default()
+    };
+
+    let declared = declared_identifiers(code);
+    signals.undeclared_assignment = find_undeclared_assignment(code, &declared);
+    signals.corrupted_directive = find_corrupted_directive(code, model, &sentinel);
+    signals.unallocated_pointer = find_unallocated_pointer(code);
+    signals.missing_verification =
+        !(code.contains("return 1") && (code.contains("!=") || code.contains("==")));
+
+    // Tool section (agent prompts only).
+    if let Some(rc) = find_int_after(prompt, "Compiler return code:") {
+        signals.tools_present = true;
+        let compiler_stderr = line_after(prompt, "Compiler STDERR:").unwrap_or_default();
+        signals.compile_failed = rc != 0
+            || compiler_stderr.to_ascii_lowercase().contains("error")
+            || compiler_stderr.contains("-S-");
+    }
+    if let Some(rc) = find_run_return_code(prompt) {
+        signals.tools_present = true;
+        signals.runtime_failed = rc != 0;
+    }
+    if let Some(run_section) = prompt.split("When the compiled code is run").nth(1) {
+        let before_code = run_section.split("Here is the code").next().unwrap_or(run_section);
+        signals.outputs_mention_pass = before_code.to_ascii_lowercase().contains("pass");
+    }
+    signals
+}
+
+fn code_section(prompt: &str) -> &str {
+    for marker in ["Here is the code for you to analyze:", "Here is the code:"] {
+        if let Some(pos) = prompt.find(marker) {
+            return &prompt[pos + marker.len()..];
+        }
+    }
+    prompt
+}
+
+fn declared_identifiers(code: &str) -> HashSet<String> {
+    let mut declared = HashSet::new();
+    let mut words = Vec::new();
+    let mut current = String::new();
+    for c in code.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            if c == '*' || c == ',' {
+                continue;
+            }
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    for window in words.windows(2) {
+        if TYPE_KEYWORDS.contains(&window[0].as_str()) {
+            declared.insert(window[1].clone());
+        }
+    }
+    // `#define NAME value` also introduces a name.
+    for line in code.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("#define ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                declared.insert(name.to_string());
+            }
+        }
+    }
+    declared
+}
+
+fn find_undeclared_assignment(code: &str, declared: &HashSet<String>) -> Option<String> {
+    for line in code.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('#') || trimmed.starts_with("//") {
+            continue;
+        }
+        // Lines that themselves declare something are fine.
+        if TYPE_KEYWORDS.iter().any(|k| trimmed.starts_with(&format!("{k} ")))
+            || TYPE_KEYWORDS.iter().any(|k| trimmed.starts_with(&format!("const {k}")))
+        {
+            continue;
+        }
+        let name: String = trimmed
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let rest = &trimmed[name.len()..];
+        // Skip subscripts to find the assignment operator.
+        let after_subscript = match rest.trim_start().strip_prefix('[') {
+            Some(_) => match rest.find(']') {
+                Some(pos) => &rest[pos + 1..],
+                None => rest,
+            },
+            None => rest,
+        };
+        let after = after_subscript.trim_start();
+        let is_assignment = (after.starts_with('=') && !after.starts_with("=="))
+            || after.starts_with("+=")
+            || after.starts_with("-=")
+            || after.starts_with("*=")
+            || after.starts_with("/=");
+        if is_assignment && !declared.contains(&name) && !is_common_keyword(&name) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn is_common_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "if" | "for" | "while" | "return" | "else" | "do" | "break" | "continue" | "sizeof"
+    )
+}
+
+fn find_corrupted_directive(
+    code: &str,
+    model: DirectiveModel,
+    sentinel: &str,
+) -> Option<String> {
+    for line in code.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with(sentinel) {
+            continue;
+        }
+        let payload = trimmed.trim_start_matches("#pragma").trim();
+        let directive = parse_pragma(payload, Span::unknown());
+        if directive.model != Some(model) {
+            continue;
+        }
+        let name = directive.display_name();
+        if name.is_empty() {
+            return Some(
+                directive
+                    .clauses
+                    .first()
+                    .map(|c| c.name.clone())
+                    .unwrap_or_else(|| "<empty>".to_string()),
+            );
+        }
+        if directive_spec(model, &name).is_none() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn find_unallocated_pointer(code: &str) -> Option<String> {
+    for line in code.lines() {
+        let trimmed = line.trim();
+        if !trimmed.ends_with(';') || trimmed.contains('=') || !trimmed.contains('*') {
+            continue;
+        }
+        let mut parts = trimmed.trim_end_matches(';').split_whitespace();
+        let Some(first) = parts.next() else { continue };
+        if !TYPE_KEYWORDS.contains(&first) {
+            continue;
+        }
+        let rest: String = parts.collect::<Vec<_>>().join(" ");
+        let name: String = rest
+            .trim_start_matches(['*', ' '])
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let indexed = code.contains(&format!("{name}["));
+        let assigned_later = code.contains(&format!("{name} = (")) || code.contains(&format!("{name} = malloc"));
+        if indexed && !assigned_later {
+            return Some(name);
+        }
+    }
+    None
+}
+
+fn find_int_after(text: &str, marker: &str) -> Option<i64> {
+    let pos = text.find(marker)?;
+    let rest = text[pos + marker.len()..].trim_start();
+    let number: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
+fn find_run_return_code(prompt: &str) -> Option<i64> {
+    // The run-stage return code follows "When the compiled code is run";
+    // searching from there avoids matching "Compiler return code:".
+    let section = prompt.split("When the compiled code is run").nth(1)?;
+    find_int_after(section, "Return code:")
+}
+
+fn line_after(text: &str, marker: &str) -> Option<String> {
+    let pos = text.find(marker)?;
+    let rest = &text[pos + marker.len()..];
+    Some(rest.lines().next().unwrap_or("").trim().to_string())
+}
+
+// ---------------------------------------------------------------------------
+// the surrogate model
+// ---------------------------------------------------------------------------
+
+/// A deterministic, calibrated text-in/text-out stand-in for
+/// `deepseek-coder-33B-instruct`.
+#[derive(Clone, Debug)]
+pub struct SurrogateLlmJudge {
+    /// The calibration profile in effect.
+    pub profile: JudgeProfile,
+    /// Seed mixed into the per-prompt RNG (models sampling temperature; the
+    /// same seed and prompt always produce the same response).
+    pub seed: u64,
+}
+
+impl SurrogateLlmJudge {
+    /// Create a surrogate judge.
+    pub fn new(profile: JudgeProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    /// Produce a response for a prompt. This is the only interface the rest
+    /// of the system uses — exactly the text-completion interface of the
+    /// real model.
+    pub fn complete(&self, prompt: &str) -> String {
+        let model = if prompt.contains("OpenACC") {
+            DirectiveModel::OpenAcc
+        } else {
+            DirectiveModel::OpenMp
+        };
+        let signals = extract_signals(prompt, model);
+        let reliability = self.profile.for_model(model);
+        let mut rng = StdRng::seed_from_u64(fnv1a(prompt) ^ self.seed);
+
+        let mut findings: Vec<String> = Vec::new();
+        if !signals.has_target_directives && rng.gen_bool(reliability.missing_directives) {
+            findings.push(format!(
+                "the file does not contain any {model} directives, so it cannot exercise a {model} compiler"
+            ));
+        }
+        if signals.brace_delta != 0 && rng.gen_bool(reliability.bracket_imbalance) {
+            findings.push(format!(
+                "the braces do not balance (delta of {}), which is a syntax error",
+                signals.brace_delta
+            ));
+        }
+        if let Some(name) = &signals.undeclared_assignment {
+            if rng.gen_bool(reliability.undeclared_identifier) {
+                findings.push(format!("the variable '{name}' is assigned but never declared"));
+            }
+        }
+        if let Some(word) = &signals.corrupted_directive {
+            if rng.gen_bool(reliability.corrupted_directive) {
+                findings.push(format!("'{word}' is not a valid {model} directive name"));
+            }
+        }
+        if let Some(ptr) = &signals.unallocated_pointer {
+            if rng.gen_bool(reliability.missing_allocation) {
+                findings.push(format!(
+                    "the pointer '{ptr}' is indexed but memory is never allocated for it"
+                ));
+            }
+        }
+        if signals.missing_verification && rng.gen_bool(reliability.missing_verification) {
+            findings.push(
+                "the test never compares its results against a reference and has no failing exit path"
+                    .to_string(),
+            );
+        }
+        if signals.compile_failed && rng.gen_bool(reliability.compile_failure) {
+            findings.push(
+                "the provided compiler output reports errors (nonzero compiler return code)"
+                    .to_string(),
+            );
+        }
+        if signals.runtime_failed && rng.gen_bool(reliability.runtime_failure) {
+            findings.push("the program exits with a nonzero return code when run".to_string());
+        }
+
+        let mut verdict_invalid = !findings.is_empty();
+        if findings.is_empty() && rng.gen_bool(reliability.false_alarm) {
+            verdict_invalid = true;
+            let nits = [
+                "the data clauses may not cover every array accessed inside the offloaded region",
+                "the directive usage may not follow the latest specification's best practices",
+                "the verification loop compares floating-point values for exact equality, which may be too strict",
+                "the test may rely on implementation-defined behaviour of the runtime",
+            ];
+            findings.push(nits[rng.gen_range(0..nits.len())].to_string());
+        }
+
+        let omit_phrase = rng.gen_bool(reliability.format_failure);
+        self.render_response(prompt, model, &signals, &findings, verdict_invalid, omit_phrase)
+    }
+
+    fn render_response(
+        &self,
+        prompt: &str,
+        model: DirectiveModel,
+        signals: &CodeSignals,
+        findings: &[String],
+        invalid: bool,
+        omit_phrase: bool,
+    ) -> String {
+        let mut out = String::new();
+        let indirect = prompt.starts_with("Describe what");
+        if indirect {
+            let _ = writeln!(
+                out,
+                "This program allocates and initializes its data on the host, then uses {model} directives to offload the main computational loop before verifying the results. "
+            );
+            if signals.tools_present {
+                let _ = writeln!(
+                    out,
+                    "According to the provided tool output, the compiler returned {} and the program {}.",
+                    if signals.compile_failed { "errors" } else { "no errors" },
+                    if signals.runtime_failed {
+                        "failed at runtime"
+                    } else if signals.outputs_mention_pass {
+                        "ran and reported a passing result"
+                    } else {
+                        "ran to completion"
+                    }
+                );
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "Reviewing the code against the syntax, directive appropriateness, clause correctness, memory management, compliance and logic criteria for {model}:"
+            );
+        }
+        if findings.is_empty() {
+            let _ = writeln!(
+                out,
+                "The directives and clauses appear syntactically correct, data movement between host and device is handled, and the test verifies its parallel results against a serial reference before returning an error code on mismatch."
+            );
+        } else {
+            let _ = writeln!(out, "However, there are problems with this code:");
+            for finding in findings {
+                let _ = writeln!(out, "- {finding}");
+            }
+        }
+        if omit_phrase {
+            let _ = writeln!(
+                out,
+                "Overall, the test {} suitable for compiler validation.",
+                if invalid { "does not appear" } else { "appears" }
+            );
+            return out;
+        }
+        let wants_correct_phrasing = prompt.contains("FINAL JUDGEMENT: correct");
+        let phrase = match (invalid, wants_correct_phrasing) {
+            (false, true) => "FINAL JUDGEMENT: correct",
+            (true, true) => "FINAL JUDGEMENT: incorrect",
+            (false, false) => "FINAL JUDGEMENT: valid",
+            (true, false) => "FINAL JUDGEMENT: invalid",
+        };
+        let _ = writeln!(out, "{phrase}");
+        out
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{extract_verdict, Verdict};
+    use crate::prompt::{build_prompt, PromptStyle, ToolContext, ToolRecord};
+
+    const VALID_ACC_CODE: &str = r#"
+#include <stdlib.h>
+#include <stdio.h>
+#define N 32
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    double *b = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) { a[i] = i * 0.5; b[i] = 0.0; }
+#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) { b[i] = a[i] * 2.0; }
+    int err = 0;
+    for (int i = 0; i < N; i++) { if (b[i] != a[i] * 2.0) { err = err + 1; } }
+    if (err != 0) { printf("fail\n"); return 1; }
+    return 0;
+}
+"#;
+
+    fn direct_prompt(code: &str, model: DirectiveModel) -> String {
+        build_prompt(PromptStyle::Direct, model, code, None)
+    }
+
+    #[test]
+    fn signals_for_a_valid_test_are_clean() {
+        let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(signals.has_target_directives);
+        assert_eq!(signals.brace_delta, 0);
+        assert_eq!(signals.undeclared_assignment, None);
+        assert_eq!(signals.corrupted_directive, None);
+        assert_eq!(signals.unallocated_pointer, None);
+        assert!(!signals.missing_verification);
+        assert!(!signals.tools_present);
+    }
+
+    #[test]
+    fn missing_directives_are_detected() {
+        let code = "int main() { int x = 1; return 0; }";
+        let prompt = direct_prompt(code, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(!signals.has_target_directives);
+        assert!(signals.missing_verification);
+    }
+
+    #[test]
+    fn bracket_imbalance_is_detected() {
+        let code = VALID_ACC_CODE.replacen('{', "", 1);
+        let prompt = direct_prompt(&code, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert_eq!(signals.brace_delta, -1);
+    }
+
+    #[test]
+    fn undeclared_assignment_is_detected() {
+        let code = VALID_ACC_CODE.replace("    return 0;", "    phantom_value = phantom_value + 1;\n    return 0;");
+        let prompt = direct_prompt(&code, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert_eq!(signals.undeclared_assignment.as_deref(), Some("phantom_value"));
+    }
+
+    #[test]
+    fn corrupted_directive_is_detected() {
+        let code = VALID_ACC_CODE.replace("parallel loop", "paralel loop");
+        let prompt = direct_prompt(&code, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(signals.corrupted_directive.is_some());
+    }
+
+    #[test]
+    fn unallocated_pointer_is_detected() {
+        let code = VALID_ACC_CODE.replace(
+            "double *a = (double *)malloc(N * sizeof(double));",
+            "double *a;",
+        );
+        let prompt = direct_prompt(&code, DirectiveModel::OpenAcc);
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert_eq!(signals.unallocated_pointer.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn tool_failures_are_parsed_from_agent_prompts() {
+        let tools = ToolContext {
+            compile: Some(ToolRecord { return_code: 2, stdout: String::new(), stderr: "NVC++-S-0155-bad (test.c: 9)".into() }),
+            run: Some(ToolRecord { return_code: 139, stdout: String::new(), stderr: "Segmentation fault".into() }),
+        };
+        let prompt =
+            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, Some(&tools));
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(signals.tools_present);
+        assert!(signals.compile_failed);
+        assert!(signals.runtime_failed);
+    }
+
+    #[test]
+    fn clean_tool_output_is_not_a_failure() {
+        let tools = ToolContext {
+            compile: Some(ToolRecord { return_code: 0, stdout: String::new(), stderr: String::new() }),
+            run: Some(ToolRecord { return_code: 0, stdout: "Test passed".into(), stderr: String::new() }),
+        };
+        let prompt =
+            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, Some(&tools));
+        let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(signals.tools_present);
+        assert!(!signals.compile_failed);
+        assert!(!signals.runtime_failed);
+        assert!(signals.outputs_mention_pass);
+    }
+
+    #[test]
+    fn oracle_judge_is_always_right_on_clear_signals() {
+        let judge = SurrogateLlmJudge::new(JudgeProfile::oracle(), 0);
+        // valid file -> valid
+        let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenAcc);
+        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Valid));
+        // file with no directives -> invalid
+        let prompt = direct_prompt("int main() { return 0; }", DirectiveModel::OpenAcc);
+        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Invalid));
+        // corrupted directive -> invalid
+        let broken = VALID_ACC_CODE.replace("parallel loop", "paralell loop");
+        let prompt = direct_prompt(&broken, DirectiveModel::OpenAcc);
+        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Invalid));
+    }
+
+    #[test]
+    fn permissive_judge_always_says_valid() {
+        let judge = SurrogateLlmJudge::new(JudgeProfile::permissive(), 0);
+        for code in [VALID_ACC_CODE, "int main() { return 0; }"] {
+            let prompt = direct_prompt(code, DirectiveModel::OpenAcc);
+            assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Valid));
+        }
+    }
+
+    #[test]
+    fn direct_prompt_answers_use_correct_incorrect_wording() {
+        let judge = SurrogateLlmJudge::new(JudgeProfile::oracle(), 0);
+        let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenAcc);
+        let response = judge.complete(&prompt);
+        assert!(response.contains("FINAL JUDGEMENT: correct"));
+        let agent_prompt =
+            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, None);
+        let response = judge.complete(&agent_prompt);
+        assert!(response.contains("FINAL JUDGEMENT: valid"));
+    }
+
+    #[test]
+    fn responses_are_deterministic_per_seed_and_differ_across_seeds() {
+        let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenMp);
+        let a = SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), 1).complete(&prompt);
+        let b = SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), 1).complete(&prompt);
+        assert_eq!(a, b);
+        // Across many prompts, different seeds must not always agree (the
+        // plain OpenMP profile has a high false-alarm rate, so verdicts flip).
+        let mut disagreement = false;
+        for i in 0..20 {
+            let code = format!("{VALID_ACC_CODE}\n// variant {i}\n");
+            let p = direct_prompt(&code, DirectiveModel::OpenMp);
+            let x = SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), 1).complete(&p);
+            let y = SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), 2).complete(&p);
+            if extract_verdict(&x) != extract_verdict(&y) {
+                disagreement = true;
+                break;
+            }
+        }
+        assert!(disagreement, "different seeds never changed any verdict");
+    }
+}

@@ -1,0 +1,104 @@
+//! Judgement extraction.
+//!
+//! The paper's prompts instruct the model to include the exact phrase
+//! `FINAL JUDGEMENT: valid` / `FINAL JUDGEMENT: invalid` (agent prompts,
+//! Listings 2 and 4) or `FINAL JUDGEMENT: correct` / `incorrect` (the direct
+//! analysis prompt, Listing 3). This module recovers the verdict from a
+//! response, tolerating case differences and surrounding prose, and reports
+//! `None` when no judgement phrase is present (which the paper's harness has
+//! to treat as an evaluation failure).
+
+/// The judge's verdict about one candidate test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The file is a valid compiler-validation test.
+    Valid,
+    /// The file is not a valid compiler-validation test.
+    Invalid,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Verdict::Valid)
+    }
+
+    /// Map to the paper's numeric coding (valid/pass ↦ 0, invalid/fail ↦ 1).
+    pub fn as_code(&self) -> u8 {
+        match self {
+            Verdict::Valid => 0,
+            Verdict::Invalid => 1,
+        }
+    }
+}
+
+/// Extract the verdict from a model response.
+///
+/// The *last* judgement phrase wins (chain-of-thought responses sometimes
+/// restate the phrase while reasoning before settling on a final answer).
+pub fn extract_verdict(response: &str) -> Option<Verdict> {
+    let lower = response.to_ascii_lowercase();
+    let mut verdict = None;
+    let mut search_from = 0usize;
+    while let Some(pos) = lower[search_from..].find("final judgement:") {
+        let start = search_from + pos + "final judgement:".len();
+        let rest = lower[start..].trim_start();
+        // "invalid"/"incorrect" must be checked before their substrings.
+        if rest.starts_with("invalid") || rest.starts_with("incorrect") {
+            verdict = Some(Verdict::Invalid);
+        } else if rest.starts_with("valid") || rest.starts_with("correct") {
+            verdict = Some(Verdict::Valid);
+        }
+        search_from = start;
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_valid_and_invalid() {
+        assert_eq!(extract_verdict("... FINAL JUDGEMENT: valid"), Some(Verdict::Valid));
+        assert_eq!(extract_verdict("... FINAL JUDGEMENT: invalid"), Some(Verdict::Invalid));
+    }
+
+    #[test]
+    fn extracts_correct_and_incorrect_variants() {
+        assert_eq!(extract_verdict("FINAL JUDGEMENT: correct"), Some(Verdict::Valid));
+        assert_eq!(extract_verdict("FINAL JUDGEMENT: incorrect"), Some(Verdict::Invalid));
+    }
+
+    #[test]
+    fn case_insensitive_and_embedded_in_prose() {
+        let response = "The code looks reasonable overall.\nfinal judgement: Valid\nThanks.";
+        assert_eq!(extract_verdict(response), Some(Verdict::Valid));
+    }
+
+    #[test]
+    fn last_judgement_wins() {
+        let response = "FINAL JUDGEMENT: valid ... wait, on reflection ... FINAL JUDGEMENT: invalid";
+        assert_eq!(extract_verdict(response), Some(Verdict::Invalid));
+    }
+
+    #[test]
+    fn missing_phrase_returns_none() {
+        assert_eq!(extract_verdict("The test seems fine to me."), None);
+        assert_eq!(extract_verdict(""), None);
+    }
+
+    #[test]
+    fn invalid_is_not_mistaken_for_valid() {
+        // "invalid" contains "valid"; ordering of checks matters.
+        assert_eq!(extract_verdict("FINAL JUDGEMENT:   invalid  "), Some(Verdict::Invalid));
+    }
+
+    #[test]
+    fn verdict_codes_match_paper_convention() {
+        assert_eq!(Verdict::Valid.as_code(), 0);
+        assert_eq!(Verdict::Invalid.as_code(), 1);
+        assert!(Verdict::Valid.is_valid());
+        assert!(!Verdict::Invalid.is_valid());
+    }
+}

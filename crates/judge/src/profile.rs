@@ -1,0 +1,273 @@
+//! Calibration profiles for the surrogate judge.
+//!
+//! A [`JudgeProfile`] holds, for each programming model, the probability
+//! that the judge *acts on* each code/tool signal it extracted from the
+//! prompt, plus the probability of a spurious complaint about a clean file
+//! (`false_alarm`) and of failing to emit the required judgement phrase
+//! (`format_failure`).
+//!
+//! The numbers are calibrated against the error profile the paper measured
+//! for `deepseek-coder-33B-instruct`:
+//!
+//! * the plain (non-agent) judge — Tables I and II: nearly blind to missing
+//!   brackets, undeclared variables and truncated verification logic in
+//!   OpenACC files, good at spotting files with no OpenACC at all, with a
+//!   strongly permissive bias; for OpenMP the pattern flips (better at
+//!   syntax, almost never notices missing OpenMP, rejects most valid files);
+//! * the agent judges LLMJ 1 / LLMJ 2 — Tables VII and VIII: much higher
+//!   accuracy because nonzero compiler/runtime return codes in the prompt
+//!   are strong invalid signals, yet they still ignore those tool outputs a
+//!   sizeable fraction of the time.
+//!
+//! The reproduction targets the *shape* of those tables (orderings, which
+//! stage catches which error class, bias signs); exact percentages depend on
+//! this calibration and are compared in EXPERIMENTS.md.
+
+use vv_dclang::DirectiveModel;
+
+/// Per-signal reliabilities for one programming model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SignalReliability {
+    /// P(act on "the file contains no directives of the target model").
+    pub missing_directives: f64,
+    /// P(act on an unbalanced-brace signal).
+    pub bracket_imbalance: f64,
+    /// P(act on an identifier assigned but never declared).
+    pub undeclared_identifier: f64,
+    /// P(act on a directive keyword that is not in the specification).
+    pub corrupted_directive: f64,
+    /// P(act on a pointer that is indexed but never allocated).
+    pub missing_allocation: f64,
+    /// P(act on missing serial-vs-parallel verification logic).
+    pub missing_verification: f64,
+    /// P(act on a nonzero compiler return code / compiler errors in stderr).
+    pub compile_failure: f64,
+    /// P(act on a nonzero runtime return code).
+    pub runtime_failure: f64,
+    /// P(complain about a file with no extracted signals).
+    pub false_alarm: f64,
+    /// P(response omits the required `FINAL JUDGEMENT:` phrase).
+    pub format_failure: f64,
+}
+
+/// A named calibration profile with per-model reliabilities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JudgeProfile {
+    /// Profile name (used in reports).
+    pub name: &'static str,
+    /// Reliabilities when judging OpenACC files.
+    pub acc: SignalReliability,
+    /// Reliabilities when judging OpenMP files.
+    pub omp: SignalReliability,
+}
+
+impl JudgeProfile {
+    /// Reliabilities for the given model.
+    pub fn for_model(&self, model: DirectiveModel) -> &SignalReliability {
+        match model {
+            DirectiveModel::OpenAcc => &self.acc,
+            DirectiveModel::OpenMp => &self.omp,
+        }
+    }
+
+    /// The plain, non-agent judge with the direct analysis prompt
+    /// (Part One of the paper; calibrated against Tables I–III).
+    pub fn deepseek_plain() -> Self {
+        Self {
+            name: "deepseek-coder-33b-instruct (direct prompt, no tools)",
+            acc: SignalReliability {
+                missing_directives: 0.80,
+                bracket_imbalance: 0.12,
+                undeclared_identifier: 0.15,
+                corrupted_directive: 0.17,
+                missing_allocation: 0.13,
+                missing_verification: 0.12,
+                compile_failure: 0.0,
+                runtime_failure: 0.0,
+                false_alarm: 0.12,
+                format_failure: 0.01,
+            },
+            omp: SignalReliability {
+                missing_directives: 0.04,
+                bracket_imbalance: 0.74,
+                undeclared_identifier: 0.64,
+                corrupted_directive: 0.49,
+                missing_allocation: 0.45,
+                missing_verification: 0.33,
+                compile_failure: 0.0,
+                runtime_failure: 0.0,
+                false_alarm: 0.61,
+                format_failure: 0.01,
+            },
+        }
+    }
+
+    /// LLMJ 1: the agent-based judge with the direct analysis prompt
+    /// (calibrated against Tables VII–IX, "LLMJ 1" columns).
+    pub fn deepseek_agent_direct() -> Self {
+        Self {
+            name: "deepseek-coder-33b-instruct (agent, direct analysis) — LLMJ 1",
+            acc: SignalReliability {
+                missing_directives: 0.97,
+                bracket_imbalance: 0.15,
+                undeclared_identifier: 0.45,
+                corrupted_directive: 0.20,
+                missing_allocation: 0.10,
+                missing_verification: 0.15,
+                compile_failure: 0.72,
+                runtime_failure: 0.60,
+                false_alarm: 0.08,
+                format_failure: 0.01,
+            },
+            omp: SignalReliability {
+                missing_directives: 0.65,
+                bracket_imbalance: 0.14,
+                undeclared_identifier: 0.38,
+                corrupted_directive: 0.05,
+                missing_allocation: 0.10,
+                missing_verification: 0.72,
+                compile_failure: 0.50,
+                runtime_failure: 0.35,
+                false_alarm: 0.07,
+                format_failure: 0.01,
+            },
+        }
+    }
+
+    /// LLMJ 2: the agent-based judge with the indirect (describe-then-judge)
+    /// prompt (calibrated against Tables VII–IX, "LLMJ 2" columns).
+    pub fn deepseek_agent_indirect() -> Self {
+        Self {
+            name: "deepseek-coder-33b-instruct (agent, indirect analysis) — LLMJ 2",
+            acc: SignalReliability {
+                missing_directives: 0.995,
+                bracket_imbalance: 0.10,
+                undeclared_identifier: 0.66,
+                corrupted_directive: 0.70,
+                missing_allocation: 0.50,
+                missing_verification: 0.27,
+                compile_failure: 0.50,
+                runtime_failure: 0.55,
+                false_alarm: 0.21,
+                format_failure: 0.01,
+            },
+            omp: SignalReliability {
+                missing_directives: 0.85,
+                bracket_imbalance: 0.10,
+                undeclared_identifier: 0.30,
+                corrupted_directive: 0.15,
+                missing_allocation: 0.15,
+                missing_verification: 0.48,
+                compile_failure: 0.40,
+                runtime_failure: 0.30,
+                false_alarm: 0.04,
+                format_failure: 0.01,
+            },
+        }
+    }
+
+    /// An idealized judge that always acts on every signal and never raises
+    /// false alarms. Useful as an upper bound in ablation benchmarks and for
+    /// testing the decision plumbing.
+    pub fn oracle() -> Self {
+        let perfect = SignalReliability {
+            missing_directives: 1.0,
+            bracket_imbalance: 1.0,
+            undeclared_identifier: 1.0,
+            corrupted_directive: 1.0,
+            missing_allocation: 1.0,
+            missing_verification: 1.0,
+            compile_failure: 1.0,
+            runtime_failure: 1.0,
+            false_alarm: 0.0,
+            format_failure: 0.0,
+        };
+        Self { name: "oracle", acc: perfect, omp: perfect }
+    }
+
+    /// A judge that never acts on any signal (lower bound: always says
+    /// "valid" unless a false alarm fires — here it never does).
+    pub fn permissive() -> Self {
+        let blind = SignalReliability {
+            missing_directives: 0.0,
+            bracket_imbalance: 0.0,
+            undeclared_identifier: 0.0,
+            corrupted_directive: 0.0,
+            missing_allocation: 0.0,
+            missing_verification: 0.0,
+            compile_failure: 0.0,
+            runtime_failure: 0.0,
+            false_alarm: 0.0,
+            format_failure: 0.0,
+        };
+        Self { name: "permissive", acc: blind, omp: blind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_probabilities(r: &SignalReliability) -> [f64; 10] {
+        [
+            r.missing_directives,
+            r.bracket_imbalance,
+            r.undeclared_identifier,
+            r.corrupted_directive,
+            r.missing_allocation,
+            r.missing_verification,
+            r.compile_failure,
+            r.runtime_failure,
+            r.false_alarm,
+            r.format_failure,
+        ]
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        for profile in [
+            JudgeProfile::deepseek_plain(),
+            JudgeProfile::deepseek_agent_direct(),
+            JudgeProfile::deepseek_agent_indirect(),
+            JudgeProfile::oracle(),
+            JudgeProfile::permissive(),
+        ] {
+            for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+                for p in all_probabilities(profile.for_model(model)) {
+                    assert!((0.0..=1.0).contains(&p), "{} has probability {p}", profile.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_profile_reflects_paper_asymmetries() {
+        let plain = JudgeProfile::deepseek_plain();
+        // Table I vs II: the plain judge is far better at spotting missing
+        // OpenACC than missing OpenMP...
+        assert!(plain.acc.missing_directives > plain.omp.missing_directives + 0.5);
+        // ...and far worse at OpenACC syntax than OpenMP syntax...
+        assert!(plain.omp.bracket_imbalance > plain.acc.bracket_imbalance + 0.4);
+        // ...and rejects valid OpenMP files far more often (Table III bias).
+        assert!(plain.omp.false_alarm > plain.acc.false_alarm + 0.3);
+    }
+
+    #[test]
+    fn agent_profiles_gain_tool_reliability() {
+        let plain = JudgeProfile::deepseek_plain();
+        let agent = JudgeProfile::deepseek_agent_direct();
+        for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+            assert_eq!(plain.for_model(model).compile_failure, 0.0);
+            assert!(agent.for_model(model).compile_failure > 0.3);
+        }
+    }
+
+    #[test]
+    fn indirect_profile_is_more_restrictive_on_acc_valid_files() {
+        // Table VII: LLMJ 2 recognized valid OpenACC tests less often (79%)
+        // than LLMJ 1 (92%), i.e. a higher false-alarm rate.
+        let direct = JudgeProfile::deepseek_agent_direct();
+        let indirect = JudgeProfile::deepseek_agent_indirect();
+        assert!(indirect.acc.false_alarm > direct.acc.false_alarm);
+    }
+}

@@ -1,0 +1,140 @@
+//! Radar-plot categories (Figures 3–6).
+//!
+//! The paper's radar plots group the issue IDs into four error categories
+//! plus valid-test recognition. The mapping used here is documented in
+//! DESIGN.md:
+//!
+//! | Radar axis | Issue IDs |
+//! |---|---|
+//! | Improper directive use | 0 |
+//! | Improper syntax | 1, 2 |
+//! | Missing OpenACC/OpenMP | 3 |
+//! | Test logic | 4 |
+//! | Valid test recognition | 5 |
+
+use crate::EvaluationRecord;
+use vv_probing::IssueKind;
+
+/// One axis of the radar plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RadarCategory {
+    /// Improper directive use (issue 0).
+    ImproperDirectiveUse,
+    /// Improper syntax (issues 1 and 2).
+    ImproperSyntax,
+    /// Missing OpenACC/OpenMP code entirely (issue 3).
+    MissingModelCode,
+    /// Broken test logic (issue 4).
+    TestLogic,
+    /// Recognition of valid tests (issue 5).
+    ValidRecognition,
+}
+
+impl RadarCategory {
+    /// All axes in display order.
+    pub const ALL: [RadarCategory; 5] = [
+        RadarCategory::ImproperDirectiveUse,
+        RadarCategory::ImproperSyntax,
+        RadarCategory::MissingModelCode,
+        RadarCategory::TestLogic,
+        RadarCategory::ValidRecognition,
+    ];
+
+    /// Axis label as it would appear on the plot.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RadarCategory::ImproperDirectiveUse => "Improper directive use",
+            RadarCategory::ImproperSyntax => "Improper syntax",
+            RadarCategory::MissingModelCode => "Missing OpenACC/OpenMP",
+            RadarCategory::TestLogic => "Test logic",
+            RadarCategory::ValidRecognition => "Valid test recognition",
+        }
+    }
+
+    /// Which radar axis an issue belongs to.
+    pub fn of_issue(issue: IssueKind) -> RadarCategory {
+        match issue {
+            IssueKind::RemovedAllocOrSwappedDirective => RadarCategory::ImproperDirectiveUse,
+            IssueKind::RemovedOpeningBracket | IssueKind::UndeclaredVariableUse => {
+                RadarCategory::ImproperSyntax
+            }
+            IssueKind::ReplacedWithNonDirectiveCode => RadarCategory::MissingModelCode,
+            IssueKind::RemovedLastBracketedSection => RadarCategory::TestLogic,
+            IssueKind::NoIssue => RadarCategory::ValidRecognition,
+        }
+    }
+}
+
+/// One point of a radar series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadarPoint {
+    /// The axis.
+    pub category: RadarCategory,
+    /// Number of records on this axis.
+    pub count: usize,
+    /// Accuracy on this axis in `[0, 1]` (0 when empty).
+    pub accuracy: f64,
+}
+
+/// Compute the radar series (per-category accuracy) for a set of records.
+pub fn radar_series(records: &[EvaluationRecord]) -> Vec<RadarPoint> {
+    RadarCategory::ALL
+        .iter()
+        .map(|category| {
+            let group: Vec<&EvaluationRecord> = records
+                .iter()
+                .filter(|r| RadarCategory::of_issue(r.issue) == *category)
+                .collect();
+            let count = group.len();
+            let correct = group.iter().filter(|r| r.is_correct()).count();
+            let accuracy = if count == 0 { 0.0 } else { correct as f64 / count as f64 };
+            RadarPoint { category: *category, count, accuracy }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_judge::Verdict;
+
+    #[test]
+    fn every_issue_maps_to_exactly_one_category() {
+        for issue in IssueKind::ALL {
+            let category = RadarCategory::of_issue(issue);
+            assert!(RadarCategory::ALL.contains(&category));
+        }
+        assert_eq!(
+            RadarCategory::of_issue(IssueKind::RemovedOpeningBracket),
+            RadarCategory::of_issue(IssueKind::UndeclaredVariableUse)
+        );
+    }
+
+    #[test]
+    fn radar_series_covers_all_axes_and_counts_sum() {
+        let records = vec![
+            EvaluationRecord::new("a", IssueKind::NoIssue, Some(Verdict::Valid)),
+            EvaluationRecord::new("b", IssueKind::RemovedOpeningBracket, Some(Verdict::Invalid)),
+            EvaluationRecord::new("c", IssueKind::UndeclaredVariableUse, Some(Verdict::Valid)),
+            EvaluationRecord::new("d", IssueKind::ReplacedWithNonDirectiveCode, Some(Verdict::Invalid)),
+        ];
+        let series = radar_series(&records);
+        assert_eq!(series.len(), 5);
+        let total: usize = series.iter().map(|p| p.count).sum();
+        assert_eq!(total, records.len());
+        let syntax = series
+            .iter()
+            .find(|p| p.category == RadarCategory::ImproperSyntax)
+            .unwrap();
+        assert_eq!(syntax.count, 2);
+        assert!((syntax.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        for category in RadarCategory::ALL {
+            assert!(!category.label().is_empty());
+        }
+        assert_eq!(RadarCategory::MissingModelCode.label(), "Missing OpenACC/OpenMP");
+    }
+}

@@ -1,0 +1,190 @@
+//! Plain-text and CSV table renderers.
+//!
+//! These mirror the layout of the paper's tables so that the `repro`
+//! harness can print directly comparable output.
+
+use crate::radar::RadarPoint;
+use crate::{OverallStats, PerIssueRow};
+use std::fmt::Write as _;
+use vv_dclang::DirectiveModel;
+
+/// Render a per-issue accuracy table with one evaluation column
+/// (Tables I / II layout). `columns` holds `(column title, rows)` pairs so
+/// the same renderer also covers the two-column pipeline and agent tables
+/// (Tables IV / V / VII / VIII).
+pub fn render_per_issue_table(
+    title: &str,
+    model: DirectiveModel,
+    columns: &[(&str, &[PerIssueRow])],
+) -> String {
+    assert!(!columns.is_empty(), "at least one column of rows is required");
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<58} {:>7}", format!("{model} Issue Type"), "Count");
+    for (name, _) in columns {
+        header.push_str(&format!(" {:>12}", format!("{name} corr.")));
+        header.push_str(&format!(" {:>10}", format!("{name} acc.")));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    let reference = columns[0].1;
+    for (index, row) in reference.iter().enumerate() {
+        let mut line = format!(
+            "{:<58} {:>7}",
+            row.issue.table_label(model),
+            row.count
+        );
+        for (_, rows) in columns {
+            let cell = &rows[index];
+            line.push_str(&format!(" {:>12}", cell.correct));
+            line.push_str(&format!(" {:>9.0}%", cell.accuracy * 100.0));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Render an overall accuracy/bias table (Tables III / VI / IX layout):
+/// one column per programming model or evaluation setup.
+pub fn render_overall_table(title: &str, columns: &[(&str, OverallStats)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<28}", "Datapoint");
+    for (name, _) in columns {
+        header.push_str(&format!(" {:>18}", name));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    let rows: [(&str, Box<dyn Fn(&OverallStats) -> String>); 4] = [
+        ("Total Count", Box::new(|s: &OverallStats| s.total.to_string())),
+        ("Total Mistakes", Box::new(|s: &OverallStats| s.mistakes.to_string())),
+        (
+            "Overall Accuracy",
+            Box::new(|s: &OverallStats| format!("{:.2}%", s.accuracy * 100.0)),
+        ),
+        ("Bias", Box::new(|s: &OverallStats| format!("{:+.3}", s.bias))),
+    ];
+    for (label, render) in rows {
+        let mut line = format!("{label:<28}");
+        for (_, stats) in columns {
+            line.push_str(&format!(" {:>18}", render(stats)));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Render a radar series table (the data behind Figures 3–6): one line per
+/// axis, one column per evaluated configuration.
+pub fn render_radar_table(title: &str, columns: &[(&str, &[RadarPoint])]) -> String {
+    assert!(!columns.is_empty());
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<28}", "Category");
+    for (name, _) in columns {
+        header.push_str(&format!(" {:>24}", name));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    let reference = columns[0].1;
+    for (index, point) in reference.iter().enumerate() {
+        let mut line = format!("{:<28}", point.category.label());
+        for (_, points) in columns {
+            line.push_str(&format!(" {:>23.0}%", points[index].accuracy * 100.0));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Render per-issue rows as CSV (one line per issue, plus a header).
+pub fn render_csv(model: DirectiveModel, rows: &[PerIssueRow]) -> String {
+    let mut out = String::from("issue_id,issue,count,correct,incorrect,accuracy\n");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.4}",
+            row.issue.id(),
+            row.issue.table_label(model).replace(',', ";"),
+            row.count,
+            row.correct,
+            row.incorrect,
+            row.accuracy
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radar::radar_series;
+    use crate::{overall, per_issue, EvaluationRecord};
+    use vv_judge::Verdict;
+    use vv_probing::IssueKind;
+
+    fn sample_records() -> Vec<EvaluationRecord> {
+        vec![
+            EvaluationRecord::new("a", IssueKind::NoIssue, Some(Verdict::Valid)),
+            EvaluationRecord::new("b", IssueKind::NoIssue, Some(Verdict::Invalid)),
+            EvaluationRecord::new("c", IssueKind::RemovedOpeningBracket, Some(Verdict::Invalid)),
+            EvaluationRecord::new("d", IssueKind::ReplacedWithNonDirectiveCode, Some(Verdict::Valid)),
+        ]
+    }
+
+    #[test]
+    fn per_issue_table_renders_all_rows_and_percentages() {
+        let rows = per_issue(&sample_records());
+        let table = render_per_issue_table(
+            "TABLE I: LLMJ Negative Probing Results for OpenACC",
+            DirectiveModel::OpenAcc,
+            &[("LLMJ", &rows)],
+        );
+        assert!(table.contains("TABLE I"));
+        assert!(table.contains("Removed an opening bracket"));
+        assert!(table.contains("No issue"));
+        assert!(table.contains("%"));
+    }
+
+    #[test]
+    fn two_column_table_renders_both_columns() {
+        let rows = per_issue(&sample_records());
+        let table = render_per_issue_table(
+            "TABLE IV",
+            DirectiveModel::OpenAcc,
+            &[("Pipeline 1", &rows), ("Pipeline 2", &rows)],
+        );
+        assert!(table.contains("Pipeline 1 acc."));
+        assert!(table.contains("Pipeline 2 acc."));
+    }
+
+    #[test]
+    fn overall_table_contains_all_datapoints() {
+        let stats = overall(&sample_records());
+        let table = render_overall_table(
+            "TABLE III: LLMJ Overall Negative Probing Results",
+            &[("OpenACC", stats), ("OpenMP", stats)],
+        );
+        assert!(table.contains("Total Count"));
+        assert!(table.contains("Total Mistakes"));
+        assert!(table.contains("Overall Accuracy"));
+        assert!(table.contains("Bias"));
+        assert!(table.contains("OpenACC"));
+    }
+
+    #[test]
+    fn radar_table_lists_every_axis() {
+        let series = radar_series(&sample_records());
+        let table = render_radar_table("Figure 3 data", &[("Pipeline 1", &series)]);
+        assert!(table.contains("Improper syntax"));
+        assert!(table.contains("Valid test recognition"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_issue_plus_header() {
+        let rows = per_issue(&sample_records());
+        let csv = render_csv(DirectiveModel::OpenAcc, &rows);
+        assert_eq!(csv.lines().count(), 1 + rows.len());
+        assert!(csv.starts_with("issue_id,"));
+    }
+}

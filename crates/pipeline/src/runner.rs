@@ -1,0 +1,446 @@
+//! Pipeline runners: staged multi-worker, sequential baseline, and
+//! per-file-parallel (rayon) comparison.
+
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::stats::PipelineStats;
+use crate::{
+    CaseRecord, CompileSummary, ExecSummary, PipelineConfig, PipelineMode, WorkItem,
+};
+use vv_judge::{JudgeOutcome, JudgeSession, SurrogateLlmJudge, ToolContext, ToolRecord};
+use vv_simcompiler::{compiler_for, Program};
+use vv_simexec::Executor;
+
+/// The result of running a pipeline over a batch of files.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// One record per submitted file, in submission order.
+    pub records: Vec<CaseRecord>,
+    /// Aggregate statistics.
+    pub stats: PipelineStats,
+}
+
+impl PipelineRun {
+    /// Look up a record by case id.
+    pub fn record(&self, id: &str) -> Option<&CaseRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+}
+
+/// The validation pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationPipeline {
+    /// Configuration shared by all runners.
+    pub config: PipelineConfig,
+}
+
+impl ValidationPipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    fn judge_session(&self) -> JudgeSession {
+        JudgeSession::new(
+            SurrogateLlmJudge::new(self.config.judge_profile.clone(), self.config.judge_seed),
+            self.config.judge_style,
+        )
+    }
+
+    /// Run the staged, multi-worker pipeline (bounded channels between the
+    /// compile, execute and judge stages; each stage has its own pool).
+    pub fn run(&self, items: Vec<WorkItem>) -> PipelineRun {
+        let started = Instant::now();
+        let total = items.len();
+        let mode = self.config.mode;
+        let capacity = self.config.channel_capacity.max(1);
+        let stats = Mutex::new(PipelineStats { submitted: total, ..Default::default() });
+        let records: Mutex<Vec<(usize, CaseRecord)>> = Mutex::new(Vec::with_capacity(total));
+
+        struct AfterCompile {
+            index: usize,
+            item: WorkItem,
+            compile: CompileSummary,
+            artifact: Option<Program>,
+        }
+        struct AfterExec {
+            index: usize,
+            item: WorkItem,
+            compile: CompileSummary,
+            exec: Option<ExecSummary>,
+        }
+
+        let (tx_items, rx_items): (Sender<(usize, WorkItem)>, Receiver<(usize, WorkItem)>) =
+            bounded(capacity);
+        let (tx_compiled, rx_compiled): (Sender<AfterCompile>, Receiver<AfterCompile>) =
+            bounded(capacity);
+        let (tx_executed, rx_executed): (Sender<AfterExec>, Receiver<AfterExec>) =
+            bounded(capacity);
+        let (tx_done, rx_done): (Sender<(usize, CaseRecord)>, Receiver<(usize, CaseRecord)>) =
+            bounded(capacity);
+
+        std::thread::scope(|scope| {
+            // Feeder
+            scope.spawn(move || {
+                for (index, item) in items.into_iter().enumerate() {
+                    if tx_items.send((index, item)).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            // Compile stage
+            for _ in 0..self.config.compile_workers.max(1) {
+                let rx = rx_items.clone();
+                let tx_next = tx_compiled.clone();
+                let tx_done = tx_done.clone();
+                let stats = &stats;
+                scope.spawn(move || {
+                    for (index, item) in rx.iter() {
+                        let (compile, artifact) = compile_item(&item);
+                        {
+                            let mut s = stats.lock();
+                            s.compiled += 1;
+                            if !compile.succeeded {
+                                s.compile_failures += 1;
+                            }
+                        }
+                        if !compile.succeeded && mode == PipelineMode::EarlyExit {
+                            let record =
+                                CaseRecord { id: item.id.clone(), compile, exec: None, judgement: None };
+                            let _ = tx_done.send((index, record));
+                            continue;
+                        }
+                        let _ = tx_next.send(AfterCompile { index, item, compile, artifact });
+                    }
+                });
+            }
+            drop(tx_compiled);
+            drop(rx_items);
+
+            // Execute stage
+            for _ in 0..self.config.exec_workers.max(1) {
+                let rx = rx_compiled.clone();
+                let tx_next = tx_executed.clone();
+                let tx_done = tx_done.clone();
+                let stats = &stats;
+                scope.spawn(move || {
+                    let executor = Executor::default();
+                    for msg in rx.iter() {
+                        let exec = msg.artifact.as_ref().map(|program| exec_item(&executor, program));
+                        if exec.is_some() {
+                            let mut s = stats.lock();
+                            s.executed += 1;
+                            if exec.as_ref().is_some_and(|e| !e.passed) {
+                                s.exec_failures += 1;
+                            }
+                        }
+                        let failed = exec.as_ref().map_or(true, |e| !e.passed);
+                        if failed && mode == PipelineMode::EarlyExit {
+                            let record = CaseRecord {
+                                id: msg.item.id.clone(),
+                                compile: msg.compile,
+                                exec,
+                                judgement: None,
+                            };
+                            let _ = tx_done.send((msg.index, record));
+                            continue;
+                        }
+                        let _ = tx_next.send(AfterExec {
+                            index: msg.index,
+                            item: msg.item,
+                            compile: msg.compile,
+                            exec,
+                        });
+                    }
+                });
+            }
+            drop(tx_executed);
+            drop(rx_compiled);
+
+            // Judge stage
+            for _ in 0..self.config.judge_workers.max(1) {
+                let rx = rx_executed.clone();
+                let tx_done = tx_done.clone();
+                let stats = &stats;
+                let session = self.judge_session();
+                scope.spawn(move || {
+                    for msg in rx.iter() {
+                        let judgement =
+                            judge_item(&session, &msg.item, &msg.compile, msg.exec.as_ref());
+                        {
+                            let mut s = stats.lock();
+                            s.judged += 1;
+                            s.simulated_judge_latency_ms += judgement.latency_ms;
+                            if !judgement.verdict_or_invalid().is_valid() {
+                                s.judge_rejections += 1;
+                            }
+                        }
+                        let record = CaseRecord {
+                            id: msg.item.id.clone(),
+                            compile: msg.compile,
+                            exec: msg.exec,
+                            judgement: Some(judgement),
+                        };
+                        let _ = tx_done.send((msg.index, record));
+                    }
+                });
+            }
+            drop(tx_done);
+            drop(rx_executed);
+
+            // Collector (runs on the scope's own thread).
+            for entry in rx_done.iter() {
+                records.lock().push(entry);
+            }
+        });
+
+        let mut indexed = records.into_inner();
+        indexed.sort_by_key(|(index, _)| *index);
+        let records = indexed.into_iter().map(|(_, record)| record).collect();
+        let mut stats = stats.into_inner();
+        stats.wall_time = started.elapsed();
+        PipelineRun { records, stats }
+    }
+
+    /// Run the same per-file semantics on a single thread (baseline).
+    pub fn run_sequential(&self, items: Vec<WorkItem>) -> PipelineRun {
+        let started = Instant::now();
+        let session = self.judge_session();
+        let executor = Executor::default();
+        let mut stats = PipelineStats { submitted: items.len(), ..Default::default() };
+        let records = items
+            .iter()
+            .map(|item| process_full(item, self.config.mode, &session, &executor, &mut stats))
+            .collect();
+        stats.wall_time = started.elapsed();
+        PipelineRun { records, stats }
+    }
+
+    /// Run with per-file parallelism (each file runs all stages inside one
+    /// rayon task) — the "parallel but not pipelined" comparison point.
+    pub fn run_batch_rayon(&self, items: Vec<WorkItem>) -> PipelineRun {
+        let started = Instant::now();
+        let session = self.judge_session();
+        let mode = self.config.mode;
+        let results: Vec<(CaseRecord, PipelineStats)> = items
+            .par_iter()
+            .map(|item| {
+                let executor = Executor::default();
+                let mut stats = PipelineStats::default();
+                let record = process_full(item, mode, &session, &executor, &mut stats);
+                (record, stats)
+            })
+            .collect();
+        let mut stats = PipelineStats { submitted: items.len(), ..Default::default() };
+        let mut records = Vec::with_capacity(results.len());
+        for (record, partial) in results {
+            stats.merge(&partial);
+            records.push(record);
+        }
+        stats.submitted = items.len();
+        stats.wall_time = started.elapsed();
+        PipelineRun { records, stats }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-stage helpers (shared by all runners)
+// ---------------------------------------------------------------------------
+
+fn compile_item(item: &WorkItem) -> (CompileSummary, Option<Program>) {
+    let compiler = compiler_for(item.model);
+    let outcome = compiler.compile(&item.source, item.lang);
+    let summary = CompileSummary {
+        return_code: outcome.return_code,
+        stdout: outcome.stdout.clone(),
+        stderr: outcome.stderr.clone(),
+        succeeded: outcome.succeeded(),
+    };
+    (summary, outcome.artifact)
+}
+
+fn exec_item(executor: &Executor, program: &Program) -> ExecSummary {
+    let outcome = executor.run(program);
+    ExecSummary {
+        return_code: outcome.return_code,
+        stdout: outcome.stdout,
+        stderr: outcome.stderr,
+        passed: outcome.return_code == 0,
+    }
+}
+
+fn judge_item(
+    session: &JudgeSession,
+    item: &WorkItem,
+    compile: &CompileSummary,
+    exec: Option<&ExecSummary>,
+) -> JudgeOutcome {
+    let tools = ToolContext {
+        compile: Some(ToolRecord {
+            return_code: compile.return_code,
+            stdout: compile.stdout.clone(),
+            stderr: compile.stderr.clone(),
+        }),
+        run: exec.map(|e| ToolRecord {
+            return_code: e.return_code,
+            stdout: e.stdout.clone(),
+            stderr: e.stderr.clone(),
+        }),
+    };
+    session.evaluate(&item.source, item.model, Some(&tools))
+}
+
+fn process_full(
+    item: &WorkItem,
+    mode: PipelineMode,
+    session: &JudgeSession,
+    executor: &Executor,
+    stats: &mut PipelineStats,
+) -> CaseRecord {
+    let (compile, artifact) = compile_item(item);
+    stats.compiled += 1;
+    if !compile.succeeded {
+        stats.compile_failures += 1;
+        if mode == PipelineMode::EarlyExit {
+            return CaseRecord { id: item.id.clone(), compile, exec: None, judgement: None };
+        }
+    }
+    let exec = artifact.as_ref().map(|program| exec_item(executor, program));
+    if exec.is_some() {
+        stats.executed += 1;
+        if exec.as_ref().is_some_and(|e| !e.passed) {
+            stats.exec_failures += 1;
+        }
+    }
+    let exec_failed = exec.as_ref().map_or(true, |e| !e.passed);
+    if exec_failed && mode == PipelineMode::EarlyExit {
+        return CaseRecord { id: item.id.clone(), compile, exec, judgement: None };
+    }
+    let judgement = judge_item(session, item, &compile, exec.as_ref());
+    stats.judged += 1;
+    stats.simulated_judge_latency_ms += judgement.latency_ms;
+    if !judgement.verdict_or_invalid().is_valid() {
+        stats.judge_rejections += 1;
+    }
+    CaseRecord { id: item.id.clone(), compile, exec, judgement: Some(judgement) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_corpus::{generate_suite, SuiteConfig};
+    use vv_dclang::DirectiveModel;
+    use vv_probing::{build_probed_suite, IssueKind, ProbeConfig};
+
+    fn probed_items(model: DirectiveModel, size: usize, seed: u64) -> (Vec<WorkItem>, Vec<IssueKind>) {
+        let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
+        let issues = probed.cases.iter().map(|c| c.issue).collect();
+        let items = probed
+            .cases
+            .iter()
+            .map(|c| WorkItem {
+                id: c.case.id.clone(),
+                source: c.source.clone(),
+                lang: c.case.lang,
+                model,
+            })
+            .collect();
+        (items, issues)
+    }
+
+    #[test]
+    fn staged_and_sequential_and_rayon_runners_agree() {
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 30, 41);
+        let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
+        let staged = pipeline.run(items.clone());
+        let sequential = pipeline.run_sequential(items.clone());
+        let rayon = pipeline.run_batch_rayon(items.clone());
+        assert_eq!(staged.records.len(), items.len());
+        for ((a, b), c) in staged.records.iter().zip(&sequential.records).zip(&rayon.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.id, c.id);
+            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict(), "case {}", a.id);
+            assert_eq!(a.pipeline_verdict(), c.pipeline_verdict(), "case {}", a.id);
+            assert_eq!(a.judge_verdict(), b.judge_verdict(), "case {}", a.id);
+        }
+    }
+
+    #[test]
+    fn early_exit_skips_judging_of_failed_files() {
+        let (items, issues) = probed_items(DirectiveModel::OpenMp, 40, 17);
+        let early = ValidationPipeline::new(PipelineConfig::default()).run(items.clone());
+        let record_all =
+            ValidationPipeline::new(PipelineConfig::default().record_all()).run(items.clone());
+        // Some mutated files fail to compile, so early-exit must judge fewer.
+        assert!(early.stats.judged < record_all.stats.judged);
+        assert_eq!(record_all.stats.judged, items.len());
+        assert!(early.stats.judge_stage_savings() > 0.0);
+        // Both modes agree on the *pipeline* verdict.
+        for (a, b) in early.records.iter().zip(&record_all.records) {
+            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict(), "case {}", a.id);
+        }
+        // Sanity: at least one mutated file exists.
+        assert!(issues.iter().any(|i| !i.is_valid()));
+    }
+
+    #[test]
+    fn pipeline_catches_compile_level_mutations() {
+        let (items, issues) = probed_items(DirectiveModel::OpenAcc, 60, 23);
+        let run = ValidationPipeline::new(PipelineConfig::default().record_all()).run(items);
+        for (record, issue) in run.records.iter().zip(issues.iter()) {
+            match issue {
+                IssueKind::RemovedOpeningBracket | IssueKind::UndeclaredVariableUse => {
+                    assert!(
+                        !record.compile.succeeded,
+                        "case {} with issue {issue:?} should not compile",
+                        record.id
+                    );
+                    assert!(!record.pipeline_verdict().is_valid());
+                }
+                IssueKind::NoIssue => {
+                    assert!(record.compile.succeeded, "valid case {} must compile", record.id);
+                    assert!(record.exec.as_ref().is_some_and(|e| e.passed));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 24, 5);
+        let run = ValidationPipeline::new(PipelineConfig::default()).run(items.clone());
+        assert_eq!(run.stats.submitted, items.len());
+        assert_eq!(run.stats.compiled, items.len());
+        assert!(run.stats.executed <= run.stats.compiled);
+        assert!(run.stats.judged <= run.stats.executed);
+        assert!(run.stats.simulated_judge_latency_ms >= 0.0);
+        assert!(run.stats.wall_time.as_nanos() > 0);
+        assert_eq!(run.records.len(), items.len());
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let (items, _) = probed_items(DirectiveModel::OpenMp, 20, 31);
+        let wide = ValidationPipeline::new(PipelineConfig {
+            compile_workers: 8,
+            exec_workers: 8,
+            judge_workers: 4,
+            ..PipelineConfig::default().record_all()
+        })
+        .run(items.clone());
+        let narrow =
+            ValidationPipeline::new(PipelineConfig::default().record_all().single_threaded())
+                .run(items);
+        for (a, b) in wide.records.iter().zip(&narrow.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
+        }
+    }
+}

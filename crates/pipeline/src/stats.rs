@@ -1,0 +1,100 @@
+//! Pipeline statistics.
+
+use std::time::Duration;
+
+/// Aggregate statistics for one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Number of files submitted.
+    pub submitted: usize,
+    /// Number of files compiled.
+    pub compiled: usize,
+    /// Number of compile failures.
+    pub compile_failures: usize,
+    /// Number of files executed.
+    pub executed: usize,
+    /// Number of execution failures (nonzero exit codes).
+    pub exec_failures: usize,
+    /// Number of files judged.
+    pub judged: usize,
+    /// Number of judge rejections.
+    pub judge_rejections: usize,
+    /// Total *simulated* LLM latency across all judged files, in
+    /// milliseconds (what the judge stage would have cost on the paper's
+    /// hardware; the surrogate itself runs in microseconds).
+    pub simulated_judge_latency_ms: f64,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+}
+
+impl PipelineStats {
+    /// Fraction of submitted files that were spared the judge stage
+    /// (the saving the early-exit design is built for).
+    pub fn judge_stage_savings(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        1.0 - self.judged as f64 / self.submitted as f64
+    }
+
+    /// Files processed per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.submitted as f64 / secs
+    }
+
+    /// Merge per-worker partial statistics (wall time takes the maximum).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.submitted += other.submitted;
+        self.compiled += other.compiled;
+        self.compile_failures += other.compile_failures;
+        self.executed += other.executed;
+        self.exec_failures += other.exec_failures;
+        self.judged += other.judged;
+        self.judge_rejections += other.judge_rejections;
+        self.simulated_judge_latency_ms += other.simulated_judge_latency_ms;
+        self.wall_time = self.wall_time.max(other.wall_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_and_throughput() {
+        let stats = PipelineStats {
+            submitted: 100,
+            judged: 40,
+            wall_time: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((stats.judge_stage_savings() - 0.6).abs() < 1e-12);
+        assert!((stats.throughput_per_sec() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = PipelineStats::default();
+        assert_eq!(stats.judge_stage_savings(), 0.0);
+        assert_eq!(stats.throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PipelineStats { submitted: 2, judged: 1, ..Default::default() };
+        let b = PipelineStats {
+            submitted: 3,
+            judged: 2,
+            wall_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submitted, 5);
+        assert_eq!(a.judged, 3);
+        assert_eq!(a.wall_time, Duration::from_millis(5));
+    }
+}

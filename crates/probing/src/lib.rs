@@ -1,0 +1,328 @@
+//! `vv-probing` — negative probing.
+//!
+//! Negative probing (paper §III-A) intentionally damages otherwise-valid
+//! compiler tests to measure how a judge classifies them. Manually written
+//! tests are split in half: one half is mutated with one of five error
+//! classes (issue IDs 0–4), the other half is left unchanged (issue ID 5).
+//!
+//! | Issue ID | Mutation |
+//! |---|---|
+//! | 0 | Removed memory allocation / replaced a directive with a syntactically incorrect one |
+//! | 1 | Removed an opening bracket |
+//! | 2 | Added use of an undeclared variable |
+//! | 3 | Replaced the file with randomly generated non-OpenACC/OpenMP code |
+//! | 4 | Removed the last bracketed section of code |
+//! | 5 | No change (valid) |
+//!
+//! The ground-truth validity of a probed file follows the paper's
+//! system-of-verification: issues 0–4 are invalid, issue 5 is valid.
+
+pub mod mutate;
+
+pub use mutate::{apply_mutation, MutationOutcome};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use vv_corpus::{TestCase, TestSuite};
+use vv_dclang::DirectiveModel;
+
+/// The negative-probing issue classes (issue IDs 0–5 in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IssueKind {
+    /// Issue 0: removed memory allocation or swapped directive.
+    RemovedAllocOrSwappedDirective,
+    /// Issue 1: removed an opening bracket.
+    RemovedOpeningBracket,
+    /// Issue 2: added use of an undeclared variable.
+    UndeclaredVariableUse,
+    /// Issue 3: replaced the file with random non-directive code.
+    ReplacedWithNonDirectiveCode,
+    /// Issue 4: removed the last bracketed section of code.
+    RemovedLastBracketedSection,
+    /// Issue 5: no change.
+    NoIssue,
+}
+
+impl IssueKind {
+    /// All issue kinds in paper order (0–5).
+    pub const ALL: [IssueKind; 6] = [
+        IssueKind::RemovedAllocOrSwappedDirective,
+        IssueKind::RemovedOpeningBracket,
+        IssueKind::UndeclaredVariableUse,
+        IssueKind::ReplacedWithNonDirectiveCode,
+        IssueKind::RemovedLastBracketedSection,
+        IssueKind::NoIssue,
+    ];
+
+    /// The invalid-only issue kinds (IDs 0–4).
+    pub const MUTATIONS: [IssueKind; 5] = [
+        IssueKind::RemovedAllocOrSwappedDirective,
+        IssueKind::RemovedOpeningBracket,
+        IssueKind::UndeclaredVariableUse,
+        IssueKind::ReplacedWithNonDirectiveCode,
+        IssueKind::RemovedLastBracketedSection,
+    ];
+
+    /// The numeric issue id used in the paper's tables.
+    pub fn id(&self) -> u8 {
+        match self {
+            IssueKind::RemovedAllocOrSwappedDirective => 0,
+            IssueKind::RemovedOpeningBracket => 1,
+            IssueKind::UndeclaredVariableUse => 2,
+            IssueKind::ReplacedWithNonDirectiveCode => 3,
+            IssueKind::RemovedLastBracketedSection => 4,
+            IssueKind::NoIssue => 5,
+        }
+    }
+
+    /// Construct from the numeric issue id.
+    pub fn from_id(id: u8) -> Option<IssueKind> {
+        IssueKind::ALL.get(id as usize).copied()
+    }
+
+    /// Ground truth: is a file with this issue a valid compiler test?
+    pub fn is_valid(&self) -> bool {
+        matches!(self, IssueKind::NoIssue)
+    }
+
+    /// The row label used in the paper's tables, parameterized by model.
+    pub fn table_label(&self, model: DirectiveModel) -> String {
+        let tag = match model {
+            DirectiveModel::OpenAcc => "ACC",
+            DirectiveModel::OpenMp => "OMP",
+        };
+        let name = match model {
+            DirectiveModel::OpenAcc => "OpenACC",
+            DirectiveModel::OpenMp => "OpenMP",
+        };
+        match self {
+            IssueKind::RemovedAllocOrSwappedDirective => {
+                format!("Removed {tag} memory allocation / swapped {tag} directive")
+            }
+            IssueKind::RemovedOpeningBracket => "Removed an opening bracket".to_string(),
+            IssueKind::UndeclaredVariableUse => "Added use of undeclared variable".to_string(),
+            IssueKind::ReplacedWithNonDirectiveCode => {
+                format!("Replaced file with randomly-generated non-{name} code")
+            }
+            IssueKind::RemovedLastBracketedSection => {
+                "Removed last bracketed section of code".to_string()
+            }
+            IssueKind::NoIssue => "No issue".to_string(),
+        }
+    }
+}
+
+/// A test case after negative probing.
+#[derive(Clone, Debug)]
+pub struct ProbedCase {
+    /// The original, valid test case.
+    pub case: TestCase,
+    /// Which issue (if any) was injected.
+    pub issue: IssueKind,
+    /// The source text after mutation (equal to the original for issue 5).
+    pub source: String,
+    /// A short note describing exactly what the mutation changed.
+    pub note: String,
+}
+
+impl ProbedCase {
+    /// Ground-truth validity per the paper's system-of-verification.
+    pub fn ground_truth_valid(&self) -> bool {
+        self.issue.is_valid()
+    }
+}
+
+/// A full probed suite for one programming model.
+#[derive(Clone, Debug)]
+pub struct ProbedSuite {
+    /// The programming model.
+    pub model: DirectiveModel,
+    /// Probed cases (valid and mutated, shuffled).
+    pub cases: Vec<ProbedCase>,
+}
+
+impl ProbedSuite {
+    /// Number of probed cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// True if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Count of cases per issue kind, in paper order.
+    pub fn issue_counts(&self) -> Vec<(IssueKind, usize)> {
+        IssueKind::ALL
+            .iter()
+            .map(|issue| (*issue, self.cases.iter().filter(|c| c.issue == *issue).count()))
+            .collect()
+    }
+
+    /// Number of ground-truth-valid cases.
+    pub fn valid_count(&self) -> usize {
+        self.cases.iter().filter(|c| c.ground_truth_valid()).count()
+    }
+}
+
+/// Configuration for probing a suite.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// RNG seed (splitting, mutation choice and mutation parameters).
+    pub seed: u64,
+    /// Relative weights of the five mutation classes (issue IDs 0–4). The
+    /// defaults approximate the per-issue counts reported in the paper's
+    /// Part Two tables (Table IV): more "removed allocation / swapped
+    /// directive" and "removed last bracketed section" than the others.
+    pub mutation_weights: [f64; 5],
+    /// Fraction of the suite to mutate (0.5 in the paper: "split in half").
+    pub mutated_fraction: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5052_4F42_4521,
+            mutation_weights: [0.305, 0.164, 0.169, 0.164, 0.198],
+            mutated_fraction: 0.5,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// Create a probe config with a specific seed and default weights.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Default::default() }
+    }
+}
+
+/// Split a generated suite per the paper's protocol and apply mutations.
+pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuite {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4E45_4741_5449_5645);
+    let mut indices: Vec<usize> = (0..suite.cases.len()).collect();
+    indices.shuffle(&mut rng);
+    let mutated_count =
+        ((suite.cases.len() as f64) * config.mutated_fraction).round() as usize;
+
+    let mut cases = Vec::with_capacity(suite.cases.len());
+    for (rank, &index) in indices.iter().enumerate() {
+        let case = suite.cases[index].clone();
+        if rank < mutated_count {
+            let issue = pick_issue(&config.mutation_weights, &mut rng);
+            let outcome = apply_mutation(&case, issue, &mut rng);
+            cases.push(ProbedCase { case, issue: outcome.issue, source: outcome.source, note: outcome.note });
+        } else {
+            cases.push(ProbedCase {
+                source: case.source.clone(),
+                note: "unchanged".to_string(),
+                issue: IssueKind::NoIssue,
+                case,
+            });
+        }
+    }
+    // Shuffle once more so mutated/valid files are interleaved as they would
+    // be in a directory listing.
+    cases.shuffle(&mut rng);
+    ProbedSuite { model: suite.model, cases }
+}
+
+fn pick_issue(weights: &[f64; 5], rng: &mut StdRng) -> IssueKind {
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return IssueKind::MUTATIONS[i];
+        }
+        draw -= w;
+    }
+    IssueKind::MUTATIONS[4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_corpus::{generate_suite, SuiteConfig};
+
+    fn sample_suite(model: DirectiveModel, size: usize) -> TestSuite {
+        generate_suite(&SuiteConfig::new(model, size, 77))
+    }
+
+    #[test]
+    fn issue_ids_round_trip() {
+        for issue in IssueKind::ALL {
+            assert_eq!(IssueKind::from_id(issue.id()), Some(issue));
+        }
+        assert_eq!(IssueKind::from_id(9), None);
+    }
+
+    #[test]
+    fn only_no_issue_is_valid() {
+        assert!(IssueKind::NoIssue.is_valid());
+        for issue in IssueKind::MUTATIONS {
+            assert!(!issue.is_valid());
+        }
+    }
+
+    #[test]
+    fn split_is_half_and_half() {
+        let suite = sample_suite(DirectiveModel::OpenAcc, 60);
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(1));
+        assert_eq!(probed.len(), 60);
+        assert_eq!(probed.valid_count(), 30);
+    }
+
+    #[test]
+    fn probing_is_deterministic() {
+        let suite = sample_suite(DirectiveModel::OpenMp, 40);
+        let a = build_probed_suite(&suite, &ProbeConfig::with_seed(5));
+        let b = build_probed_suite(&suite, &ProbeConfig::with_seed(5));
+        for (x, y) in a.cases.iter().zip(b.cases.iter()) {
+            assert_eq!(x.issue, y.issue);
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn all_mutation_classes_appear_in_a_large_suite() {
+        let suite = sample_suite(DirectiveModel::OpenAcc, 300);
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(3));
+        for issue in IssueKind::MUTATIONS {
+            let count = probed.cases.iter().filter(|c| c.issue == issue).count();
+            assert!(count > 0, "issue {issue:?} never generated");
+        }
+    }
+
+    #[test]
+    fn mutated_sources_differ_from_originals() {
+        let suite = sample_suite(DirectiveModel::OpenMp, 50);
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(11));
+        for case in &probed.cases {
+            if case.issue != IssueKind::NoIssue {
+                assert_ne!(case.source, case.case.source, "{:?} left the source unchanged", case.issue);
+            } else {
+                assert_eq!(case.source, case.case.source);
+            }
+        }
+    }
+
+    #[test]
+    fn table_labels_match_paper_wording() {
+        assert_eq!(
+            IssueKind::ReplacedWithNonDirectiveCode.table_label(DirectiveModel::OpenAcc),
+            "Replaced file with randomly-generated non-OpenACC code"
+        );
+        assert!(IssueKind::RemovedAllocOrSwappedDirective
+            .table_label(DirectiveModel::OpenMp)
+            .contains("OMP"));
+    }
+
+    #[test]
+    fn issue_counts_sum_to_len() {
+        let suite = sample_suite(DirectiveModel::OpenAcc, 80);
+        let probed = build_probed_suite(&suite, &ProbeConfig::default());
+        let total: usize = probed.issue_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, probed.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Compiler frontend trait and shared outcome types.
+
+use vv_dclang::{Diagnostic, DirectiveModel, TranslationUnit};
+
+/// Source language flavor of a test file.
+///
+/// The paper's Part Two corpus contains C and C++ files; the mini-language
+/// treats them identically except for the file extension used in
+/// diagnostics (mirroring how the real tests differ mostly in harness
+/// boilerplate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lang {
+    /// A `.c` translation unit.
+    C,
+    /// A `.cpp` translation unit.
+    Cpp,
+}
+
+impl Lang {
+    /// The file extension used in diagnostics.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            Lang::C => "c",
+            Lang::Cpp => "cpp",
+        }
+    }
+
+    /// The placeholder file name used in diagnostics.
+    pub fn file_name(&self) -> String {
+        format!("test.{}", self.extension())
+    }
+}
+
+/// The checked artifact produced by a successful compilation; the execution
+/// substrate (`vv-simexec`) interprets this directly.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The parsed and semantically checked translation unit.
+    pub unit: TranslationUnit,
+    /// The programming model the program was compiled for.
+    pub model: DirectiveModel,
+    /// The source language flavor.
+    pub lang: Lang,
+}
+
+/// The result of invoking a compiler frontend on one source file.
+///
+/// Mirrors exactly what the paper's agent prompts consume: a return code
+/// plus captured stdout/stderr text (Listing 2/4 in the paper).
+#[derive(Clone, Debug)]
+pub struct CompileOutcome {
+    /// Process exit code of the simulated compiler (0 on success).
+    pub return_code: i32,
+    /// Captured standard output.
+    pub stdout: String,
+    /// Captured standard error (diagnostics, vendor-formatted).
+    pub stderr: String,
+    /// The checked program, present only when compilation succeeded.
+    pub artifact: Option<Program>,
+    /// The vendor-neutral diagnostics behind `stderr` (useful for tests and
+    /// for ablation studies; the judge never sees these directly).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileOutcome {
+    /// True if compilation succeeded (exit code 0 and an artifact exists).
+    pub fn succeeded(&self) -> bool {
+        self.return_code == 0 && self.artifact.is_some()
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+}
+
+/// A simulated compiler frontend.
+pub trait CompilerFrontend: Send + Sync {
+    /// Vendor/tool name as it would appear in a build log (e.g. `"nvc"`).
+    fn name(&self) -> &'static str;
+    /// The programming model this frontend targets.
+    fn model(&self) -> DirectiveModel;
+    /// Compile one source file.
+    fn compile(&self, source: &str, lang: Lang) -> CompileOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lang_file_names() {
+        assert_eq!(Lang::C.file_name(), "test.c");
+        assert_eq!(Lang::Cpp.file_name(), "test.cpp");
+    }
+
+    #[test]
+    fn outcome_success_predicate() {
+        let ok = CompileOutcome {
+            return_code: 0,
+            stdout: String::new(),
+            stderr: String::new(),
+            artifact: Some(Program {
+                unit: TranslationUnit::default(),
+                model: DirectiveModel::OpenAcc,
+                lang: Lang::C,
+            }),
+            diagnostics: vec![],
+        };
+        assert!(ok.succeeded());
+        let failed = CompileOutcome { return_code: 2, artifact: None, ..ok.clone() };
+        assert!(!failed.succeeded());
+    }
+}

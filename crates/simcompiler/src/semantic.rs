@@ -1,0 +1,609 @@
+//! Vendor-neutral semantic analysis.
+//!
+//! This pass implements the checks that the production compilers in the
+//! paper's pipeline perform and that matter for the negative-probing error
+//! classes:
+//!
+//! * undeclared identifiers (issue class 2);
+//! * directive and clause conformance against the specification tables
+//!   (issue class 0, "swapped directive");
+//! * unsupported-version features (the paper's OpenMP 4.5 cap);
+//! * structured directives that do not govern a loop/statement;
+//! * variables named in data clauses that are not in scope;
+//! * a handful of warnings (possibly-uninitialized pointers, implicit
+//!   function declarations) that never reject a file but show up in
+//!   `stderr` and therefore in the agent prompt.
+
+use std::collections::HashSet;
+
+use vv_dclang::{
+    Diagnostic, Directive, DirectiveModel, Expr, Function, Span, Stmt, TranslationUnit, UnOp,
+    VarDecl,
+};
+use vv_specs::{validate_directive, SpecIssueKind, Version};
+
+/// Options controlling the analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct SemanticOptions {
+    /// The programming model the compiler targets.
+    pub model: DirectiveModel,
+    /// The maximum specification version supported.
+    pub spec_version: Version,
+    /// If true, pragmas of a *different* model (or unknown pragmas) are
+    /// reported as warnings; if false they are silently ignored.
+    pub warn_unknown_pragmas: bool,
+}
+
+impl SemanticOptions {
+    /// Default options for a model, using the paper's version caps.
+    pub fn for_model(model: DirectiveModel) -> Self {
+        Self {
+            model,
+            spec_version: vv_specs::default_version(model),
+            warn_unknown_pragmas: true,
+        }
+    }
+}
+
+/// Functions provided by the (simulated) C standard library and runtime.
+pub const KNOWN_LIBRARY_FUNCTIONS: &[&str] = &[
+    "malloc", "calloc", "realloc", "free", "printf", "fprintf", "sprintf", "puts", "putchar",
+    "exit", "abort", "abs", "labs", "fabs", "fabsf", "sqrt", "sqrtf", "pow", "exp", "log", "sin",
+    "cos", "tan", "floor", "ceil", "rand", "srand", "memset", "memcpy", "memcmp", "strlen",
+    "strcmp", "strcpy", "atoi", "atof", "acc_get_num_devices", "acc_set_device_num",
+    "acc_get_device_num", "acc_malloc", "acc_free", "omp_get_num_threads", "omp_get_thread_num",
+    "omp_get_num_teams", "omp_get_team_num", "omp_get_num_devices", "omp_set_num_threads",
+    "omp_get_wtime", "omp_is_initial_device", "omp_target_alloc", "omp_target_free",
+];
+
+/// Analyze a translation unit; returns vendor-neutral diagnostics.
+pub fn analyze(unit: &TranslationUnit, opts: &SemanticOptions) -> Vec<Diagnostic> {
+    let mut cx = Context {
+        opts: *opts,
+        diagnostics: Vec::new(),
+        scopes: Vec::new(),
+        functions: unit.functions.iter().map(|f| f.name.clone()).collect(),
+        uninitialized_pointers: HashSet::new(),
+    };
+
+    // File-scope directives are validated but have no scope interactions.
+    for directive in &unit.file_directives {
+        cx.check_directive_spec(directive);
+    }
+
+    cx.push_scope();
+    for global in &unit.globals {
+        cx.declare(global);
+    }
+
+    if unit.function("main").is_none() {
+        cx.diagnostics.push(Diagnostic::error(
+            Span::unknown(),
+            "link",
+            "undefined reference to 'main'",
+        ));
+    }
+
+    for func in &unit.functions {
+        cx.check_function(func);
+    }
+    cx.pop_scope();
+
+    cx.diagnostics
+}
+
+struct Context {
+    opts: SemanticOptions,
+    diagnostics: Vec<Diagnostic>,
+    scopes: Vec<HashSet<String>>,
+    functions: HashSet<String>,
+    /// Pointer variables declared without an initializer and not yet
+    /// assigned; indexing these produces a "may be used uninitialized"
+    /// warning (the compile succeeds; the *runtime* fails).
+    uninitialized_pointers: HashSet<String>,
+}
+
+impl Context {
+    fn push_scope(&mut self) {
+        self.scopes.push(HashSet::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, decl: &VarDecl) {
+        if let Some(scope) = self.scopes.last() {
+            if scope.contains(&decl.name) {
+                self.diagnostics.push(Diagnostic::error(
+                    decl.span,
+                    "redefinition",
+                    format!("redefinition of '{}'", decl.name),
+                ));
+                return;
+            }
+        }
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(decl.name.clone());
+        }
+        if decl.ty.is_pointer() && decl.init.is_none() && decl.array_dims.is_empty() {
+            self.uninitialized_pointers.insert(decl.name.clone());
+        }
+    }
+
+    fn declare_name(&mut self, name: &str) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string());
+        }
+    }
+
+    fn is_declared(&self, name: &str) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains(name))
+    }
+
+    fn check_function(&mut self, func: &Function) {
+        for directive in &func.leading_directives {
+            self.check_directive_spec(directive);
+        }
+        self.push_scope();
+        for param in &func.params {
+            self.declare_name(&param.name);
+        }
+        self.check_block_stmts(&func.body.stmts);
+        self.pop_scope();
+    }
+
+    fn check_block_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.check_stmt(stmt);
+        }
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Decl(decls) => {
+                for decl in decls {
+                    for dim in &decl.array_dims {
+                        self.check_expr(dim);
+                    }
+                    if let Some(init) = &decl.init {
+                        self.check_expr(init);
+                    }
+                    self.declare(decl);
+                }
+            }
+            Stmt::Expr(expr) => self.check_expr(expr),
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.check_expr(cond);
+                self.push_scope();
+                self.check_stmt(then_branch);
+                self.pop_scope();
+                if let Some(else_branch) = else_branch {
+                    self.push_scope();
+                    self.check_stmt(else_branch);
+                    self.pop_scope();
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.push_scope();
+                if let Some(init) = init {
+                    self.check_stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond);
+                }
+                if let Some(step) = step {
+                    self.check_expr(step);
+                }
+                self.check_stmt(body);
+                self.pop_scope();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_expr(cond);
+                self.push_scope();
+                self.check_stmt(body);
+                self.pop_scope();
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.push_scope();
+                self.check_stmt(body);
+                self.pop_scope();
+                self.check_expr(cond);
+            }
+            Stmt::Return(value, _) => {
+                if let Some(value) = value {
+                    self.check_expr(value);
+                }
+            }
+            Stmt::Block(block) => {
+                self.push_scope();
+                self.check_block_stmts(&block.stmts);
+                self.pop_scope();
+            }
+            Stmt::Directive { directive, body } => {
+                self.check_directive(directive, body.as_deref());
+                if let Some(body) = body {
+                    self.push_scope();
+                    self.check_stmt(body);
+                    self.pop_scope();
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty(_) => {}
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Ident(name, span) => {
+                if !self.is_declared(name) {
+                    self.diagnostics.push(Diagnostic::error(
+                        *span,
+                        "undeclared-identifier",
+                        format!("use of undeclared identifier '{name}'"),
+                    ));
+                }
+            }
+            Expr::Unary { expr, .. } => self.check_expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr(lhs);
+                self.check_expr(rhs);
+            }
+            Expr::Assign { target, value, .. } => {
+                if !is_lvalue(target) {
+                    self.diagnostics.push(Diagnostic::error(
+                        target.span(),
+                        "lvalue",
+                        "expression is not assignable",
+                    ));
+                }
+                // Assigning to a pointer clears its "uninitialized" status.
+                if let Expr::Ident(name, _) = target.as_ref() {
+                    self.uninitialized_pointers.remove(name);
+                }
+                self.check_expr(target);
+                self.check_expr(value);
+            }
+            Expr::Call { name, args, span } => {
+                if !self.functions.contains(name)
+                    && !KNOWN_LIBRARY_FUNCTIONS.contains(&name.as_str())
+                {
+                    self.diagnostics.push(Diagnostic::warning(
+                        *span,
+                        "implicit-declaration",
+                        format!("implicit declaration of function '{name}'"),
+                    ));
+                }
+                for arg in args {
+                    self.check_expr(arg);
+                }
+            }
+            Expr::Index { base, index, span } => {
+                if let Expr::Ident(name, _) = base.as_ref() {
+                    if self.uninitialized_pointers.contains(name) {
+                        self.diagnostics.push(Diagnostic::warning(
+                            *span,
+                            "maybe-uninitialized",
+                            format!("'{name}' may be used uninitialized"),
+                        ));
+                    }
+                }
+                self.check_expr(base);
+                self.check_expr(index);
+            }
+            Expr::Cast { expr, .. } => self.check_expr(expr),
+            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+                self.check_expr(cond);
+                self.check_expr(then_expr);
+                self.check_expr(else_expr);
+            }
+            Expr::Postfix { target, .. } => self.check_expr(target),
+            Expr::IntLit(..)
+            | Expr::FloatLit(..)
+            | Expr::StrLit(..)
+            | Expr::CharLit(..)
+            | Expr::SizeofType { .. } => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // directive checks
+    // ------------------------------------------------------------------
+
+    fn check_directive_spec(&mut self, directive: &Directive) {
+        match directive.model {
+            Some(model) if model == self.opts.model => {
+                for issue in validate_directive(directive, self.opts.spec_version) {
+                    let code = match issue.kind {
+                        SpecIssueKind::UnknownDirective => "directive-unknown",
+                        SpecIssueKind::UnknownClause => "clause-unknown",
+                        SpecIssueKind::MissingClauseArgs => "clause-args",
+                        SpecIssueKind::MalformedClauseArgs => "clause-args",
+                        SpecIssueKind::UnsupportedVersion => "unsupported-version",
+                    };
+                    self.diagnostics.push(Diagnostic::error(directive.span, code, issue.message));
+                }
+            }
+            _ => {
+                if self.opts.warn_unknown_pragmas {
+                    self.diagnostics.push(Diagnostic::warning(
+                        directive.span,
+                        "unknown-pragma",
+                        format!("pragma '{}' ignored", directive.raw),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_directive(&mut self, directive: &Directive, body: Option<&Stmt>) {
+        self.check_directive_spec(directive);
+        if directive.model != Some(self.opts.model) {
+            return;
+        }
+
+        if !directive.is_standalone() && body.is_none() {
+            self.diagnostics.push(Diagnostic::error(
+                directive.span,
+                "directive-body",
+                format!(
+                    "expected a statement after '#pragma {} {}'",
+                    directive.sentinel,
+                    directive.display_name()
+                ),
+            ));
+        }
+
+        if directive_requires_loop(directive) {
+            let governs_loop = match body {
+                Some(Stmt::For { .. }) => true,
+                Some(Stmt::Directive { body: Some(inner), .. }) => {
+                    matches!(inner.as_ref(), Stmt::For { .. })
+                }
+                _ => false,
+            };
+            if !governs_loop && body.is_some() {
+                self.diagnostics.push(Diagnostic::error(
+                    directive.span,
+                    "directive-loop",
+                    format!(
+                        "the '{}' construct must be followed by a for loop",
+                        directive.display_name()
+                    ),
+                ));
+            }
+        }
+
+        // Variables named in data-movement / privatization clauses must be
+        // declared at the point of the directive.
+        let data_clauses = vv_specs::data_movement_clauses(self.opts.model);
+        for clause in &directive.clauses {
+            let relevant = data_clauses.contains(&clause.name.as_str())
+                || matches!(
+                    clause.name.as_str(),
+                    "private" | "firstprivate" | "lastprivate" | "reduction" | "use_device"
+                        | "use_device_ptr"
+                );
+            if !relevant {
+                continue;
+            }
+            let Some(args) = &clause.args else { continue };
+            for var in clause_variables(&clause.name, args) {
+                if !self.is_declared(&var) {
+                    self.diagnostics.push(Diagnostic::error(
+                        directive.span,
+                        "clause-undeclared",
+                        format!("variable '{var}' in clause '{}' is not declared", clause.name),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn is_lvalue(expr: &Expr) -> bool {
+    matches!(
+        expr,
+        Expr::Ident(..) | Expr::Index { .. } | Expr::Unary { op: UnOp::Deref, .. }
+    )
+}
+
+/// True if the directive's innermost construct is loop-associated and
+/// therefore must govern a `for` loop.
+fn directive_requires_loop(directive: &Directive) -> bool {
+    let Some(last) = directive.name.last() else { return false };
+    matches!(last.as_str(), "loop" | "for" | "simd" | "distribute" | "taskloop")
+}
+
+/// Extract variable names from a data/privatization clause argument list.
+///
+/// Handles array sections (`a[0:N]`), `map-type:` prefixes (`tofrom: a`),
+/// and reduction `operator:` prefixes (`+:sum`).
+pub fn clause_variables(clause_name: &str, args: &str) -> Vec<String> {
+    let mut text = args.trim();
+    if matches!(clause_name, "reduction" | "in_reduction") {
+        if let Some((_, rest)) = text.split_once(':') {
+            text = rest;
+        }
+    }
+    if clause_name == "map" {
+        if let Some((prefix, rest)) = text.split_once(':') {
+            let prefix = prefix.trim();
+            if prefix.chars().all(|c| c.is_ascii_alphabetic() || c == ' ') && !prefix.contains('[')
+            {
+                text = rest;
+            }
+        }
+    }
+    let mut vars = Vec::new();
+    // Split on top-level commas (commas inside brackets belong to sections).
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '[' | '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' | ')' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                push_var(&mut vars, &current);
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    push_var(&mut vars, &current);
+    vars
+}
+
+fn push_var(vars: &mut Vec<String>, item: &str) {
+    let name: String = item
+        .trim()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
+        vars.push(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_dclang::parse_source;
+
+    fn analyze_src(src: &str, model: DirectiveModel) -> Vec<Diagnostic> {
+        let parsed = parse_source(src).expect("test source must parse");
+        analyze(&parsed.unit, &SemanticOptions::for_model(model))
+    }
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags.iter().filter(|d| d.is_error()).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_errors() {
+        let diags = analyze_src(
+            "#include <stdlib.h>\nint main() { double a[8]; for (int i = 0; i < 8; i++) { a[i] = i; } return 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn undeclared_identifier_is_an_error() {
+        let diags = analyze_src(
+            "int main() { int a = 0; a = a + undeclared_thing; return a; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "undeclared-identifier"));
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let diags = analyze_src("int helper() { return 1; }", DirectiveModel::OpenMp);
+        assert!(errors(&diags).iter().any(|d| d.code == "link"));
+    }
+
+    #[test]
+    fn redefinition_is_an_error() {
+        let diags = analyze_src(
+            "int main() { int a = 0; int a = 1; return a; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "redefinition"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_is_allowed() {
+        let diags = analyze_src(
+            "int main() { int a = 0; { int a = 1; a = a + 1; } return a; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_directive_is_an_error() {
+        let diags = analyze_src(
+            "int main() { int a[4];\n#pragma acc paralel loop\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "directive-unknown"));
+    }
+
+    #[test]
+    fn other_model_pragma_is_only_a_warning() {
+        let diags = analyze_src(
+            "int main() { int a[4];\n#pragma omp parallel for\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "unknown-pragma"));
+    }
+
+    #[test]
+    fn loop_directive_must_govern_a_for_loop() {
+        let diags = analyze_src(
+            "int main() { int a = 0;\n#pragma acc parallel loop\n{ a = 1; }\nreturn a; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "directive-loop"));
+    }
+
+    #[test]
+    fn data_clause_with_undeclared_variable_is_an_error() {
+        let diags = analyze_src(
+            "int main() {\n#pragma acc data copyin(ghost[0:8])\n{ }\nreturn 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "clause-undeclared"));
+    }
+
+    #[test]
+    fn uninitialized_pointer_index_is_a_warning_not_error() {
+        let diags = analyze_src(
+            "int main() { double *a; a[0] = 1.0; return 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "maybe-uninitialized"));
+    }
+
+    #[test]
+    fn unknown_function_is_a_warning() {
+        let diags = analyze_src(
+            "int main() { do_something_fancy(3); return 0; }",
+            DirectiveModel::OpenMp,
+        );
+        assert!(errors(&diags).is_empty(), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "implicit-declaration"));
+    }
+
+    #[test]
+    fn omp5_feature_is_rejected_under_4_5_cap() {
+        let diags = analyze_src(
+            "int main() { int a[4];\n#pragma omp loop\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }",
+            DirectiveModel::OpenMp,
+        );
+        assert!(errors(&diags).iter().any(|d| d.code == "unsupported-version"));
+    }
+
+    #[test]
+    fn clause_variables_extraction() {
+        assert_eq!(clause_variables("copyin", "a[0:N], b[0:N]"), vec!["a", "b"]);
+        assert_eq!(clause_variables("map", "tofrom: c[0:N]"), vec!["c"]);
+        assert_eq!(clause_variables("reduction", "+:sum"), vec!["sum"]);
+        assert_eq!(clause_variables("map", "a[0:8]"), vec!["a"]);
+        assert_eq!(clause_variables("private", "i, j, tmp"), vec!["i", "j", "tmp"]);
+    }
+
+    #[test]
+    fn assignment_to_literal_is_an_error() {
+        let diags = analyze_src("int main() { 3 = 4; return 0; }", DirectiveModel::OpenAcc);
+        assert!(errors(&diags).iter().any(|d| d.code == "lvalue"));
+    }
+}

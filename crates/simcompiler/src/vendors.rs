@@ -1,0 +1,330 @@
+//! Vendor-styled compiler frontends.
+//!
+//! Two frontends mirror the toolchains used in the paper's experiments:
+//!
+//! * [`NvcCompiler`] — models the NVIDIA HPC SDK `nvc`/`nvc++` compiler used
+//!   for the OpenACC corpus. Diagnostics use the `NVC++-S-xxxx-...` message
+//!   catalog style and a failing compilation exits with code 2.
+//! * [`ClangOmpCompiler`] — models LLVM/Clang with `-fopenmp
+//!   -fopenmp-targets=...` used for the OpenMP corpus (capped at OpenMP 4.5
+//!   as in the paper). Diagnostics use the `file:line:col: error: ...` style
+//!   and a failing compilation exits with code 1.
+//!
+//! Both share the same parser and semantic analysis; they differ only in
+//! policy and presentation — exactly the part of the real toolchains that
+//! the agent-based judge gets to observe.
+
+use crate::frontend::{CompileOutcome, CompilerFrontend, Lang, Program};
+use crate::semantic::{analyze, SemanticOptions};
+use vv_dclang::{parse_source, Diagnostic, DirectiveModel, Severity};
+use vv_specs::Version;
+
+/// The simulated NVIDIA HPC SDK OpenACC compiler.
+#[derive(Clone, Debug)]
+pub struct NvcCompiler {
+    /// OpenACC specification version accepted.
+    pub spec_version: Version,
+}
+
+impl Default for NvcCompiler {
+    fn default() -> Self {
+        Self { spec_version: vv_specs::default_version(DirectiveModel::OpenAcc) }
+    }
+}
+
+impl NvcCompiler {
+    /// Create an nvc-like frontend with the default OpenACC version.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn render(&self, diags: &[Diagnostic], lang: Lang) -> String {
+        let file = lang.file_name();
+        let mut out = String::new();
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        for d in diags {
+            match d.severity {
+                Severity::Error => {
+                    errors += 1;
+                    out.push_str(&format!(
+                        "NVC++-S-0155-{} ({}: {})\n",
+                        capitalize(&d.message),
+                        file,
+                        d.span.line.max(1)
+                    ));
+                }
+                Severity::Warning => {
+                    warnings += 1;
+                    out.push_str(&format!(
+                        "NVC++-W-0145-{} ({}: {})\n",
+                        capitalize(&d.message),
+                        file,
+                        d.span.line.max(1)
+                    ));
+                }
+                Severity::Note => {}
+            }
+        }
+        if errors > 0 {
+            out.push_str(&format!(
+                "NVC++/x86-64 Linux 23.9-0: compilation completed with severe errors ({errors} errors, {warnings} warnings)\n"
+            ));
+        } else if warnings > 0 {
+            out.push_str(&format!(
+                "NVC++/x86-64 Linux 23.9-0: compilation completed with warnings ({warnings} warnings)\n"
+            ));
+        }
+        out
+    }
+}
+
+impl CompilerFrontend for NvcCompiler {
+    fn name(&self) -> &'static str {
+        "nvc"
+    }
+
+    fn model(&self) -> DirectiveModel {
+        DirectiveModel::OpenAcc
+    }
+
+    fn compile(&self, source: &str, lang: Lang) -> CompileOutcome {
+        compile_with(
+            source,
+            lang,
+            DirectiveModel::OpenAcc,
+            self.spec_version,
+            2,
+            |diags, lang| self.render(diags, lang),
+        )
+    }
+}
+
+/// The simulated LLVM/Clang OpenMP offloading compiler.
+#[derive(Clone, Debug)]
+pub struct ClangOmpCompiler {
+    /// OpenMP specification version accepted (4.5 in the paper's setup).
+    pub spec_version: Version,
+}
+
+impl Default for ClangOmpCompiler {
+    fn default() -> Self {
+        Self { spec_version: vv_specs::default_version(DirectiveModel::OpenMp) }
+    }
+}
+
+impl ClangOmpCompiler {
+    /// Create a clang-like frontend with the OpenMP 4.5 cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn render(&self, diags: &[Diagnostic], lang: Lang) -> String {
+        let file = lang.file_name();
+        let mut out = String::new();
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        for d in diags {
+            let label = match d.severity {
+                Severity::Error => {
+                    errors += 1;
+                    "error"
+                }
+                Severity::Warning => {
+                    warnings += 1;
+                    "warning"
+                }
+                Severity::Note => "note",
+            };
+            out.push_str(&format!(
+                "{}:{}:{}: {}: {}\n",
+                file,
+                d.span.line.max(1),
+                d.span.col.max(1),
+                label,
+                d.message
+            ));
+        }
+        if warnings > 0 {
+            out.push_str(&format!("{warnings} warning{} generated.\n", plural(warnings)));
+        }
+        if errors > 0 {
+            out.push_str(&format!("{errors} error{} generated.\n", plural(errors)));
+        }
+        out
+    }
+}
+
+impl CompilerFrontend for ClangOmpCompiler {
+    fn name(&self) -> &'static str {
+        "clang"
+    }
+
+    fn model(&self) -> DirectiveModel {
+        DirectiveModel::OpenMp
+    }
+
+    fn compile(&self, source: &str, lang: Lang) -> CompileOutcome {
+        compile_with(
+            source,
+            lang,
+            DirectiveModel::OpenMp,
+            self.spec_version,
+            1,
+            |diags, lang| self.render(diags, lang),
+        )
+    }
+}
+
+/// Shared compilation driver: parse, analyze, apply vendor policy.
+fn compile_with(
+    source: &str,
+    lang: Lang,
+    model: DirectiveModel,
+    spec_version: Version,
+    failure_code: i32,
+    render: impl Fn(&[Diagnostic], Lang) -> String,
+) -> CompileOutcome {
+    match parse_source(source) {
+        Err(diags) => CompileOutcome {
+            return_code: failure_code,
+            stdout: String::new(),
+            stderr: render(&diags, lang),
+            artifact: None,
+            diagnostics: diags,
+        },
+        Ok(parsed) => {
+            let opts = SemanticOptions { model, spec_version, warn_unknown_pragmas: true };
+            let mut diags = parsed.diagnostics.clone();
+            diags.extend(analyze(&parsed.unit, &opts));
+            let has_errors = diags.iter().any(Diagnostic::is_error);
+            let stderr = render(&diags, lang);
+            if has_errors {
+                CompileOutcome {
+                    return_code: failure_code,
+                    stdout: String::new(),
+                    stderr,
+                    artifact: None,
+                    diagnostics: diags,
+                }
+            } else {
+                CompileOutcome {
+                    return_code: 0,
+                    stdout: String::new(),
+                    stderr,
+                    artifact: Some(Program { unit: parsed.unit, model, lang }),
+                    diagnostics: diags,
+                }
+            }
+        }
+    }
+}
+
+/// Return the frontend the paper used for a given programming model.
+pub fn compiler_for(model: DirectiveModel) -> Box<dyn CompilerFrontend> {
+    match model {
+        DirectiveModel::OpenAcc => Box::new(NvcCompiler::new()),
+        DirectiveModel::OpenMp => Box::new(ClangOmpCompiler::new()),
+    }
+}
+
+fn capitalize(message: &str) -> String {
+    let mut chars = message.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMP_VALID: &str = r#"
+#include <stdio.h>
+#define N 32
+int main() {
+    int a[N];
+    int sum = 0;
+    for (int i = 0; i < N; i++) { a[i] = i; }
+#pragma omp target teams distribute parallel for map(tofrom: a[0:N]) reduction(+:sum)
+    for (int i = 0; i < N; i++) { sum += a[i]; }
+    if (sum != (N - 1) * N / 2) { printf("FAIL\n"); return 1; }
+    printf("PASS\n");
+    return 0;
+}
+"#;
+
+    #[test]
+    fn clang_compiles_valid_omp() {
+        let outcome = ClangOmpCompiler::new().compile(OMP_VALID, Lang::C);
+        assert_eq!(outcome.return_code, 0, "stderr: {}", outcome.stderr);
+        assert!(outcome.succeeded());
+    }
+
+    #[test]
+    fn clang_rejects_undeclared_variable_with_clang_style_message() {
+        let bad = OMP_VALID.replace("sum += a[i];", "sum += a[i] + mystery;");
+        let outcome = ClangOmpCompiler::new().compile(&bad, Lang::C);
+        assert_eq!(outcome.return_code, 1);
+        assert!(outcome.stderr.contains("error: use of undeclared identifier 'mystery'"));
+        assert!(outcome.stderr.contains("error generated."));
+    }
+
+    #[test]
+    fn nvc_rejects_corrupted_directive_with_nvc_style_message() {
+        let src = "int main() { int a[4];\n#pragma acc paralel loop\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }";
+        let outcome = NvcCompiler::new().compile(src, Lang::C);
+        assert_eq!(outcome.return_code, 2);
+        assert!(outcome.stderr.contains("NVC++-S-"));
+        assert!(outcome.stderr.contains("severe errors"));
+    }
+
+    #[test]
+    fn nvc_reports_missing_bracket_as_error() {
+        let src = "int main() { if (1) { return 1; return 0; }";
+        let outcome = NvcCompiler::new().compile(src, Lang::C);
+        assert_ne!(outcome.return_code, 0);
+        assert!(outcome.artifact.is_none());
+    }
+
+    #[test]
+    fn plain_c_without_directives_compiles_under_both() {
+        let src = "#include <stdio.h>\nint main() { int x = 2 + 2; printf(\"%d\\n\", x); return 0; }";
+        assert!(NvcCompiler::new().compile(src, Lang::C).succeeded());
+        assert!(ClangOmpCompiler::new().compile(src, Lang::Cpp).succeeded());
+    }
+
+    #[test]
+    fn warnings_do_not_fail_the_build() {
+        let src = "#include <stdio.h>\nint main() { double *p; p[0] = 1.0; return 0; }";
+        let outcome = ClangOmpCompiler::new().compile(src, Lang::C);
+        assert!(outcome.succeeded());
+        assert!(outcome.stderr.contains("warning"));
+    }
+
+    #[test]
+    fn omp5_feature_rejected_by_45_capped_clang() {
+        let src = "int main() { int a[4];\n#pragma omp loop\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }";
+        let outcome = ClangOmpCompiler::new().compile(src, Lang::C);
+        assert_eq!(outcome.return_code, 1);
+        assert!(outcome.stderr.contains("4.5"));
+        // ... but a 5.0-capable configuration accepts it
+        let newer = ClangOmpCompiler { spec_version: Version::OMP_5_0 };
+        assert!(newer.compile(src, Lang::C).succeeded());
+    }
+
+    #[test]
+    fn compiler_for_picks_vendor_by_model() {
+        assert_eq!(compiler_for(DirectiveModel::OpenAcc).name(), "nvc");
+        assert_eq!(compiler_for(DirectiveModel::OpenMp).name(), "clang");
+    }
+}

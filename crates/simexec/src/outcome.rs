@@ -1,0 +1,115 @@
+//! Execution outcomes.
+
+use std::fmt;
+
+/// A runtime fault classified by cause. Mapped to the exit codes a POSIX
+/// shell would report for the corresponding signals, so the agent prompt
+/// sees realistic "Return code" values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuntimeFault {
+    /// Invalid memory access (uninitialized pointer, out of bounds,
+    /// use-after-free). Exit code 139 (SIGSEGV).
+    Segfault,
+    /// Integer division by zero. Exit code 136 (SIGFPE).
+    DivideByZero,
+    /// The interpreter's step budget was exhausted (runaway loop).
+    /// Exit code 124, matching `timeout(1)`.
+    StepLimit,
+    /// Call stack exceeded the configured depth. Exit code 139.
+    StackOverflow,
+    /// The program used a feature the interpreter does not model.
+    /// Exit code 134 (SIGABRT), as an assertion inside the runtime.
+    Unsupported,
+}
+
+impl RuntimeFault {
+    /// Shell-style exit code for the fault.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RuntimeFault::Segfault | RuntimeFault::StackOverflow => 139,
+            RuntimeFault::DivideByZero => 136,
+            RuntimeFault::StepLimit => 124,
+            RuntimeFault::Unsupported => 134,
+        }
+    }
+
+    /// The message printed to stderr, mirroring what a shell/loader prints.
+    pub fn message(&self) -> &'static str {
+        match self {
+            RuntimeFault::Segfault => "Segmentation fault (core dumped)",
+            RuntimeFault::StackOverflow => "Segmentation fault (stack overflow)",
+            RuntimeFault::DivideByZero => "Floating point exception (core dumped)",
+            RuntimeFault::StepLimit => "Killed: execution time limit exceeded",
+            RuntimeFault::Unsupported => "runtime error: unsupported operation",
+        }
+    }
+}
+
+impl fmt::Display for RuntimeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+/// The observable result of running a compiled test.
+///
+/// This is exactly the information the paper's agent prompt embeds
+/// ("Return code", "STDOUT", "STDERR") and the validation pipeline's
+/// execution stage gates on (`return_code == 0`).
+#[derive(Clone, Debug, Default)]
+pub struct ExecOutcome {
+    /// Process exit code (0 means the test passed its own verification).
+    pub return_code: i32,
+    /// Captured standard output.
+    pub stdout: String,
+    /// Captured standard error.
+    pub stderr: String,
+    /// The fault that terminated execution, if any.
+    pub fault: Option<RuntimeFault>,
+    /// Number of interpreter steps executed (for the cost model and stats).
+    pub steps: u64,
+}
+
+impl ExecOutcome {
+    /// True if the program ran to completion and returned 0.
+    pub fn passed(&self) -> bool {
+        self.return_code == 0
+    }
+
+    /// Construct an outcome for a fault.
+    pub fn from_fault(fault: RuntimeFault, stdout: String, steps: u64) -> Self {
+        Self {
+            return_code: fault.exit_code(),
+            stdout,
+            stderr: format!("{}\n", fault.message()),
+            fault: Some(fault),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_exit_codes_are_signal_style() {
+        assert_eq!(RuntimeFault::Segfault.exit_code(), 139);
+        assert_eq!(RuntimeFault::DivideByZero.exit_code(), 136);
+        assert_eq!(RuntimeFault::StepLimit.exit_code(), 124);
+    }
+
+    #[test]
+    fn outcome_pass_predicate() {
+        assert!(ExecOutcome { return_code: 0, ..Default::default() }.passed());
+        assert!(!ExecOutcome::from_fault(RuntimeFault::Segfault, String::new(), 10).passed());
+    }
+
+    #[test]
+    fn from_fault_fills_stderr() {
+        let o = ExecOutcome::from_fault(RuntimeFault::Segfault, "partial\n".into(), 5);
+        assert!(o.stderr.contains("Segmentation fault"));
+        assert_eq!(o.stdout, "partial\n");
+        assert_eq!(o.steps, 5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A runtime value in the interpreter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An integer (all integral C types are widened to `i64`).
+    Int(i64),
+    /// A floating-point number (all floating C types are widened to `f64`).
+    Float(f64),
+    /// A pointer into a host allocation: `(allocation id, element offset)`.
+    Ptr { alloc: usize, offset: i64 },
+    /// A string literal value (only used as a `printf` argument).
+    Str(String),
+    /// An uninitialized cell. Reading one through arithmetic produces
+    /// deterministic garbage; dereferencing an uninitialized *pointer*
+    /// raises a simulated segmentation fault.
+    Uninit,
+}
+
+impl Value {
+    /// Interpret the value as a boolean per C semantics.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Ptr { .. } => true,
+            Value::Str(s) => !s.is_empty(),
+            Value::Uninit => true,
+        }
+    }
+
+    /// Coerce to f64 (garbage for uninitialized cells is handled upstream).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            Value::Ptr { alloc, offset } => (*alloc as f64) * 4096.0 + *offset as f64,
+            Value::Str(_) => 0.0,
+            Value::Uninit => f64::NAN,
+        }
+    }
+
+    /// Coerce to i64.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Ptr { alloc, offset } => (*alloc as i64) * 4096 + offset,
+            Value::Str(_) => 0,
+            Value::Uninit => i64::MIN,
+        }
+    }
+
+    /// True if either operand is a float (binary ops promote to float).
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+
+    /// True for the uninitialized marker.
+    pub fn is_uninit(&self) -> bool {
+        matches!(self, Value::Uninit)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ptr { alloc, offset } => write!(f, "0x{:x}", alloc * 4096 + *offset as usize),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Uninit => write!(f, "<uninit>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_c() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(Value::Float(0.5).truthy());
+        assert!(Value::Ptr { alloc: 1, offset: 0 }.truthy());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(7).as_f64(), 7.0);
+        assert_eq!(Value::Float(2.9).as_i64(), 2);
+        assert!(Value::Uninit.as_f64().is_nan());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+}

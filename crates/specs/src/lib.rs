@@ -1,0 +1,64 @@
+//! `vv-specs` — machine-readable subsets of the OpenACC 3.x and OpenMP 4.5
+//! specifications used by the simulated compilers, the execution substrate
+//! and the surrogate judge.
+//!
+//! The tables are intentionally *subsets*: they cover every directive and
+//! clause that the synthetic V&V corpus (`vv-corpus`) can emit, plus enough
+//! of the surrounding spec surface that corrupted directives produced by
+//! negative probing are reliably classified as unknown or malformed.
+//!
+//! Two consumers with different needs share this crate:
+//!
+//! * the **simulated compiler** validates directives strictly against a
+//!   configured specification version (the paper restricts OpenMP to 4.5 so
+//!   the LLVM offloading compiler is fully compliant);
+//! * the **surrogate judge** consults the same tables but through a noisy
+//!   "knowledge" layer defined in `vv-judge`.
+
+pub mod tables;
+pub mod validate;
+pub mod version;
+
+pub use tables::{
+    acc_directives, clause_spec, data_movement_clauses, directive_spec, omp_directives,
+    ClauseSpec, DirectiveSpec,
+};
+pub use validate::{validate_directive, SpecIssue, SpecIssueKind};
+pub use version::Version;
+
+use vv_dclang::DirectiveModel;
+
+/// Returns the directive specification table for a programming model.
+pub fn directives_for(model: DirectiveModel) -> &'static [DirectiveSpec] {
+    match model {
+        DirectiveModel::OpenAcc => acc_directives(),
+        DirectiveModel::OpenMp => omp_directives(),
+    }
+}
+
+/// The default specification version enforced per model, mirroring the
+/// paper's experimental setup (OpenACC 3.x via nvc; OpenMP capped at 4.5 so
+/// the LLVM offloading compiler supports every feature used).
+pub fn default_version(model: DirectiveModel) -> Version {
+    match model {
+        DirectiveModel::OpenAcc => Version::new(3, 3),
+        DirectiveModel::OpenMp => Version::new(4, 5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_reachable_per_model() {
+        assert!(!directives_for(DirectiveModel::OpenAcc).is_empty());
+        assert!(!directives_for(DirectiveModel::OpenMp).is_empty());
+    }
+
+    #[test]
+    fn default_versions_match_paper_setup() {
+        assert_eq!(default_version(DirectiveModel::OpenMp), Version::new(4, 5));
+        assert!(default_version(DirectiveModel::OpenAcc) >= Version::new(3, 0));
+    }
+}

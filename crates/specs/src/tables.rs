@@ -1,0 +1,481 @@
+//! Directive and clause specification tables.
+//!
+//! OpenACC coverage follows the 3.x specification; OpenMP coverage follows
+//! 4.5 with a handful of 5.x entries included *specifically so they can be
+//! rejected* by a 4.5-capped compiler (the paper restricts its OpenMP corpus
+//! to 4.5 features for exactly this reason).
+
+use crate::version::Version;
+use vv_dclang::DirectiveModel;
+
+/// Specification entry for a clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClauseSpec {
+    /// Clause keyword.
+    pub name: &'static str,
+    /// True if the clause is malformed without a parenthesised argument list.
+    pub requires_args: bool,
+    /// Specification version that introduced the clause.
+    pub since: Version,
+}
+
+/// Specification entry for a directive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectiveSpec {
+    /// Space-joined directive name, e.g. `"parallel loop"`.
+    pub name: &'static str,
+    /// True if the directive does not govern a following statement.
+    pub standalone: bool,
+    /// Specification version that introduced the directive.
+    pub since: Version,
+    /// Clause keywords that may appear on this directive.
+    pub allowed_clauses: &'static [&'static str],
+}
+
+const fn c(name: &'static str, requires_args: bool, major: u16, minor: u16) -> ClauseSpec {
+    ClauseSpec { name, requires_args, since: Version::new(major, minor) }
+}
+
+const fn d(
+    name: &'static str,
+    standalone: bool,
+    major: u16,
+    minor: u16,
+    allowed_clauses: &'static [&'static str],
+) -> DirectiveSpec {
+    DirectiveSpec { name, standalone, since: Version::new(major, minor), allowed_clauses }
+}
+
+// ---------------------------------------------------------------------------
+// OpenACC
+// ---------------------------------------------------------------------------
+
+/// Clause registry for OpenACC.
+pub const ACC_CLAUSES: &[ClauseSpec] = &[
+    c("async", false, 1, 0),
+    c("wait", false, 1, 0),
+    c("num_gangs", true, 1, 0),
+    c("num_workers", true, 1, 0),
+    c("vector_length", true, 1, 0),
+    c("private", true, 1, 0),
+    c("firstprivate", true, 1, 0),
+    c("reduction", true, 1, 0),
+    c("copy", true, 1, 0),
+    c("copyin", true, 1, 0),
+    c("copyout", true, 1, 0),
+    c("create", true, 1, 0),
+    c("no_create", true, 2, 0),
+    c("present", true, 1, 0),
+    c("deviceptr", true, 1, 0),
+    c("attach", true, 2, 6),
+    c("detach", true, 2, 6),
+    c("delete", true, 2, 0),
+    c("default", true, 2, 0),
+    c("if", true, 1, 0),
+    c("if_present", false, 2, 0),
+    c("self", false, 2, 7),
+    c("collapse", true, 1, 0),
+    c("gang", false, 1, 0),
+    c("worker", false, 1, 0),
+    c("vector", false, 1, 0),
+    c("seq", false, 1, 0),
+    c("auto", false, 2, 0),
+    c("independent", false, 1, 0),
+    c("tile", true, 2, 0),
+    c("device_type", true, 2, 0),
+    c("use_device", true, 1, 0),
+    c("host", true, 1, 0),
+    c("device", true, 1, 0),
+    c("read", false, 2, 0),
+    c("write", false, 2, 0),
+    c("update", false, 2, 0),
+    c("capture", false, 2, 0),
+    c("device_resident", true, 1, 0),
+    c("link", true, 2, 0),
+    c("bind", true, 2, 0),
+    c("nohost", false, 2, 0),
+    c("finalize", false, 2, 6),
+    c("device_num", true, 2, 0),
+    c("default_async", true, 2, 5),
+];
+
+const ACC_COMPUTE_CLAUSES: &[&str] = &[
+    "async", "wait", "num_gangs", "num_workers", "vector_length", "private", "firstprivate",
+    "reduction", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr",
+    "attach", "default", "if", "self",
+];
+
+const ACC_LOOP_CLAUSES: &[&str] = &[
+    "collapse", "gang", "worker", "vector", "seq", "auto", "independent", "private", "reduction",
+    "tile", "device_type",
+];
+
+const ACC_COMBINED_CLAUSES: &[&str] = &[
+    "async", "wait", "num_gangs", "num_workers", "vector_length", "private", "firstprivate",
+    "reduction", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr",
+    "attach", "default", "if", "self", "collapse", "gang", "worker", "vector", "seq", "auto",
+    "independent", "tile", "device_type",
+];
+
+const ACC_DATA_CLAUSES: &[&str] = &[
+    "if", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr", "attach",
+    "default", "async", "wait",
+];
+
+/// Directive registry for OpenACC.
+pub const ACC_DIRECTIVES: &[DirectiveSpec] = &[
+    d("parallel", false, 1, 0, ACC_COMPUTE_CLAUSES),
+    d("kernels", false, 1, 0, ACC_COMPUTE_CLAUSES),
+    d("serial", false, 2, 5, ACC_COMPUTE_CLAUSES),
+    d("loop", false, 1, 0, ACC_LOOP_CLAUSES),
+    d("parallel loop", false, 1, 0, ACC_COMBINED_CLAUSES),
+    d("kernels loop", false, 1, 0, ACC_COMBINED_CLAUSES),
+    d("serial loop", false, 2, 5, ACC_COMBINED_CLAUSES),
+    d("data", false, 1, 0, ACC_DATA_CLAUSES),
+    d("enter data", true, 2, 0, &["if", "async", "wait", "copyin", "create", "attach"]),
+    d(
+        "exit data",
+        true,
+        2,
+        0,
+        &["if", "async", "wait", "copyout", "delete", "detach", "finalize"],
+    ),
+    d("host_data", false, 1, 0, &["use_device", "if", "if_present"]),
+    d(
+        "update",
+        true,
+        1,
+        0,
+        &["async", "wait", "device_type", "if", "if_present", "self", "host", "device"],
+    ),
+    d("wait", true, 1, 0, &["async", "if"]),
+    d("cache", true, 1, 0, &[]),
+    d("atomic", false, 1, 0, &["read", "write", "update", "capture"]),
+    // `atomic update` parses as a two-word directive name because `update`
+    // is itself a construct keyword; keep explicit entries for those forms.
+    d("atomic update", false, 1, 0, &[]),
+    d(
+        "declare",
+        true,
+        1,
+        0,
+        &["copy", "copyin", "copyout", "create", "present", "deviceptr", "device_resident", "link"],
+    ),
+    d(
+        "routine",
+        true,
+        1,
+        0,
+        &["gang", "worker", "vector", "seq", "bind", "device_type", "nohost"],
+    ),
+    d("init", true, 1, 0, &["device_type", "device_num", "if"]),
+    d("shutdown", true, 1, 0, &["device_type", "device_num", "if"]),
+    d("set", true, 2, 5, &["device_type", "device_num", "default_async", "if"]),
+];
+
+// ---------------------------------------------------------------------------
+// OpenMP
+// ---------------------------------------------------------------------------
+
+/// Clause registry for OpenMP.
+pub const OMP_CLAUSES: &[ClauseSpec] = &[
+    c("if", true, 3, 0),
+    c("num_threads", true, 3, 0),
+    c("default", true, 3, 0),
+    c("private", true, 3, 0),
+    c("firstprivate", true, 3, 0),
+    c("lastprivate", true, 3, 0),
+    c("shared", true, 3, 0),
+    c("copyin", true, 3, 0),
+    c("copyprivate", true, 3, 0),
+    c("reduction", true, 3, 0),
+    c("proc_bind", true, 4, 0),
+    c("linear", true, 4, 0),
+    c("schedule", true, 3, 0),
+    c("collapse", true, 3, 0),
+    c("ordered", false, 3, 0),
+    c("nowait", false, 3, 0),
+    c("safelen", true, 4, 0),
+    c("simdlen", true, 4, 0),
+    c("aligned", true, 4, 0),
+    c("device", true, 4, 0),
+    c("map", true, 4, 0),
+    c("is_device_ptr", true, 4, 5),
+    c("use_device_ptr", true, 4, 5),
+    c("defaultmap", true, 4, 5),
+    c("depend", true, 4, 0),
+    c("to", true, 4, 0),
+    c("from", true, 4, 0),
+    c("num_teams", true, 4, 0),
+    c("thread_limit", true, 4, 0),
+    c("dist_schedule", true, 4, 0),
+    c("final", true, 3, 1),
+    c("untied", false, 3, 0),
+    c("mergeable", false, 3, 1),
+    c("priority", true, 4, 5),
+    c("grainsize", true, 4, 5),
+    c("num_tasks", true, 4, 5),
+    c("nogroup", false, 4, 5),
+    c("threads", false, 4, 5),
+    c("simd", false, 4, 5),
+    c("read", false, 3, 1),
+    c("write", false, 3, 1),
+    c("update", false, 3, 1),
+    c("capture", false, 3, 1),
+    c("seq_cst", false, 4, 0),
+    // 5.x clauses, present so that a 4.5-capped compiler rejects them
+    c("order", true, 5, 0),
+    c("allocate", true, 5, 0),
+    c("in_reduction", true, 5, 0),
+    c("nontemporal", true, 5, 0),
+    c("uses_allocators", true, 5, 0),
+];
+
+const OMP_PARALLEL_CLAUSES: &[&str] = &[
+    "if", "num_threads", "default", "private", "firstprivate", "shared", "copyin", "reduction",
+    "proc_bind",
+];
+
+const OMP_FOR_CLAUSES: &[&str] = &[
+    "private", "firstprivate", "lastprivate", "linear", "reduction", "schedule", "collapse",
+    "ordered", "nowait",
+];
+
+const OMP_PARALLEL_FOR_CLAUSES: &[&str] = &[
+    "if", "num_threads", "default", "private", "firstprivate", "lastprivate", "shared", "copyin",
+    "reduction", "proc_bind", "linear", "schedule", "collapse", "ordered",
+];
+
+const OMP_SIMD_CLAUSES: &[&str] = &[
+    "safelen", "simdlen", "linear", "aligned", "private", "lastprivate", "reduction", "collapse",
+];
+
+const OMP_TARGET_CLAUSES: &[&str] = &[
+    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
+    "depend",
+];
+
+const OMP_TEAMS_CLAUSES: &[&str] = &[
+    "num_teams", "thread_limit", "default", "private", "firstprivate", "shared", "reduction",
+];
+
+const OMP_DISTRIBUTE_CLAUSES: &[&str] =
+    &["private", "firstprivate", "lastprivate", "collapse", "dist_schedule"];
+
+const OMP_TARGET_TEAMS_CLAUSES: &[&str] = &[
+    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
+    "depend", "num_teams", "thread_limit", "default", "shared", "reduction",
+];
+
+const OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES: &[&str] = &[
+    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
+    "depend", "num_teams", "thread_limit", "default", "shared", "reduction", "lastprivate",
+    "collapse", "dist_schedule",
+];
+
+const OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES: &[&str] = &[
+    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
+    "depend", "num_teams", "thread_limit", "default", "shared", "reduction", "lastprivate",
+    "collapse", "dist_schedule", "num_threads", "copyin", "proc_bind", "linear", "schedule",
+    "ordered",
+];
+
+const OMP_TASK_CLAUSES: &[&str] = &[
+    "if", "final", "untied", "default", "mergeable", "private", "firstprivate", "shared",
+    "depend", "priority",
+];
+
+const OMP_TASKLOOP_CLAUSES: &[&str] = &[
+    "if", "shared", "private", "firstprivate", "lastprivate", "default", "grainsize",
+    "num_tasks", "collapse", "final", "priority", "untied", "mergeable", "nogroup",
+];
+
+/// Directive registry for OpenMP.
+pub const OMP_DIRECTIVES: &[DirectiveSpec] = &[
+    d("parallel", false, 3, 0, OMP_PARALLEL_CLAUSES),
+    d("for", false, 3, 0, OMP_FOR_CLAUSES),
+    d("parallel for", false, 3, 0, OMP_PARALLEL_FOR_CLAUSES),
+    d("simd", false, 4, 0, OMP_SIMD_CLAUSES),
+    d("for simd", false, 4, 0, OMP_FOR_CLAUSES),
+    d("parallel for simd", false, 4, 0, OMP_PARALLEL_FOR_CLAUSES),
+    d("target", false, 4, 0, OMP_TARGET_CLAUSES),
+    d("target data", false, 4, 0, &["if", "device", "map", "use_device_ptr"]),
+    d("target enter data", true, 4, 5, &["if", "device", "map", "depend", "nowait"]),
+    d("target exit data", true, 4, 5, &["if", "device", "map", "depend", "nowait"]),
+    d("target update", true, 4, 0, &["if", "device", "to", "from", "depend", "nowait"]),
+    d("teams", false, 4, 0, OMP_TEAMS_CLAUSES),
+    d("distribute", false, 4, 0, OMP_DISTRIBUTE_CLAUSES),
+    d("target teams", false, 4, 0, OMP_TARGET_TEAMS_CLAUSES),
+    d("target teams distribute", false, 4, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d(
+        "target teams distribute parallel for",
+        false,
+        4,
+        0,
+        OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES,
+    ),
+    d("target parallel for", false, 4, 5, OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES),
+    d("teams distribute", false, 4, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d(
+        "teams distribute parallel for",
+        false,
+        4,
+        0,
+        OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES,
+    ),
+    d("task", false, 3, 0, OMP_TASK_CLAUSES),
+    d("taskloop", false, 4, 5, OMP_TASKLOOP_CLAUSES),
+    d("taskwait", true, 3, 0, &[]),
+    d("taskyield", true, 3, 1, &[]),
+    d("barrier", true, 3, 0, &[]),
+    d("critical", false, 3, 0, &[]),
+    d("atomic", false, 3, 0, &["read", "write", "update", "capture", "seq_cst"]),
+    // `atomic update` parses as a two-word directive name because `update`
+    // is itself a construct keyword; keep an explicit entry for that form.
+    d("atomic update", false, 3, 0, &["seq_cst"]),
+    d("single", false, 3, 0, &["private", "firstprivate", "copyprivate", "nowait"]),
+    d("master", false, 3, 0, &[]),
+    d("sections", false, 3, 0, &["private", "firstprivate", "lastprivate", "reduction", "nowait"]),
+    d("section", false, 3, 0, &[]),
+    d("ordered", false, 3, 0, &["threads", "simd", "depend"]),
+    d("flush", true, 3, 0, &[]),
+    d("threadprivate", true, 3, 0, &[]),
+    d("declare target", true, 4, 0, &[]),
+    d("end declare target", true, 4, 0, &[]),
+    d("declare reduction", true, 4, 0, &[]),
+    // 5.x directives, present so that a 4.5-capped compiler rejects them
+    d("loop", false, 5, 0, &["reduction", "collapse", "private", "lastprivate", "order"]),
+    d("teams loop", false, 5, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d("requires", true, 5, 0, &[]),
+    d("scan", true, 5, 0, &[]),
+    d("masked", false, 5, 1, &[]),
+];
+
+// ---------------------------------------------------------------------------
+// lookups
+// ---------------------------------------------------------------------------
+
+/// The OpenACC directive table.
+pub fn acc_directives() -> &'static [DirectiveSpec] {
+    ACC_DIRECTIVES
+}
+
+/// The OpenMP directive table.
+pub fn omp_directives() -> &'static [DirectiveSpec] {
+    OMP_DIRECTIVES
+}
+
+/// Look up a directive by its space-joined name.
+pub fn directive_spec(model: DirectiveModel, name: &str) -> Option<&'static DirectiveSpec> {
+    let table = match model {
+        DirectiveModel::OpenAcc => ACC_DIRECTIVES,
+        DirectiveModel::OpenMp => OMP_DIRECTIVES,
+    };
+    table.iter().find(|spec| spec.name == name)
+}
+
+/// Look up a clause by name.
+pub fn clause_spec(model: DirectiveModel, name: &str) -> Option<&'static ClauseSpec> {
+    let table = match model {
+        DirectiveModel::OpenAcc => ACC_CLAUSES,
+        DirectiveModel::OpenMp => OMP_CLAUSES,
+    };
+    table.iter().find(|spec| spec.name == name)
+}
+
+/// Clause keywords that trigger host↔device data movement. The execution
+/// substrate uses these to maintain the device present-table.
+pub fn data_movement_clauses(model: DirectiveModel) -> &'static [&'static str] {
+    match model {
+        DirectiveModel::OpenAcc => &[
+            "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr", "delete",
+            "attach", "detach", "host", "device", "self",
+        ],
+        DirectiveModel::OpenMp => &["map", "to", "from", "is_device_ptr", "use_device_ptr"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_allowed_clause_exists_in_the_clause_registry() {
+        for (model, table) in [
+            (DirectiveModel::OpenAcc, ACC_DIRECTIVES),
+            (DirectiveModel::OpenMp, OMP_DIRECTIVES),
+        ] {
+            for dir in table {
+                for clause in dir.allowed_clauses {
+                    assert!(
+                        clause_spec(model, clause).is_some(),
+                        "{model:?} directive '{}' allows unknown clause '{clause}'",
+                        dir.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directive_names_are_unique_per_model() {
+        for table in [ACC_DIRECTIVES, OMP_DIRECTIVES] {
+            for (i, a) in table.iter().enumerate() {
+                for b in &table[i + 1..] {
+                    assert_ne!(a.name, b.name, "duplicate directive entry '{}'", a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_combined_directives() {
+        assert!(directive_spec(DirectiveModel::OpenAcc, "parallel loop").is_some());
+        assert!(directive_spec(DirectiveModel::OpenMp, "target teams distribute parallel for")
+            .is_some());
+        assert!(directive_spec(DirectiveModel::OpenAcc, "paralel loop").is_none());
+    }
+
+    #[test]
+    fn omp_5_features_are_marked_post_4_5() {
+        let loop_dir = directive_spec(DirectiveModel::OpenMp, "loop").unwrap();
+        assert!(loop_dir.since > Version::OMP_4_5);
+        let order = clause_spec(DirectiveModel::OpenMp, "order").unwrap();
+        assert!(order.since > Version::OMP_4_5);
+    }
+
+    #[test]
+    fn standalone_flags_are_consistent_with_dclang() {
+        // The parser's syntactic standalone list and the spec table must agree
+        // for directives present in both.
+        use vv_dclang::directive::parse_pragma;
+        use vv_dclang::Span;
+        for (model, sentinel, table) in [
+            (DirectiveModel::OpenAcc, "acc", ACC_DIRECTIVES),
+            (DirectiveModel::OpenMp, "omp", OMP_DIRECTIVES),
+        ] {
+            let _ = model;
+            for dir in table {
+                if dir.since > Version::new(4, 5) && sentinel == "omp" {
+                    continue; // 5.x directives are not in the parser's list
+                }
+                let parsed = parse_pragma(&format!("{sentinel} {}", dir.name), Span::unknown());
+                if parsed.display_name() == dir.name {
+                    assert_eq!(
+                        parsed.is_standalone(),
+                        dir.standalone,
+                        "standalone mismatch for '{} {}'",
+                        sentinel,
+                        dir.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_movement_clause_lists_are_nonempty() {
+        assert!(data_movement_clauses(DirectiveModel::OpenAcc).contains(&"copyin"));
+        assert!(data_movement_clauses(DirectiveModel::OpenMp).contains(&"map"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Directive validation against the specification tables.
+
+use crate::tables::{clause_spec, directive_spec};
+use crate::version::Version;
+use vv_dclang::{Clause, Directive};
+
+/// Category of a specification violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpecIssueKind {
+    /// The directive name does not exist in the model's specification
+    /// (typical for negative-probing mutations that corrupt a directive).
+    UnknownDirective,
+    /// A clause is not defined by the specification, or not permitted on
+    /// this directive.
+    UnknownClause,
+    /// A clause that requires a parenthesised argument list has none.
+    MissingClauseArgs,
+    /// A clause argument list is syntactically malformed.
+    MalformedClauseArgs,
+    /// The directive or clause is newer than the configured specification
+    /// version (e.g. OpenMP 5.0 features under a 4.5 cap).
+    UnsupportedVersion,
+}
+
+/// A single specification violation found on a directive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecIssue {
+    /// Violation category.
+    pub kind: SpecIssueKind,
+    /// Human-readable message (vendor-neutral).
+    pub message: String,
+}
+
+impl SpecIssue {
+    fn new(kind: SpecIssueKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+}
+
+/// Validate a directive against the specification for its model, capped at
+/// `max_version`. Returns every violation found (empty means conforming).
+///
+/// Directives whose sentinel is not `acc`/`omp` (i.e. `directive.model` is
+/// `None`) are not specification violations — real compilers ignore unknown
+/// pragmas with a warning — so this function returns an empty list for them;
+/// the caller decides how to treat foreign pragmas.
+pub fn validate_directive(directive: &Directive, max_version: Version) -> Vec<SpecIssue> {
+    let Some(model) = directive.model else {
+        return Vec::new();
+    };
+    let mut issues = Vec::new();
+    let name = directive.display_name();
+
+    if name.is_empty() {
+        let offending = directive
+            .clauses
+            .first()
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| "<empty>".to_string());
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnknownDirective,
+            format!("'{offending}' is not a valid {model} directive"),
+        ));
+        return issues;
+    }
+
+    let Some(spec) = directive_spec(model, &name) else {
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnknownDirective,
+            format!("'{name}' is not a valid {model} directive"),
+        ));
+        return issues;
+    };
+
+    if spec.since > max_version {
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnsupportedVersion,
+            format!(
+                "directive '{name}' requires {model} {} but the compiler is configured for {max_version}",
+                spec.since
+            ),
+        ));
+    }
+
+    for clause in &directive.clauses {
+        validate_clause(model, &name, spec.allowed_clauses, clause, max_version, &mut issues);
+    }
+
+    issues
+}
+
+fn validate_clause(
+    model: vv_dclang::DirectiveModel,
+    directive_name: &str,
+    allowed: &[&str],
+    clause: &Clause,
+    max_version: Version,
+    issues: &mut Vec<SpecIssue>,
+) {
+    let Some(cspec) = clause_spec(model, &clause.name) else {
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnknownClause,
+            format!("'{}' is not a recognized {model} clause", clause.name),
+        ));
+        return;
+    };
+
+    if cspec.since > max_version {
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnsupportedVersion,
+            format!(
+                "clause '{}' requires {model} {} but the compiler is configured for {max_version}",
+                clause.name, cspec.since
+            ),
+        ));
+        return;
+    }
+
+    if !allowed.is_empty() && !allowed.contains(&clause.name.as_str()) {
+        issues.push(SpecIssue::new(
+            SpecIssueKind::UnknownClause,
+            format!(
+                "clause '{}' is not valid on the '{directive_name}' directive",
+                clause.name
+            ),
+        ));
+        return;
+    }
+
+    let args_text = clause.args.as_deref().unwrap_or("");
+    if args_text.trim().is_empty() {
+        if cspec.requires_args {
+            issues.push(SpecIssue::new(
+                SpecIssueKind::MissingClauseArgs,
+                format!("clause '{}' requires an argument list", clause.name),
+            ));
+        }
+    } else {
+        check_clause_args(model, &clause.name, args_text, issues);
+    }
+}
+
+fn check_clause_args(
+    model: vv_dclang::DirectiveModel,
+    clause_name: &str,
+    args: &str,
+    issues: &mut Vec<SpecIssue>,
+) {
+    match clause_name {
+        "reduction" | "in_reduction" => {
+            // OpenACC/OpenMP reductions are `operator : list`
+            let Some((op, list)) = args.split_once(':') else {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    format!("reduction clause '{args}' is missing the 'operator:' prefix"),
+                ));
+                return;
+            };
+            let op = op.trim();
+            const OPS: &[&str] = &["+", "*", "-", "max", "min", "&", "|", "^", "&&", "||"];
+            if !OPS.contains(&op) {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    format!("'{op}' is not a valid reduction operator"),
+                ));
+            }
+            if list.trim().is_empty() {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    "reduction clause has an empty variable list".to_string(),
+                ));
+            }
+        }
+        "map" => {
+            // OpenMP map is `[map-type:] list`
+            if let Some((map_type, list)) = args.split_once(':') {
+                // Ignore array-section colons such as `a[0:N]` by requiring the
+                // prefix to be a plain word.
+                let map_type = map_type.trim();
+                if map_type.chars().all(|c| c.is_ascii_alphabetic()) {
+                    const MAP_TYPES: &[&str] =
+                        &["to", "from", "tofrom", "alloc", "release", "delete", "always"];
+                    if !MAP_TYPES.contains(&map_type) {
+                        issues.push(SpecIssue::new(
+                            SpecIssueKind::MalformedClauseArgs,
+                            format!("'{map_type}' is not a valid map type"),
+                        ));
+                    }
+                    if list.trim().is_empty() {
+                        issues.push(SpecIssue::new(
+                            SpecIssueKind::MalformedClauseArgs,
+                            "map clause has an empty variable list".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        "num_gangs" | "num_workers" | "vector_length" | "num_threads" | "num_teams"
+        | "thread_limit" | "collapse" | "safelen" | "simdlen" | "device_num" | "priority"
+        | "grainsize" | "num_tasks" => {
+            if args.trim().is_empty() {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    format!("clause '{clause_name}' requires an integer expression"),
+                ));
+            }
+        }
+        "schedule" => {
+            let kind = args.split(',').next().unwrap_or("").trim();
+            const KINDS: &[&str] = &["static", "dynamic", "guided", "auto", "runtime"];
+            if !KINDS.contains(&kind) {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    format!("'{kind}' is not a valid schedule kind"),
+                ));
+            }
+        }
+        "default" => {
+            let value = args.trim();
+            let valid = match model {
+                vv_dclang::DirectiveModel::OpenAcc => ["none", "present"].contains(&value),
+                vv_dclang::DirectiveModel::OpenMp => {
+                    ["none", "shared", "private", "firstprivate"].contains(&value)
+                }
+            };
+            if !valid {
+                issues.push(SpecIssue::new(
+                    SpecIssueKind::MalformedClauseArgs,
+                    format!("'{value}' is not a valid default() argument"),
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_dclang::directive::parse_pragma;
+    use vv_dclang::Span;
+
+    fn validate(pragma: &str, version: Version) -> Vec<SpecIssue> {
+        let d = parse_pragma(pragma, Span::unknown());
+        validate_directive(&d, version)
+    }
+
+    fn acc(pragma: &str) -> Vec<SpecIssue> {
+        validate(pragma, Version::new(3, 3))
+    }
+
+    fn omp(pragma: &str) -> Vec<SpecIssue> {
+        validate(pragma, Version::OMP_4_5)
+    }
+
+    #[test]
+    fn conforming_acc_directives_pass() {
+        assert!(acc("acc parallel loop gang vector reduction(+:sum) copyin(a[0:64])").is_empty());
+        assert!(acc("acc data copy(a[0:64]) create(b[0:64])").is_empty());
+        assert!(acc("acc enter data copyin(a[0:64])").is_empty());
+        assert!(acc("acc update self(a[0:64])").is_empty());
+        assert!(acc("acc atomic update").is_empty());
+    }
+
+    #[test]
+    fn conforming_omp_directives_pass() {
+        assert!(omp("omp target teams distribute parallel for map(tofrom: c[0:64]) reduction(+:err)")
+            .is_empty());
+        assert!(omp("omp parallel for schedule(static) num_threads(4)").is_empty());
+        assert!(omp("omp target data map(to: a[0:64]) map(from: b[0:64])").is_empty());
+        assert!(omp("omp atomic capture").is_empty());
+    }
+
+    #[test]
+    fn corrupted_directive_name_is_unknown() {
+        let issues = acc("acc paralel loop");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownDirective));
+        let issues = omp("omp targett teams");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownDirective));
+    }
+
+    #[test]
+    fn unknown_clause_is_flagged() {
+        let issues = acc("acc parallel loop banana(3)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownClause));
+    }
+
+    #[test]
+    fn clause_not_valid_on_directive_is_flagged() {
+        // `schedule` is an OpenMP worksharing clause, not valid on `target data`.
+        let issues = omp("omp target data schedule(static)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownClause));
+    }
+
+    #[test]
+    fn missing_required_args_is_flagged() {
+        let issues = acc("acc parallel copyin");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
+        let issues = omp("omp target map");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
+    }
+
+    #[test]
+    fn malformed_reduction_is_flagged() {
+        let issues = acc("acc parallel loop reduction(sum)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        let issues = omp("omp parallel for reduction(foo:sum)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+    }
+
+    #[test]
+    fn bad_map_type_is_flagged() {
+        let issues = omp("omp target map(sideways: a[0:8])");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        // array sections without a map-type are fine
+        assert!(omp("omp target map(a[0:8])").is_empty());
+    }
+
+    #[test]
+    fn omp5_features_rejected_at_4_5_but_allowed_at_5_0() {
+        let issues = omp("omp loop");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
+        let issues = validate("omp loop", Version::OMP_5_0);
+        assert!(issues.is_empty());
+        let issues = omp("omp parallel for allocate(a)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
+    }
+
+    #[test]
+    fn foreign_pragmas_are_not_spec_violations() {
+        assert!(validate("once", Version::OMP_4_5).is_empty());
+        assert!(validate("unroll 4", Version::OMP_4_5).is_empty());
+    }
+
+    #[test]
+    fn bad_schedule_and_default_args() {
+        let issues = omp("omp parallel for schedule(bananas)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        let issues = acc("acc parallel default(everything)");
+        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(acc("acc parallel default(none)").is_empty());
+    }
+}

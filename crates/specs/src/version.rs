@@ -1,0 +1,54 @@
+//! Specification version numbers.
+
+use std::fmt;
+
+/// A specification version such as OpenMP `4.5` or OpenACC `3.3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Version {
+    /// Major component.
+    pub major: u16,
+    /// Minor component.
+    pub minor: u16,
+}
+
+impl Version {
+    /// Construct a version.
+    pub const fn new(major: u16, minor: u16) -> Self {
+        Self { major, minor }
+    }
+
+    /// OpenMP 4.5 — the cap used by the paper for offloading compilers.
+    pub const OMP_4_5: Version = Version::new(4, 5);
+    /// OpenMP 5.0 — features at or above this level are rejected by the
+    /// simulated LLVM OpenMP offloading frontend.
+    pub const OMP_5_0: Version = Version::new(5, 0);
+    /// OpenACC 2.7.
+    pub const ACC_2_7: Version = Version::new(2, 7);
+    /// OpenACC 3.0.
+    pub const ACC_3_0: Version = Version::new(3, 0);
+    /// The oldest version tracked; used for features present "since always".
+    pub const BASELINE: Version = Version::new(1, 0);
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_major_then_minor() {
+        assert!(Version::new(5, 0) > Version::new(4, 5));
+        assert!(Version::new(4, 5) > Version::new(4, 0));
+        assert!(Version::new(4, 5) >= Version::OMP_4_5);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Version::new(4, 5).to_string(), "4.5");
+    }
+}

@@ -1,0 +1,69 @@
+//! Validation-pipeline throughput demo: run the same probed OpenACC suite
+//! through the staged multi-worker pipeline (early-exit and record-all), the
+//! sequential baseline, and the per-file rayon runner, then compare wall
+//! time, judge-stage savings and verdict agreement.
+//!
+//! ```text
+//! cargo run --release --example validation_pipeline
+//! ```
+
+use vv_corpus::{generate_suite, SuiteConfig};
+use vv_dclang::DirectiveModel;
+use vv_pipeline::{PipelineConfig, ValidationPipeline, WorkItem};
+use vv_probing::{build_probed_suite, ProbeConfig};
+
+fn main() {
+    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 120, 7));
+    let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(8));
+    let items: Vec<WorkItem> = probed
+        .cases
+        .iter()
+        .map(|c| WorkItem {
+            id: c.case.id.clone(),
+            source: c.source.clone(),
+            lang: c.case.lang,
+            model: DirectiveModel::OpenAcc,
+        })
+        .collect();
+    println!("{} probed files ({} valid, {} mutated)\n", probed.len(), probed.valid_count(), probed.len() - probed.valid_count());
+
+    let early = ValidationPipeline::new(PipelineConfig::default());
+    let record_all = ValidationPipeline::new(PipelineConfig::default().record_all());
+
+    let staged = early.run(items.clone());
+    let staged_all = record_all.run(items.clone());
+    let sequential = early.run_sequential(items.clone());
+    let rayon = early.run_batch_rayon(items.clone());
+
+    let agreement = staged
+        .records
+        .iter()
+        .zip(&sequential.records)
+        .filter(|(a, b)| a.pipeline_verdict() == b.pipeline_verdict())
+        .count();
+
+    println!("{:<28} {:>10} {:>10} {:>12} {:>16}", "runner", "wall (ms)", "judged", "savings", "sim. GPU (ms)");
+    for (name, run) in [
+        ("staged, early-exit", &staged),
+        ("staged, record-all", &staged_all),
+        ("sequential, early-exit", &sequential),
+        ("rayon per-file, early-exit", &rayon),
+    ] {
+        println!(
+            "{:<28} {:>10.1} {:>10} {:>11.0}% {:>16.0}",
+            name,
+            run.stats.wall_time.as_secs_f64() * 1e3,
+            run.stats.judged,
+            run.stats.judge_stage_savings() * 100.0,
+            run.stats.simulated_judge_latency_ms,
+        );
+    }
+    println!(
+        "\nverdict agreement between staged and sequential runners: {agreement}/{} files",
+        staged.records.len()
+    );
+    println!(
+        "early-exit spared the (simulated 33B-parameter) judge {:.0}% of the files that record-all would have sent to the GPU.",
+        (1.0 - staged.stats.judged as f64 / staged_all.stats.judged.max(1) as f64) * 100.0
+    );
+}

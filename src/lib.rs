@@ -1,0 +1,19 @@
+//! `llm4vv-suite` — the workspace meta-crate.
+//!
+//! This crate exists so that repository-level `examples/` and `tests/` can
+//! exercise the full public surface of the reproduction. It simply re-exports
+//! every member crate under a stable name.
+//!
+//! For library use, depend on [`llm4vv`] (the core crate) directly; it
+//! re-exports the substrates it builds upon.
+
+pub use llm4vv;
+pub use vv_corpus as corpus;
+pub use vv_dclang as dclang;
+pub use vv_judge as judge;
+pub use vv_metrics as metrics;
+pub use vv_pipeline as pipeline;
+pub use vv_probing as probing;
+pub use vv_simcompiler as simcompiler;
+pub use vv_simexec as simexec;
+pub use vv_specs as specs;

@@ -1,0 +1,125 @@
+//! Property-based tests over the full stack (proptest).
+
+use proptest::prelude::*;
+
+use vv_corpus::{generate_suite, SuiteConfig};
+use vv_dclang::DirectiveModel;
+use vv_judge::Verdict;
+use vv_metrics::{overall, per_issue, radar_series, EvaluationRecord};
+use vv_pipeline::{PipelineConfig, ValidationPipeline, WorkItem};
+use vv_probing::{build_probed_suite, IssueKind, ProbeConfig};
+
+fn arbitrary_model() -> impl Strategy<Value = DirectiveModel> {
+    prop_oneof![Just(DirectiveModel::OpenAcc), Just(DirectiveModel::OpenMp)]
+}
+
+fn arbitrary_records() -> impl Strategy<Value = Vec<EvaluationRecord>> {
+    prop::collection::vec(
+        (0u8..6, prop::option::of(prop::bool::ANY)).prop_map(|(issue_id, verdict)| {
+            EvaluationRecord::new(
+                format!("case_{issue_id}"),
+                IssueKind::from_id(issue_id).unwrap(),
+                verdict.map(|v| if v { Verdict::Valid } else { Verdict::Invalid }),
+            )
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Metrics invariants hold for arbitrary evaluation records.
+    #[test]
+    fn metrics_invariants(records in arbitrary_records()) {
+        let stats = overall(&records);
+        prop_assert!(stats.accuracy >= 0.0 && stats.accuracy <= 1.0);
+        prop_assert!(stats.bias >= -1.0 && stats.bias <= 1.0);
+        prop_assert_eq!(stats.total, records.len());
+        prop_assert!(stats.mistakes <= stats.total);
+
+        let rows = per_issue(&records);
+        let total: usize = rows.iter().map(|r| r.count).sum();
+        prop_assert_eq!(total, records.len());
+        for row in &rows {
+            prop_assert_eq!(row.correct + row.incorrect, row.count);
+            prop_assert!(row.accuracy >= 0.0 && row.accuracy <= 1.0);
+        }
+
+        let radar = radar_series(&records);
+        let radar_total: usize = radar.iter().map(|p| p.count).sum();
+        prop_assert_eq!(radar_total, records.len());
+    }
+
+    /// Corpus generation is deterministic and every file mentions its model.
+    #[test]
+    fn corpus_determinism(model in arbitrary_model(), size in 1usize..24, seed in 0u64..1000) {
+        let a = generate_suite(&SuiteConfig::new(model, size, seed));
+        let b = generate_suite(&SuiteConfig::new(model, size, seed));
+        prop_assert_eq!(a.len(), size);
+        for (x, y) in a.cases.iter().zip(b.cases.iter()) {
+            prop_assert_eq!(&x.source, &y.source);
+            prop_assert!(x.source.contains("#pragma"));
+        }
+    }
+
+    /// Probing always splits into the requested fraction and mutations always
+    /// change the source.
+    #[test]
+    fn probing_invariants(model in arbitrary_model(), size in 2usize..30, seed in 0u64..500) {
+        let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
+        prop_assert_eq!(probed.len(), size);
+        let expected_valid = size - ((size as f64) * 0.5).round() as usize;
+        prop_assert_eq!(probed.valid_count(), expected_valid);
+        for case in &probed.cases {
+            if case.issue == IssueKind::NoIssue {
+                prop_assert_eq!(&case.source, &case.case.source);
+            } else {
+                prop_assert_ne!(&case.source, &case.case.source);
+            }
+        }
+    }
+}
+
+proptest! {
+    // The full pipeline is comparatively expensive, so fewer cases.
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// The staged multi-worker pipeline and the sequential baseline always
+    /// agree on every verdict, for any seed and worker configuration.
+    #[test]
+    fn staged_pipeline_equals_sequential(
+        model in arbitrary_model(),
+        seed in 0u64..200,
+        compile_workers in 1usize..5,
+        judge_workers in 1usize..4,
+    ) {
+        let suite = generate_suite(&SuiteConfig::new(model, 14, seed));
+        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
+        let items: Vec<WorkItem> = probed
+            .cases
+            .iter()
+            .map(|c| WorkItem {
+                id: c.case.id.clone(),
+                source: c.source.clone(),
+                lang: c.case.lang,
+                model,
+            })
+            .collect();
+        let pipeline = ValidationPipeline::new(PipelineConfig {
+            compile_workers,
+            exec_workers: 2,
+            judge_workers,
+            ..PipelineConfig::default()
+        });
+        let staged = pipeline.run(items.clone());
+        let sequential = pipeline.run_sequential(items);
+        prop_assert_eq!(staged.records.len(), sequential.records.len());
+        for (a, b) in staged.records.iter().zip(&sequential.records) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
+            prop_assert_eq!(a.stage_reached(), b.stage_reached());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Cross-crate conformance tests: everything the corpus emits must stay
+//! inside the specification subset the simulated compilers enforce — this is
+//! the invariant behind the paper's decision to cap OpenMP at 4.5 so that
+//! the toolchain is fully compliant for every feature used.
+
+use vv_corpus::{generate_suite, SuiteConfig};
+use vv_dclang::{parse_source, DirectiveModel};
+use vv_specs::{default_version, directive_spec, validate_directive, Version};
+
+fn suite_sources(model: DirectiveModel, size: usize, seed: u64) -> Vec<String> {
+    generate_suite(&SuiteConfig::new(model, size, seed))
+        .cases
+        .into_iter()
+        .map(|c| c.source)
+        .collect()
+}
+
+#[test]
+fn every_emitted_directive_is_spec_conforming() {
+    for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+        let version = default_version(model);
+        for source in suite_sources(model, 60, 314) {
+            let parsed = parse_source(&source).expect("corpus output parses");
+            for directive in parsed.unit.all_directives() {
+                assert_eq!(directive.model, Some(model), "foreign pragma in corpus:\n{source}");
+                let issues = validate_directive(directive, version);
+                assert!(
+                    issues.is_empty(),
+                    "directive '{}' violates the spec: {issues:?}\n{source}",
+                    directive.raw
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn omp_corpus_stays_within_4_5() {
+    // The paper restricts its OpenMP corpus to 4.5 features so the LLVM
+    // offloading compiler supports everything; the generator must honour
+    // that cap.
+    for source in suite_sources(DirectiveModel::OpenMp, 60, 2718) {
+        let parsed = parse_source(&source).expect("corpus output parses");
+        for directive in parsed.unit.all_directives() {
+            let name = directive.display_name();
+            let spec = directive_spec(DirectiveModel::OpenMp, &name)
+                .unwrap_or_else(|| panic!("unknown directive '{name}'"));
+            assert!(
+                spec.since <= Version::OMP_4_5,
+                "directive '{name}' requires OpenMP {} (> 4.5)",
+                spec.since
+            );
+        }
+    }
+}
+
+#[test]
+fn every_directive_in_the_spec_tables_round_trips_through_the_pragma_parser() {
+    use vv_dclang::directive::parse_pragma;
+    use vv_dclang::Span;
+    for (model, sentinel) in [(DirectiveModel::OpenAcc, "acc"), (DirectiveModel::OpenMp, "omp")] {
+        for spec in vv_specs::directives_for(model) {
+            let parsed = parse_pragma(&format!("{sentinel} {}", spec.name), Span::unknown());
+            assert_eq!(parsed.model, Some(model));
+            // Either the full name parses back, or (for names containing
+            // clause-like words) the parser keeps a prefix — but it must
+            // never misattribute the sentinel.
+            assert!(
+                spec.name.starts_with(&parsed.display_name()) || parsed.display_name() == spec.name,
+                "directive '{}' parsed as '{}'",
+                spec.name,
+                parsed.display_name()
+            );
+        }
+    }
+}
