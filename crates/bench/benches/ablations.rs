@@ -1,8 +1,9 @@
 //! Ablation benchmarks (A1–A3 in DESIGN.md): the design choices behind the
-//! validation pipeline.
+//! validation service.
 //!
 //! * `early_exit_vs_record_all` — how much work the early-exit rule saves;
-//! * `runner_comparison` — staged pipeline vs sequential vs per-file rayon;
+//! * `strategy_comparison` — staged pipeline vs sequential vs per-file
+//!   parallel, all through the single `ValidationService` entry point;
 //! * `worker_scaling` — throughput as the stage worker pools grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -10,7 +11,7 @@ use std::time::Duration;
 
 use vv_bench::{probed_workload, sizes};
 use vv_dclang::DirectiveModel;
-use vv_pipeline::{PipelineConfig, ValidationPipeline};
+use vv_pipeline::{ExecutionStrategy, PipelineMode, ValidationService};
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
     group
@@ -24,30 +25,31 @@ fn bench_early_exit(c: &mut Criterion) {
     let mut group = c.benchmark_group("early_exit_vs_record_all");
     configure(&mut group);
     group.bench_function("early_exit", |b| {
-        let pipeline = ValidationPipeline::new(PipelineConfig::default());
-        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).stats.judged));
+        let service = ValidationService::builder().build();
+        b.iter(|| criterion::black_box(service.run(workload.items.clone()).stats.judged));
     });
     group.bench_function("record_all", |b| {
-        let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
-        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).stats.judged));
+        let service = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .build();
+        b.iter(|| criterion::black_box(service.run(workload.items.clone()).stats.judged));
     });
     group.finish();
 }
 
-fn bench_runner_comparison(c: &mut Criterion) {
+fn bench_strategy_comparison(c: &mut Criterion) {
     let workload = probed_workload(DirectiveModel::OpenMp, sizes::BENCH_SUITE, 505);
-    let mut group = c.benchmark_group("runner_comparison");
+    let mut group = c.benchmark_group("strategy_comparison");
     configure(&mut group);
-    let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
-    group.bench_function("staged_pipeline", |b| {
-        b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).records.len()));
-    });
-    group.bench_function("sequential", |b| {
-        b.iter(|| criterion::black_box(pipeline.run_sequential(workload.items.clone()).records.len()));
-    });
-    group.bench_function("rayon_per_file", |b| {
-        b.iter(|| criterion::black_box(pipeline.run_batch_rayon(workload.items.clone()).records.len()));
-    });
+    for strategy in ExecutionStrategy::ALL {
+        let service = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .strategy(strategy)
+            .build();
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            b.iter(|| criterion::black_box(service.run(workload.items.clone()).records.len()));
+        });
+    }
     group.finish();
 }
 
@@ -57,17 +59,17 @@ fn bench_worker_scaling(c: &mut Criterion) {
     configure(&mut group);
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            let pipeline = ValidationPipeline::new(PipelineConfig {
-                compile_workers: w,
-                exec_workers: w,
-                judge_workers: w,
-                ..PipelineConfig::default()
-            });
-            b.iter(|| criterion::black_box(pipeline.run(workload.items.clone()).records.len()));
+            let service = ValidationService::builder().workers(w, w, w).build();
+            b.iter(|| criterion::black_box(service.run(workload.items.clone()).records.len()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_early_exit, bench_runner_comparison, bench_worker_scaling);
+criterion_group!(
+    benches,
+    bench_early_exit,
+    bench_strategy_comparison,
+    bench_worker_scaling
+);
 criterion_main!(benches);

@@ -16,8 +16,14 @@ use vv_dclang::DirectiveModel;
 
 fn bench_part_one(c: &mut Criterion) {
     let mut group = c.benchmark_group("part_one_negative_probing");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    for (name, model) in [("openacc_table1", DirectiveModel::OpenAcc), ("openmp_table2", DirectiveModel::OpenMp)] {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for (name, model) in [
+        ("openacc_table1", DirectiveModel::OpenAcc),
+        ("openmp_table2", DirectiveModel::OpenMp),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let config = PartOneConfig::quick(model, 48);
             b.iter(|| {
@@ -31,7 +37,10 @@ fn bench_part_one(c: &mut Criterion) {
 
 fn bench_part_two(c: &mut Criterion) {
     let mut group = c.benchmark_group("part_two_pipeline_and_agents");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for (name, model) in [
         ("openacc_tables4_7_figs3_5", DirectiveModel::OpenAcc),
         ("openmp_tables5_8_figs4_6", DirectiveModel::OpenMp),

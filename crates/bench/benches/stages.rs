@@ -51,7 +51,10 @@ fn bench_stages(c: &mut Criterion) {
     });
     group.bench_function("execute_valid_file", |b| {
         let compiler = compiler_for(DirectiveModel::OpenAcc);
-        let program = compiler.compile(&valid.source, Lang::C).artifact.expect("valid file compiles");
+        let program = compiler
+            .compile(&valid.source, Lang::C)
+            .artifact
+            .expect("valid file compiles");
         let executor = Executor::default();
         b.iter(|| criterion::black_box(executor.run(&program).return_code));
     });
@@ -61,19 +64,33 @@ fn bench_stages(c: &mut Criterion) {
             PromptStyle::AgentDirect,
         );
         let tools = ToolContext {
-            compile: Some(ToolRecord { return_code: 0, stdout: String::new(), stderr: String::new() }),
-            run: Some(ToolRecord { return_code: 0, stdout: "Test passed\n".into(), stderr: String::new() }),
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: String::new(),
+                stderr: String::new(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "Test passed\n".into(),
+                stderr: String::new(),
+            }),
         };
         b.iter(|| {
             criterion::black_box(
-                session.evaluate(&valid.source, DirectiveModel::OpenAcc, Some(&tools)).verdict,
+                session
+                    .evaluate(&valid.source, DirectiveModel::OpenAcc, Some(&tools))
+                    .verdict,
             )
         });
     });
     group.bench_function("build_prompt_and_tokenize", |b| {
         b.iter(|| {
-            let prompt =
-                build_prompt(PromptStyle::AgentIndirect, DirectiveModel::OpenAcc, &valid.source, None);
+            let prompt = build_prompt(
+                PromptStyle::AgentIndirect,
+                DirectiveModel::OpenAcc,
+                &valid.source,
+                None,
+            );
             criterion::black_box(estimate_tokens(&prompt))
         });
     });

@@ -93,7 +93,10 @@ fn main() {
     }
     for name in &requested {
         if !ALL_ARTIFACTS.contains(&name.as_str()) {
-            eprintln!("unknown artifact '{name}'; known: {}", ALL_ARTIFACTS.join(", "));
+            eprintln!(
+                "unknown artifact '{name}'; known: {}",
+                ALL_ARTIFACTS.join(", ")
+            );
             std::process::exit(2);
         }
     }

@@ -41,9 +41,18 @@ pub fn probed_workload(model: DirectiveModel, size: usize, seed: u64) -> Workloa
     let items = probed
         .cases
         .iter()
-        .map(|c| WorkItem { id: c.case.id.clone(), source: c.source.clone(), lang: c.case.lang, model })
+        .map(|c| WorkItem {
+            id: c.case.id.clone(),
+            source: c.source.clone(),
+            lang: c.case.lang,
+            model,
+        })
         .collect();
-    Workload { model, items, issues }
+    Workload {
+        model,
+        items,
+        issues,
+    }
 }
 
 /// The default benchmark sizes (kept small so `cargo bench` finishes in

@@ -4,11 +4,11 @@ use rayon::prelude::*;
 
 use vv_corpus::{generate_suite, SuiteConfig};
 use vv_dclang::DirectiveModel;
-use vv_judge::{
-    JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, Verdict,
+use vv_judge::{JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, Verdict};
+use vv_metrics::{
+    overall, per_issue, radar_series, EvaluationRecord, OverallStats, PerIssueRow, RadarPoint,
 };
-use vv_metrics::{overall, per_issue, radar_series, EvaluationRecord, OverallStats, PerIssueRow, RadarPoint};
-use vv_pipeline::{PipelineConfig, ValidationPipeline, WorkItem};
+use vv_pipeline::{PipelineMode, ValidationService, WorkItem};
 use vv_probing::{build_probed_suite, IssueKind, ProbeConfig, ProbedSuite};
 
 // ---------------------------------------------------------------------------
@@ -115,7 +115,13 @@ impl PartOneResults {
     }
 }
 
-fn probed_suite(model: DirectiveModel, size: usize, corpus_seed: u64, probe_seed: u64, c_only: bool) -> ProbedSuite {
+fn probed_suite(
+    model: DirectiveModel,
+    size: usize,
+    corpus_seed: u64,
+    probe_seed: u64,
+    c_only: bool,
+) -> ProbedSuite {
     let mut config = SuiteConfig::new(model, size, corpus_seed);
     if c_only {
         config = config.c_only();
@@ -143,10 +149,17 @@ pub fn run_part_one(config: &PartOneConfig) -> PartOneResults {
         .par_iter()
         .map(|case| {
             let outcome = session.evaluate(&case.source, config.model, None);
-            PartOneRecord { case_id: case.case.id.clone(), issue: case.issue, outcome }
+            PartOneRecord {
+                case_id: case.case.id.clone(),
+                issue: case.issue,
+                outcome,
+            }
         })
         .collect();
-    PartOneResults { model: config.model, records }
+    PartOneResults {
+        model: config.model,
+        records,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -249,7 +262,11 @@ impl PartTwoRecord {
                 if !self.compile_ok || self.exec_passed != Some(true) {
                     return Verdict::Invalid;
                 }
-                let judge = if which == Evaluator::Pipeline1 { &self.llmj1 } else { &self.llmj2 };
+                let judge = if which == Evaluator::Pipeline1 {
+                    &self.llmj1
+                } else {
+                    &self.llmj2
+                };
                 self.judge_verdict(judge)
             }
         }
@@ -271,8 +288,12 @@ pub enum Evaluator {
 
 impl Evaluator {
     /// All evaluators in display order.
-    pub const ALL: [Evaluator; 4] =
-        [Evaluator::Llmj1, Evaluator::Llmj2, Evaluator::Pipeline1, Evaluator::Pipeline2];
+    pub const ALL: [Evaluator; 4] = [
+        Evaluator::Llmj1,
+        Evaluator::Llmj2,
+        Evaluator::Pipeline1,
+        Evaluator::Pipeline2,
+    ];
 
     /// Display label matching the paper's terminology.
     pub fn label(&self) -> &'static str {
@@ -342,23 +363,23 @@ pub fn run_part_two(config: &PartTwoConfig) -> PartTwoResults {
         })
         .collect();
 
-    let base = PipelineConfig {
-        compile_workers: config.compile_workers,
-        exec_workers: config.exec_workers,
-        judge_workers: config.judge_workers,
-        judge_seed: config.judge_seed,
-        ..PipelineConfig::default()
-    }
-    .record_all();
+    let base = ValidationService::builder()
+        .mode(PipelineMode::RecordAll)
+        .workers(
+            config.compile_workers,
+            config.exec_workers,
+            config.judge_workers,
+        )
+        .judge_seed(config.judge_seed);
 
-    let run_direct = ValidationPipeline::new(base.clone()).run(items.clone());
-    let run_indirect = ValidationPipeline::new(base.with_indirect_judge()).run(items);
+    let run_direct = base.clone().build().run(items.clone());
+    let run_indirect = base.indirect_judge().build().run(items);
 
     let records = probed
         .cases
         .iter()
-        .zip(run_direct.records.into_iter())
-        .zip(run_indirect.records.into_iter())
+        .zip(run_direct.records)
+        .zip(run_indirect.records)
         .map(|((case, direct), indirect)| {
             debug_assert_eq!(case.case.id, direct.id);
             debug_assert_eq!(case.case.id, indirect.id);
@@ -368,12 +389,17 @@ pub fn run_part_two(config: &PartTwoConfig) -> PartTwoResults {
                 compile_ok: direct.compile.succeeded,
                 exec_passed: direct.exec.as_ref().map(|e| e.passed),
                 llmj1: direct.judgement.expect("record-all mode judges every file"),
-                llmj2: indirect.judgement.expect("record-all mode judges every file"),
+                llmj2: indirect
+                    .judgement
+                    .expect("record-all mode judges every file"),
             }
         })
         .collect();
 
-    PartTwoResults { model: config.model, records }
+    PartTwoResults {
+        model: config.model,
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -422,8 +448,17 @@ mod tests {
         let results = run_part_two(&config);
         for record in &results.records {
             if record.issue.is_valid() {
-                assert!(record.compile_ok, "valid case {} must compile", record.case_id);
-                assert_eq!(record.exec_passed, Some(true), "valid case {} must pass", record.case_id);
+                assert!(
+                    record.compile_ok,
+                    "valid case {} must compile",
+                    record.case_id
+                );
+                assert_eq!(
+                    record.exec_passed,
+                    Some(true),
+                    "valid case {} must pass",
+                    record.case_id
+                );
             }
         }
     }

@@ -183,8 +183,14 @@ mod tests {
             figure_6(&p1_omp, &p2_omp),
         ];
         for (i, artifact) in artifacts.iter().enumerate() {
-            assert!(artifact.lines().count() >= 4, "artifact {i} too short:\n{artifact}");
-            assert!(artifact.contains('%') || artifact.contains("Bias"), "artifact {i}");
+            assert!(
+                artifact.lines().count() >= 4,
+                "artifact {i} too short:\n{artifact}"
+            );
+            assert!(
+                artifact.contains('%') || artifact.contains("Bias"),
+                "artifact {i}"
+            );
         }
         assert!(artifacts[0].contains("TABLE I"));
         assert!(artifacts[12].contains("FIGURE 6"));

@@ -253,7 +253,11 @@ mod tests {
 
     #[test]
     fn descriptions_mention_the_model() {
-        assert!(Feature::Acc(AccFeature::DataRegion).description().contains("OpenACC"));
-        assert!(Feature::Omp(OmpFeature::Simd).description().contains("OpenMP"));
+        assert!(Feature::Acc(AccFeature::DataRegion)
+            .description()
+            .contains("OpenACC"));
+        assert!(Feature::Omp(OmpFeature::Simd)
+            .description()
+            .contains("OpenMP"));
     }
 }

@@ -101,7 +101,13 @@ pub struct SuiteConfig {
 impl SuiteConfig {
     /// A suite configuration mirroring the paper's defaults for a model.
     pub fn new(model: DirectiveModel, size: usize, seed: u64) -> Self {
-        Self { model, size, seed, langs: vec![Lang::C, Lang::Cpp], features: Vec::new() }
+        Self {
+            model,
+            size,
+            seed,
+            langs: vec![Lang::C, Lang::Cpp],
+            features: Vec::new(),
+        }
     }
 
     /// Restrict to C files only (the paper's Part One OpenMP suite).
@@ -119,7 +125,11 @@ pub fn generate_suite(config: &SuiteConfig) -> TestSuite {
     } else {
         config.features.clone()
     };
-    assert!(!features.is_empty(), "no features available for {:?}", config.model);
+    assert!(
+        !features.is_empty(),
+        "no features available for {:?}",
+        config.model
+    );
 
     let mut cases = Vec::with_capacity(config.size);
     for index in 0..config.size {
@@ -132,10 +142,23 @@ pub fn generate_suite(config: &SuiteConfig) -> TestSuite {
             config.langs[rng.gen_range(0..config.langs.len())]
         };
         let source = templates::emit(feature, lang, &mut rng);
-        let id = format!("{}_{}_{index:04}", model_prefix(config.model), feature.name());
-        cases.push(TestCase { id, model: config.model, lang, feature, source });
+        let id = format!(
+            "{}_{}_{index:04}",
+            model_prefix(config.model),
+            feature.name()
+        );
+        cases.push(TestCase {
+            id,
+            model: config.model,
+            lang,
+            feature,
+            source,
+        });
     }
-    TestSuite { model: config.model, cases }
+    TestSuite {
+        model: config.model,
+        cases,
+    }
 }
 
 fn model_prefix(model: DirectiveModel) -> &'static str {
@@ -165,14 +188,21 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 1));
         let b = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 2));
-        assert!(a.cases.iter().zip(b.cases.iter()).any(|(x, y)| x.source != y.source));
+        assert!(a
+            .cases
+            .iter()
+            .zip(b.cases.iter())
+            .any(|(x, y)| x.source != y.source));
     }
 
     #[test]
     fn all_features_are_covered_in_a_large_suite() {
         let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 64, 7));
         let histogram = suite.feature_histogram();
-        assert_eq!(histogram.len(), Feature::all_for(DirectiveModel::OpenAcc).len());
+        assert_eq!(
+            histogram.len(),
+            Feature::all_for(DirectiveModel::OpenAcc).len()
+        );
     }
 
     #[test]

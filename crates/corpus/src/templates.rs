@@ -204,9 +204,9 @@ impl<'a> Elementwise<'a> {
         for pragma in &self.pragmas {
             s.push_str(&format!("{pragma}\n"));
         }
-        let body = self.loop_body.unwrap_or_else(|| {
-            format!("{b}[i] = {a}[i] * {scale}.0 + {shift}.0;")
-        });
+        let body = self
+            .loop_body
+            .unwrap_or_else(|| format!("{b}[i] = {a}[i] * {scale}.0 + {shift}.0;"));
         s.push_str(&format!(
             "{indent}    for (int i = 0; i < N; i++) {{\n{indent}        {body}\n{indent}    }}\n"
         ));
@@ -257,7 +257,13 @@ fn reduction_test(feature: Feature, lang: Lang, params: &Params, pragma: &str) -
 
 /// A counter test for atomic/critical constructs: every iteration increments
 /// a shared counter; the final value must equal N.
-fn counter_test(feature: Feature, lang: Lang, params: &Params, outer: &str, inner: Option<&str>) -> String {
+fn counter_test(
+    feature: Feature,
+    lang: Lang,
+    params: &Params,
+    outer: &str,
+    inner: Option<&str>,
+) -> String {
     let mut s = String::new();
     s.push_str(&header(feature, lang));
     s.push_str(&includes(lang));
@@ -318,7 +324,9 @@ fn emit_acc(feature: AccFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> 
     let out_clause = format!("{b}[0:N]");
     match feature {
         AccFeature::ParallelLoop => Elementwise::new(f, lang, p)
-            .pragma(format!("#pragma acc parallel loop copyin({n_clause}) copyout({out_clause})"))
+            .pragma(format!(
+                "#pragma acc parallel loop copyin({n_clause}) copyout({out_clause})"
+            ))
             .build(),
         AccFeature::ParallelLoopReduction => reduction_test(
             f,
@@ -327,20 +335,32 @@ fn emit_acc(feature: AccFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> 
             &format!("#pragma acc parallel loop reduction(+:sum) copyin({n_clause})"),
         ),
         AccFeature::KernelsLoop => Elementwise::new(f, lang, p)
-            .pragma(format!("#pragma acc kernels loop copyin({n_clause}) copyout({out_clause})"))
+            .pragma(format!(
+                "#pragma acc kernels loop copyin({n_clause}) copyout({out_clause})"
+            ))
             .build(),
         AccFeature::SerialLoop => Elementwise::new(f, lang, p)
-            .pragma(format!("#pragma acc serial loop copyin({n_clause}) copyout({out_clause})"))
+            .pragma(format!(
+                "#pragma acc serial loop copyin({n_clause}) copyout({out_clause})"
+            ))
             .build(),
         AccFeature::DataRegion => Elementwise::new(f, lang, p)
-            .region(format!("#pragma acc data copyin({n_clause}) copyout({out_clause})"))
+            .region(format!(
+                "#pragma acc data copyin({n_clause}) copyout({out_clause})"
+            ))
             .pragma("#pragma acc parallel loop")
             .build(),
         AccFeature::EnterExitData => Elementwise::new(f, lang, p)
-            .pre(format!("#pragma acc enter data copyin({n_clause}) create({out_clause})"))
-            .pragma(format!("#pragma acc parallel loop present({n_clause}) present({out_clause})"))
+            .pre(format!(
+                "#pragma acc enter data copyin({n_clause}) create({out_clause})"
+            ))
+            .pragma(format!(
+                "#pragma acc parallel loop present({n_clause}) present({out_clause})"
+            ))
             .post(format!("#pragma acc update self({out_clause})"))
-            .post(format!("#pragma acc exit data delete({n_clause}) delete({out_clause})"))
+            .post(format!(
+                "#pragma acc exit data delete({n_clause}) delete({out_clause})"
+            ))
             .build(),
         AccFeature::GangVector => Elementwise::new(f, lang, p)
             .pragma(format!(
@@ -351,7 +371,9 @@ fn emit_acc(feature: AccFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> 
             f,
             lang,
             p,
-            &format!("#pragma acc parallel loop collapse(2) copyin({a}[0:M*M]) copyout({b}[0:M*M])"),
+            &format!(
+                "#pragma acc parallel loop collapse(2) copyin({a}[0:M*M]) copyout({b}[0:M*M])"
+            ),
         ),
         AccFeature::Private => {
             let scale = p.scale;
@@ -432,7 +454,9 @@ fn emit_acc(feature: AccFeature, lang: Lang, p: &Params, rng: &mut impl Rng) -> 
             s
         }
         AccFeature::DataCopy => Elementwise::new(f, lang, p)
-            .region(format!("#pragma acc data copy({n_clause}) copy({out_clause})"))
+            .region(format!(
+                "#pragma acc data copy({n_clause}) copy({out_clause})"
+            ))
             .pragma("#pragma acc parallel loop")
             .build(),
     }

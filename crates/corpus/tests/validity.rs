@@ -26,7 +26,12 @@ fn assert_suite_valid(model: DirectiveModel, seed: u64, size: usize) {
             "case {} failed at runtime (stdout: {} stderr: {}):\n{}",
             case.id, ran.stdout, ran.stderr, case.source
         );
-        assert!(ran.stdout.contains("Test passed"), "case {} printed: {}", case.id, ran.stdout);
+        assert!(
+            ran.stdout.contains("Test passed"),
+            "case {} printed: {}",
+            case.id,
+            ran.stdout
+        );
     }
 }
 
@@ -59,8 +64,16 @@ fn non_directive_programs_compile_and_run_cleanly() {
     for _ in 0..20 {
         let code = vv_corpus::generate_non_directive_code(&mut rng);
         let compiled = compiler.compile(&code, vv_simcompiler::Lang::C);
-        assert!(compiled.succeeded(), "random code failed to compile:\n{}\n{code}", compiled.stderr);
+        assert!(
+            compiled.succeeded(),
+            "random code failed to compile:\n{}\n{code}",
+            compiled.stderr
+        );
         let ran = executor.run(&compiled.artifact.unwrap());
-        assert_eq!(ran.return_code, 0, "random code failed at runtime: {}\n{code}", ran.stderr);
+        assert_eq!(
+            ran.return_code, 0,
+            "random code failed at runtime: {}\n{code}",
+            ran.stderr
+        );
     }
 }

@@ -67,12 +67,22 @@ pub struct Type {
 impl Type {
     /// A plain scalar type.
     pub fn scalar(base: BaseType) -> Self {
-        Self { base, pointers: 0, is_const: false, is_unsigned: false }
+        Self {
+            base,
+            pointers: 0,
+            is_const: false,
+            is_unsigned: false,
+        }
     }
 
     /// A single-level pointer to the base type.
     pub fn pointer(base: BaseType) -> Self {
-        Self { base, pointers: 1, is_const: false, is_unsigned: false }
+        Self {
+            base,
+            pointers: 1,
+            is_const: false,
+            is_unsigned: false,
+        }
     }
 
     /// True if this is any pointer type.
@@ -147,7 +157,10 @@ impl BinOp {
 
     /// True for comparison operators (result is a boolean-like int).
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
     }
 }
 
@@ -215,23 +228,58 @@ pub enum Expr {
     /// Identifier reference.
     Ident(String, Span),
     /// Unary operation.
-    Unary { op: UnOp, expr: Box<Expr>, span: Span },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+        span: Span,
+    },
     /// Binary operation.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, span: Span },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
     /// Assignment (also usable as an expression).
-    Assign { op: AssignOp, target: Box<Expr>, value: Box<Expr>, span: Span },
+    Assign {
+        op: AssignOp,
+        target: Box<Expr>,
+        value: Box<Expr>,
+        span: Span,
+    },
     /// Function call.
-    Call { name: String, args: Vec<Expr>, span: Span },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// Array / pointer indexing.
-    Index { base: Box<Expr>, index: Box<Expr>, span: Span },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        span: Span,
+    },
     /// C-style cast.
-    Cast { ty: Type, expr: Box<Expr>, span: Span },
+    Cast {
+        ty: Type,
+        expr: Box<Expr>,
+        span: Span,
+    },
     /// `sizeof(type)`.
     SizeofType { ty: Type, span: Span },
     /// Ternary conditional.
-    Ternary { cond: Box<Expr>, then_expr: Box<Expr>, else_expr: Box<Expr>, span: Span },
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+        span: Span,
+    },
     /// Postfix increment/decrement.
-    Postfix { target: Box<Expr>, decrement: bool, span: Span },
+    Postfix {
+        target: Box<Expr>,
+        decrement: bool,
+        span: Span,
+    },
 }
 
 impl Expr {
@@ -278,7 +326,12 @@ impl Expr {
                 index.visit_idents(f);
             }
             Expr::Cast { expr, .. } => expr.visit_idents(f),
-            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
                 cond.visit_idents(f);
                 then_expr.visit_idents(f);
                 else_expr.visit_idents(f);
@@ -321,7 +374,12 @@ pub enum Stmt {
     /// An expression statement.
     Expr(Expr),
     /// `if (...) ... [else ...]`
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+        span: Span,
+    },
     /// `for (init; cond; step) body`
     For {
         init: Option<Box<Stmt>>,
@@ -331,9 +389,17 @@ pub enum Stmt {
         span: Span,
     },
     /// `while (cond) body`
-    While { cond: Expr, body: Box<Stmt>, span: Span },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
     /// `do body while (cond);`
-    DoWhile { body: Box<Stmt>, cond: Expr, span: Span },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+        span: Span,
+    },
     /// `return [expr];`
     Return(Option<Expr>, Span),
     /// `break;`
@@ -343,7 +409,10 @@ pub enum Stmt {
     /// A nested block.
     Block(Block),
     /// A directive (pragma), optionally governing the statement that follows.
-    Directive { directive: Directive, body: Option<Box<Stmt>> },
+    Directive {
+        directive: Directive,
+        body: Option<Box<Stmt>>,
+    },
     /// An empty statement (`;`).
     Empty(Span),
 }
@@ -371,7 +440,11 @@ impl Stmt {
     pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
         f(self);
         match self {
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.visit(f);
                 if let Some(e) = else_branch {
                     e.visit(f);
@@ -389,11 +462,7 @@ impl Stmt {
                     s.visit(f);
                 }
             }
-            Stmt::Directive { body, .. } => {
-                if let Some(b) = body {
-                    b.visit(f);
-                }
-            }
+            Stmt::Directive { body: Some(b), .. } => b.visit(f),
             _ => {}
         }
     }
@@ -493,7 +562,12 @@ mod tests {
     fn type_render() {
         assert_eq!(Type::scalar(BaseType::Int).render(), "int");
         assert_eq!(Type::pointer(BaseType::Double).render(), "double *");
-        let t = Type { base: BaseType::Float, pointers: 2, is_const: true, is_unsigned: false };
+        let t = Type {
+            base: BaseType::Float,
+            pointers: 2,
+            is_const: true,
+            is_unsigned: false,
+        };
         assert_eq!(t.render(), "const float * *");
     }
 
@@ -536,7 +610,10 @@ mod tests {
         let inner = Stmt::Return(None, span);
         let stmt = Stmt::If {
             cond: Expr::IntLit(1, span),
-            then_branch: Box::new(Stmt::Block(Block { stmts: vec![inner], span })),
+            then_branch: Box::new(Stmt::Block(Block {
+                stmts: vec![inner],
+                span,
+            })),
             else_branch: None,
             span,
         };

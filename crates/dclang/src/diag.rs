@@ -43,17 +43,32 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct an error diagnostic.
     pub fn error(span: Span, code: &'static str, message: impl Into<String>) -> Self {
-        Self { severity: Severity::Error, span, message: message.into(), code }
+        Self {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            code,
+        }
     }
 
     /// Construct a warning diagnostic.
     pub fn warning(span: Span, code: &'static str, message: impl Into<String>) -> Self {
-        Self { severity: Severity::Warning, span, message: message.into(), code }
+        Self {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            code,
+        }
     }
 
     /// Construct a note diagnostic.
     pub fn note(span: Span, code: &'static str, message: impl Into<String>) -> Self {
-        Self { severity: Severity::Note, span, message: message.into(), code }
+        Self {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+            code,
+        }
     }
 
     /// True if this diagnostic is an error.

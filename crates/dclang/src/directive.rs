@@ -63,12 +63,18 @@ pub struct Clause {
 impl Clause {
     /// Construct a clause without arguments.
     pub fn bare(name: impl Into<String>) -> Self {
-        Self { name: name.into(), args: None }
+        Self {
+            name: name.into(),
+            args: None,
+        }
     }
 
     /// Construct a clause with an argument list.
     pub fn with_args(name: impl Into<String>, args: impl Into<String>) -> Self {
-        Self { name: name.into(), args: Some(args.into()) }
+        Self {
+            name: name.into(),
+            args: Some(args.into()),
+        }
     }
 
     /// Render the clause back to source text.
@@ -161,16 +167,59 @@ impl Directive {
 
 /// Words that may form part of an OpenACC directive name.
 const ACC_CONSTRUCT_WORDS: &[&str] = &[
-    "parallel", "kernels", "serial", "loop", "data", "enter", "exit", "host_data", "update",
-    "wait", "cache", "atomic", "declare", "routine", "init", "shutdown", "set",
+    "parallel",
+    "kernels",
+    "serial",
+    "loop",
+    "data",
+    "enter",
+    "exit",
+    "host_data",
+    "update",
+    "wait",
+    "cache",
+    "atomic",
+    "declare",
+    "routine",
+    "init",
+    "shutdown",
+    "set",
 ];
 
 /// Words that may form part of an OpenMP directive name.
 const OMP_CONSTRUCT_WORDS: &[&str] = &[
-    "target", "teams", "distribute", "parallel", "for", "simd", "sections", "section", "single",
-    "master", "critical", "barrier", "taskwait", "taskyield", "taskgroup", "atomic", "flush",
-    "ordered", "task", "taskloop", "declare", "threadprivate", "data", "enter", "exit", "update",
-    "end", "reduction", "loop", "requires", "scan", "masked",
+    "target",
+    "teams",
+    "distribute",
+    "parallel",
+    "for",
+    "simd",
+    "sections",
+    "section",
+    "single",
+    "master",
+    "critical",
+    "barrier",
+    "taskwait",
+    "taskyield",
+    "taskgroup",
+    "atomic",
+    "flush",
+    "ordered",
+    "task",
+    "taskloop",
+    "declare",
+    "threadprivate",
+    "data",
+    "enter",
+    "exit",
+    "update",
+    "end",
+    "reduction",
+    "loop",
+    "requires",
+    "scan",
+    "masked",
 ];
 
 fn construct_words(model: DirectiveModel) -> &'static [&'static str] {
@@ -224,14 +273,23 @@ fn scan_items(text: &str) -> Vec<PragmaItem> {
                     k += 1;
                 }
                 let arg_end = k.min(chars.len());
-                args = Some(chars[arg_start..arg_end].iter().collect::<String>().trim().to_string());
+                args = Some(
+                    chars[arg_start..arg_end]
+                        .iter()
+                        .collect::<String>()
+                        .trim()
+                        .to_string(),
+                );
                 i = (k + 1).min(chars.len());
             }
             items.push(PragmaItem { word, args });
         } else {
             // Unexpected punctuation in a pragma; keep it as an opaque word so
             // the spec validator can flag it.
-            items.push(PragmaItem { word: c.to_string(), args: None });
+            items.push(PragmaItem {
+                word: c.to_string(),
+                args: None,
+            });
             i += 1;
         }
     }
@@ -243,7 +301,10 @@ pub fn parse_pragma(text: &str, span: Span) -> Directive {
     let raw = text.trim().to_string();
     let mut items = scan_items(&raw).into_iter();
     let sentinel_item = items.next();
-    let sentinel = sentinel_item.as_ref().map(|i| i.word.clone()).unwrap_or_default();
+    let sentinel = sentinel_item
+        .as_ref()
+        .map(|i| i.word.clone())
+        .unwrap_or_default();
     let model = match sentinel.as_str() {
         "acc" => Some(DirectiveModel::OpenAcc),
         "omp" => Some(DirectiveModel::OpenMp),
@@ -262,18 +323,31 @@ pub fn parse_pragma(text: &str, span: Span) -> Directive {
                 name.push(lower);
             } else {
                 in_clauses = true;
-                clauses.push(Clause { name: lower, args: item.args });
+                clauses.push(Clause {
+                    name: lower,
+                    args: item.args,
+                });
             }
         }
     } else {
         // Unknown sentinel (e.g. `#pragma once`, or a corrupted pragma):
         // everything after the sentinel is treated as clause-like payload.
         for item in items {
-            clauses.push(Clause { name: item.word.to_ascii_lowercase(), args: item.args });
+            clauses.push(Clause {
+                name: item.word.to_ascii_lowercase(),
+                args: item.args,
+            });
         }
     }
 
-    Directive { model, sentinel, name, clauses, raw, span }
+    Directive {
+        model,
+        sentinel,
+        name,
+        clauses,
+        raw,
+        span,
+    }
 }
 
 #[cfg(test)]
@@ -290,16 +364,23 @@ mod tests {
         assert_eq!(d.model, Some(DirectiveModel::OpenAcc));
         assert_eq!(d.name, vec!["parallel", "loop"]);
         assert_eq!(d.clauses.len(), 4);
-        assert_eq!(d.clause("reduction").unwrap().args.as_deref(), Some("+:sum"));
+        assert_eq!(
+            d.clause("reduction").unwrap().args.as_deref(),
+            Some("+:sum")
+        );
         assert_eq!(d.clause("copyin").unwrap().args.as_deref(), Some("a[0:N]"));
         assert!(!d.is_standalone());
     }
 
     #[test]
     fn parse_omp_target_combined() {
-        let d = parse("omp target teams distribute parallel for map(tofrom: c[0:N]) reduction(+:err)");
+        let d =
+            parse("omp target teams distribute parallel for map(tofrom: c[0:N]) reduction(+:err)");
         assert_eq!(d.model, Some(DirectiveModel::OpenMp));
-        assert_eq!(d.name, vec!["target", "teams", "distribute", "parallel", "for"]);
+        assert_eq!(
+            d.name,
+            vec!["target", "teams", "distribute", "parallel", "for"]
+        );
         assert!(d.clause("map").is_some());
         assert!(!d.is_standalone());
     }
@@ -351,7 +432,10 @@ mod tests {
     #[test]
     fn nested_parens_in_clause_args() {
         let d = parse("omp parallel for if((n > 0) && (m > 0))");
-        assert_eq!(d.clause("if").unwrap().args.as_deref(), Some("(n > 0) && (m > 0)"));
+        assert_eq!(
+            d.clause("if").unwrap().args.as_deref(),
+            Some("(n > 0) && (m > 0)")
+        );
     }
 
     #[test]

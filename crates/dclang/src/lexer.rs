@@ -166,9 +166,11 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 if !closed {
-                    self.out
-                        .diagnostics
-                        .push(Diagnostic::error(start, "comment", "unterminated block comment"));
+                    self.out.diagnostics.push(Diagnostic::error(
+                        start,
+                        "comment",
+                        "unterminated block comment",
+                    ));
                 }
             } else {
                 return;
@@ -243,7 +245,9 @@ impl<'a> Lexer<'a> {
             self.out.defines.push((name, value));
         } else if let Some(rest) = trimmed.strip_prefix("pragma") {
             let payload = rest.trim().to_string();
-            self.out.tokens.push(Token::new(TokenKind::Pragma(payload), span));
+            self.out
+                .tokens
+                .push(Token::new(TokenKind::Pragma(payload), span));
         } else if trimmed.starts_with("ifdef")
             || trimmed.starts_with("ifndef")
             || trimmed.starts_with("endif")
@@ -299,7 +303,9 @@ impl<'a> Lexer<'a> {
                 0
             });
             self.consume_number_suffix();
-            self.out.tokens.push(Token::new(TokenKind::IntLit(value), span));
+            self.out
+                .tokens
+                .push(Token::new(TokenKind::IntLit(value), span));
             return;
         }
         while self.peek().is_ascii_digit() {
@@ -343,7 +349,9 @@ impl<'a> Lexer<'a> {
                 ));
                 0.0
             });
-            self.out.tokens.push(Token::new(TokenKind::FloatLit(value), span));
+            self.out
+                .tokens
+                .push(Token::new(TokenKind::FloatLit(value), span));
         } else {
             let value = text.parse::<i64>().unwrap_or_else(|_| {
                 self.out.diagnostics.push(Diagnostic::error(
@@ -353,7 +361,9 @@ impl<'a> Lexer<'a> {
                 ));
                 0
             });
-            self.out.tokens.push(Token::new(TokenKind::IntLit(value), span));
+            self.out
+                .tokens
+                .push(Token::new(TokenKind::IntLit(value), span));
         }
     }
 
@@ -399,7 +409,9 @@ impl<'a> Lexer<'a> {
                 value.push(c);
             }
         }
-        self.out.tokens.push(Token::new(TokenKind::StrLit(value), span));
+        self.out
+            .tokens
+            .push(Token::new(TokenKind::StrLit(value), span));
     }
 
     fn lex_char(&mut self, span: Span) {
@@ -419,7 +431,9 @@ impl<'a> Lexer<'a> {
                 "missing terminating ' character",
             ));
         }
-        self.out.tokens.push(Token::new(TokenKind::CharLit(c), span));
+        self.out
+            .tokens
+            .push(Token::new(TokenKind::CharLit(c), span));
     }
 
     fn lex_punct(&mut self, span: Span) {
@@ -478,7 +492,9 @@ impl<'a> Lexer<'a> {
         for _ in 0..extra {
             self.bump();
         }
-        self.out.tokens.push(Token::new(TokenKind::Punct(punct), span));
+        self.out
+            .tokens
+            .push(Token::new(TokenKind::Punct(punct), span));
     }
 
     /// The original source this lexer was constructed over.
@@ -554,7 +570,12 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        Lexer::new(source).lex().tokens.into_iter().map(|t| t.kind).collect()
+        Lexer::new(source)
+            .lex()
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -95,7 +95,10 @@ impl Parser {
                 return Err(Diagnostic::error(
                     tok.span,
                     "syntax",
-                    format!("expected a declaration or function definition, found {}", tok),
+                    format!(
+                        "expected a declaration or function definition, found {}",
+                        tok
+                    ),
                 ));
             }
         }
@@ -237,7 +240,12 @@ impl Parser {
             self.bump();
             pointers = pointers.saturating_add(1);
         }
-        Ok(Type { base, pointers, is_const, is_unsigned })
+        Ok(Type {
+            base,
+            pointers,
+            is_const,
+            is_unsigned,
+        })
     }
 
     fn parse_function_rest(
@@ -265,7 +273,11 @@ impl Parser {
                         self.expect_punct(Punct::RBracket, "to close array parameter")?;
                         ty.pointers = ty.pointers.saturating_add(1);
                     }
-                    params.push(Param { ty, name: pname, span: pspan });
+                    params.push(Param {
+                        ty,
+                        name: pname,
+                        span: pspan,
+                    });
                     if !self.eat_punct(Punct::Comma) {
                         break;
                     }
@@ -274,7 +286,14 @@ impl Parser {
         }
         self.expect_punct(Punct::RParen, "to close the parameter list")?;
         let body = self.parse_block()?;
-        Ok(Function { ret, name, params, body, span: name_span, leading_directives: Vec::new() })
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+            span: name_span,
+            leading_directives: Vec::new(),
+        })
     }
 
     fn parse_declarators_rest(
@@ -307,7 +326,13 @@ impl Parser {
             } else {
                 None
             };
-            decls.push(VarDecl { ty: current_ty, name, array_dims, init, span });
+            decls.push(VarDecl {
+                ty: current_ty,
+                name,
+                array_dims,
+                init,
+                span,
+            });
             if self.eat_punct(Punct::Comma) {
                 // Subsequent declarators carry their own pointer level
                 // (`double *a, b;` declares a pointer and a scalar).
@@ -363,7 +388,10 @@ impl Parser {
                 let directive = parse_pragma(text, tok.span);
                 self.bump();
                 if directive.is_standalone() {
-                    Ok(Stmt::Directive { directive, body: None })
+                    Ok(Stmt::Directive {
+                        directive,
+                        body: None,
+                    })
                 } else if self.check_punct(Punct::RBrace) || self.at_eof() {
                     // A structured directive with nothing to govern; the
                     // simulated compiler reports this as a semantic error.
@@ -375,10 +403,16 @@ impl Parser {
                             directive.display_name()
                         ),
                     ));
-                    Ok(Stmt::Directive { directive, body: None })
+                    Ok(Stmt::Directive {
+                        directive,
+                        body: None,
+                    })
                 } else {
                     let body = self.parse_stmt()?;
-                    Ok(Stmt::Directive { directive, body: Some(Box::new(body)) })
+                    Ok(Stmt::Directive {
+                        directive,
+                        body: Some(Box::new(body)),
+                    })
                 }
             }
             TokenKind::Keyword(Keyword::If) => self.parse_if(),
@@ -431,7 +465,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_branch, else_branch, span })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        })
     }
 
     fn parse_for(&mut self) -> PResult<Stmt> {
@@ -449,12 +488,26 @@ impl Parser {
             self.expect_punct(Punct::Semi, "after 'for' initializer")?;
             Some(Box::new(Stmt::Expr(expr)))
         };
-        let cond = if self.check_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
+        let cond = if self.check_punct(Punct::Semi) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
         self.expect_punct(Punct::Semi, "after 'for' condition")?;
-        let step = if self.check_punct(Punct::RParen) { None } else { Some(self.parse_expr()?) };
+        let step = if self.check_punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
         self.expect_punct(Punct::RParen, "to close the 'for' header")?;
         let body = Box::new(self.parse_stmt()?);
-        Ok(Stmt::For { init, cond, step, body, span })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
     }
 
     fn parse_while(&mut self) -> PResult<Stmt> {
@@ -507,7 +560,12 @@ impl Parser {
         if let Some(op) = op {
             let span = self.bump().span;
             let value = self.parse_assignment_expr()?;
-            Ok(Expr::Assign { op, target: Box::new(lhs), value: Box::new(value), span })
+            Ok(Expr::Assign {
+                op,
+                target: Box::new(lhs),
+                value: Box::new(value),
+                span,
+            })
         } else {
             Ok(lhs)
         }
@@ -565,7 +623,12 @@ impl Parser {
         while let Some((op, level)) = self.binary_op_for(min_level) {
             let span = self.bump().span;
             let rhs = self.parse_binary(level + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -590,7 +653,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let expr = self.parse_unary()?;
-            return Ok(Expr::Unary { op, expr: Box::new(expr), span: tok.span });
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+                span: tok.span,
+            });
         }
         // C-style cast: '(' type ')' unary
         if tok.is_punct(Punct::LParen) {
@@ -600,7 +667,11 @@ impl Parser {
                     let ty = self.parse_type()?;
                     self.expect_punct(Punct::RParen, "to close the cast")?;
                     let expr = self.parse_unary()?;
-                    return Ok(Expr::Cast { ty, expr: Box::new(expr), span });
+                    return Ok(Expr::Cast {
+                        ty,
+                        expr: Box::new(expr),
+                        span,
+                    });
                 }
             }
         }
@@ -614,7 +685,11 @@ impl Parser {
                 let span = self.bump().span;
                 let index = self.parse_expr()?;
                 self.expect_punct(Punct::RBracket, "to close the subscript")?;
-                expr = Expr::Index { base: Box::new(expr), index: Box::new(index), span };
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    span,
+                };
             } else if self.check_punct(Punct::LParen) {
                 let span = self.bump().span;
                 let name = match &expr {
@@ -640,10 +715,18 @@ impl Parser {
                 expr = Expr::Call { name, args, span };
             } else if self.check_punct(Punct::PlusPlus) {
                 let span = self.bump().span;
-                expr = Expr::Postfix { target: Box::new(expr), decrement: false, span };
+                expr = Expr::Postfix {
+                    target: Box::new(expr),
+                    decrement: false,
+                    span,
+                };
             } else if self.check_punct(Punct::MinusMinus) {
                 let span = self.bump().span;
-                expr = Expr::Postfix { target: Box::new(expr), decrement: true, span };
+                expr = Expr::Postfix {
+                    target: Box::new(expr),
+                    decrement: true,
+                    span,
+                };
             } else {
                 break;
             }
@@ -671,7 +754,10 @@ impl Parser {
                     // which matches its use in allocation expressions.
                     let _ = self.parse_expr()?;
                     self.expect_punct(Punct::RParen, "to close 'sizeof'")?;
-                    Ok(Expr::SizeofType { ty: Type::scalar(BaseType::Double), span: tok.span })
+                    Ok(Expr::SizeofType {
+                        ty: Type::scalar(BaseType::Double),
+                        span: tok.span,
+                    })
                 }
             }
             TokenKind::Punct(Punct::LParen) => {
@@ -695,7 +781,10 @@ mod tests {
 
     fn parse_ok(src: &str) -> TranslationUnit {
         let lexed = Lexer::new(src).lex();
-        Parser::new(lexed).parse().expect("parse should succeed").unit
+        Parser::new(lexed)
+            .parse()
+            .expect("parse should succeed")
+            .unit
     }
 
     fn parse_err(src: &str) -> Vec<Diagnostic> {
@@ -719,9 +808,8 @@ mod tests {
 
     #[test]
     fn parse_pointer_decl_with_malloc_cast() {
-        let unit = parse_ok(
-            "int main() { double *a = (double *)malloc(10 * sizeof(double)); return 0; }",
-        );
+        let unit =
+            parse_ok("int main() { double *a = (double *)malloc(10 * sizeof(double)); return 0; }");
         let f = unit.function("main").unwrap();
         match &f.body.stmts[0] {
             Stmt::Decl(decls) => {
@@ -759,9 +847,8 @@ mod tests {
 
     #[test]
     fn parse_standalone_directive_has_no_body() {
-        let unit = parse_ok(
-            "int main() {\nint a[4];\n#pragma acc enter data copyin(a[0:4])\nreturn 0; }",
-        );
+        let unit =
+            parse_ok("int main() {\nint a[4];\n#pragma acc enter data copyin(a[0:4])\nreturn 0; }");
         let f = unit.function("main").unwrap();
         match &f.body.stmts[1] {
             Stmt::Directive { body, .. } => assert!(body.is_none()),
@@ -780,7 +867,9 @@ mod tests {
     #[test]
     fn missing_close_brace_is_error() {
         let diags = parse_err("int main() { return 0; ");
-        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("'}'")));
+        assert!(diags
+            .iter()
+            .any(|d| d.is_error() && d.message.contains("'}'")));
     }
 
     #[test]
@@ -792,12 +881,15 @@ mod tests {
     #[test]
     fn missing_semicolon_is_error() {
         let diags = parse_err("int main() { int a = 3 return a; }");
-        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("';'")));
+        assert!(diags
+            .iter()
+            .any(|d| d.is_error() && d.message.contains("';'")));
     }
 
     #[test]
     fn ternary_and_logical_ops_parse() {
-        let unit = parse_ok("int main() { int a = 1; int b = (a > 0 && a < 5) ? a : -a; return b; }");
+        let unit =
+            parse_ok("int main() { int a = 1; int b = (a > 0 && a < 5) ? a : -a; return b; }");
         assert_eq!(unit.function("main").unwrap().body.stmts.len(), 3);
     }
 
@@ -833,9 +925,18 @@ mod tests {
         let f = unit.function("main").unwrap();
         assert!(matches!(
             f.body.stmts[1],
-            Stmt::Expr(Expr::Assign { op: AssignOp::AddAssign, .. })
+            Stmt::Expr(Expr::Assign {
+                op: AssignOp::AddAssign,
+                ..
+            })
         ));
-        assert!(matches!(f.body.stmts[2], Stmt::Expr(Expr::Postfix { decrement: true, .. })));
+        assert!(matches!(
+            f.body.stmts[2],
+            Stmt::Expr(Expr::Postfix {
+                decrement: true,
+                ..
+            })
+        ));
     }
 
     #[test]

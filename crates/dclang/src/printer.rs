@@ -15,7 +15,10 @@ pub fn print_unit(unit: &TranslationUnit) -> String {
 
 /// Render a single statement at the given indentation level.
 pub fn print_stmt(stmt: &Stmt, indent: usize) -> String {
-    let mut p = Printer { indent, ..Default::default() };
+    let mut p = Printer {
+        indent,
+        ..Default::default()
+    };
     p.stmt(stmt);
     p.out
 }
@@ -84,7 +87,12 @@ impl Printer {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        self.line(&format!("{} {}({}) {{", func.ret.render(), func.name, params));
+        self.line(&format!(
+            "{} {}({}) {{",
+            func.ret.render(),
+            func.name,
+            params
+        ));
         self.indent += 1;
         for stmt in &func.body.stmts {
             self.stmt(stmt);
@@ -119,7 +127,12 @@ impl Printer {
                 let rendered = print_expr(expr);
                 self.line(&format!("{rendered};"));
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.line(&format!("if ({}) {{", print_expr(cond)));
                 self.indent += 1;
                 self.stmt_unwrapped(then_branch);
@@ -132,9 +145,17 @@ impl Printer {
                 }
                 self.line("}");
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 let init_s = match init.as_deref() {
-                    Some(Stmt::Decl(decls)) if decls.len() == 1 => self.render_declarator(&decls[0]),
+                    Some(Stmt::Decl(decls)) if decls.len() == 1 => {
+                        self.render_declarator(&decls[0])
+                    }
                     Some(Stmt::Expr(e)) => print_expr(e),
                     _ => String::new(),
                 };
@@ -218,10 +239,22 @@ fn render_expr(expr: &Expr) -> String {
         Expr::Ident(name, _) => name.clone(),
         Expr::Unary { op, expr, .. } => format!("{}{}", op.as_str(), render_operand(expr)),
         Expr::Binary { op, lhs, rhs, .. } => {
-            format!("{} {} {}", render_operand(lhs), op.as_str(), render_operand(rhs))
+            format!(
+                "{} {} {}",
+                render_operand(lhs),
+                op.as_str(),
+                render_operand(rhs)
+            )
         }
-        Expr::Assign { op, target, value, .. } => {
-            format!("{} {} {}", render_expr(target), op.as_str(), render_expr(value))
+        Expr::Assign {
+            op, target, value, ..
+        } => {
+            format!(
+                "{} {} {}",
+                render_expr(target),
+                op.as_str(),
+                render_expr(value)
+            )
         }
         Expr::Call { name, args, .. } => {
             let args: Vec<String> = args.iter().map(render_expr).collect();
@@ -232,14 +265,25 @@ fn render_expr(expr: &Expr) -> String {
         }
         Expr::Cast { ty, expr, .. } => format!("({}){}", ty.render(), render_operand(expr)),
         Expr::SizeofType { ty, .. } => format!("sizeof({})", ty.render()),
-        Expr::Ternary { cond, then_expr, else_expr, .. } => format!(
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => format!(
             "{} ? {} : {}",
             render_operand(cond),
             render_expr(then_expr),
             render_expr(else_expr)
         ),
-        Expr::Postfix { target, decrement, .. } => {
-            format!("{}{}", render_operand(target), if *decrement { "--" } else { "++" })
+        Expr::Postfix {
+            target, decrement, ..
+        } => {
+            format!(
+                "{}{}",
+                render_operand(target),
+                if *decrement { "--" } else { "++" }
+            )
         }
     }
 }
@@ -316,7 +360,10 @@ int main() {
         let printed = print_unit(&first.unit);
         let second = parse_source(&printed).expect("parse printed output");
         let reprinted = print_unit(&second.unit);
-        assert_eq!(printed, reprinted, "printer must reach a fixpoint after one round trip");
+        assert_eq!(
+            printed, reprinted,
+            "printer must reach a fixpoint after one round trip"
+        );
         assert_eq!(first.unit.functions.len(), second.unit.functions.len());
         assert_eq!(
             first.unit.all_directives().len(),

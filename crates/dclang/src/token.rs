@@ -27,7 +27,10 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Look up a keyword from an identifier-like lexeme.
+    /// Look up a keyword from an identifier-like lexeme. Unlike
+    /// `std::str::FromStr`, absence is an expected outcome (most lexemes
+    /// are identifiers), hence `Option` instead of `Result`.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "void" => Keyword::Void,

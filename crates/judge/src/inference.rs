@@ -21,12 +21,20 @@ impl InferenceCostModel {
     /// Rough figures for deepseek-coder-33B-instruct on a single A100-80GB
     /// (fp16, no tensor parallelism): prefill ~2000 tok/s, decode ~35 tok/s.
     pub fn deepseek_33b_a100() -> Self {
-        Self { base_ms: 120.0, prompt_ms_per_token: 0.5, output_ms_per_token: 28.0 }
+        Self {
+            base_ms: 120.0,
+            prompt_ms_per_token: 0.5,
+            output_ms_per_token: 28.0,
+        }
     }
 
     /// A much smaller/faster judge, used in ablation benchmarks.
     pub fn small_7b_gpu() -> Self {
-        Self { base_ms: 40.0, prompt_ms_per_token: 0.12, output_ms_per_token: 7.0 }
+        Self {
+            base_ms: 40.0,
+            prompt_ms_per_token: 0.12,
+            output_ms_per_token: 7.0,
+        }
     }
 
     /// Estimated latency in milliseconds for one call.

@@ -42,7 +42,7 @@ pub use tokenizer::estimate_tokens;
 use vv_dclang::DirectiveModel;
 
 /// Everything recorded about judging one file.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JudgeOutcome {
     /// The prompt that was sent to the (surrogate) model.
     pub prompt: String,
@@ -82,7 +82,11 @@ pub struct JudgeSession {
 impl JudgeSession {
     /// Create a session.
     pub fn new(judge: SurrogateLlmJudge, style: PromptStyle) -> Self {
-        Self { judge, style, cost: InferenceCostModel::deepseek_33b_a100() }
+        Self {
+            judge,
+            style,
+            cost: InferenceCostModel::deepseek_33b_a100(),
+        }
     }
 
     /// Judge one source file. `tools` carries the compiler/runtime outputs
@@ -100,7 +104,14 @@ impl JudgeSession {
         let prompt_tokens = estimate_tokens(&prompt);
         let response_tokens = estimate_tokens(&response);
         let latency_ms = self.cost.latency_ms(prompt_tokens, response_tokens);
-        JudgeOutcome { prompt, response, verdict, prompt_tokens, response_tokens, latency_ms }
+        JudgeOutcome {
+            prompt,
+            response,
+            verdict,
+            prompt_tokens,
+            response_tokens,
+            latency_ms,
+        }
     }
 }
 
@@ -131,8 +142,16 @@ int main() {
         let judge = SurrogateLlmJudge::new(JudgeProfile::deepseek_agent_direct(), 7);
         let session = JudgeSession::new(judge, PromptStyle::AgentDirect);
         let tools = ToolContext {
-            compile: Some(ToolRecord { return_code: 0, stdout: String::new(), stderr: String::new() }),
-            run: Some(ToolRecord { return_code: 0, stdout: "Test passed\n".into(), stderr: String::new() }),
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: String::new(),
+                stderr: String::new(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "Test passed\n".into(),
+                stderr: String::new(),
+            }),
         };
         let outcome = session.evaluate(VALID_ACC, DirectiveModel::OpenAcc, Some(&tools));
         assert!(outcome.verdict.is_some(), "response: {}", outcome.response);

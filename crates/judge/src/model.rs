@@ -77,7 +77,10 @@ pub fn extract_signals(prompt: &str, model: DirectiveModel) -> CodeSignals {
         signals.runtime_failed = rc != 0;
     }
     if let Some(run_section) = prompt.split("When the compiled code is run").nth(1) {
-        let before_code = run_section.split("Here is the code").next().unwrap_or(run_section);
+        let before_code = run_section
+            .split("Here is the code")
+            .next()
+            .unwrap_or(run_section);
         signals.outputs_mention_pass = before_code.to_ascii_lowercase().contains("pass");
     }
     signals
@@ -134,8 +137,12 @@ fn find_undeclared_assignment(code: &str, declared: &HashSet<String>) -> Option<
             continue;
         }
         // Lines that themselves declare something are fine.
-        if TYPE_KEYWORDS.iter().any(|k| trimmed.starts_with(&format!("{k} ")))
-            || TYPE_KEYWORDS.iter().any(|k| trimmed.starts_with(&format!("const {k}")))
+        if TYPE_KEYWORDS
+            .iter()
+            .any(|k| trimmed.starts_with(&format!("{k} ")))
+            || TYPE_KEYWORDS
+                .iter()
+                .any(|k| trimmed.starts_with(&format!("const {k}")))
         {
             continue;
         }
@@ -175,11 +182,7 @@ fn is_common_keyword(word: &str) -> bool {
     )
 }
 
-fn find_corrupted_directive(
-    code: &str,
-    model: DirectiveModel,
-    sentinel: &str,
-) -> Option<String> {
+fn find_corrupted_directive(code: &str, model: DirectiveModel, sentinel: &str) -> Option<String> {
     for line in code.lines() {
         let trimmed = line.trim_start();
         if !trimmed.starts_with(sentinel) {
@@ -228,7 +231,8 @@ fn find_unallocated_pointer(code: &str) -> Option<String> {
             continue;
         }
         let indexed = code.contains(&format!("{name}["));
-        let assigned_later = code.contains(&format!("{name} = (")) || code.contains(&format!("{name} = malloc"));
+        let assigned_later =
+            code.contains(&format!("{name} = (")) || code.contains(&format!("{name} = malloc"));
         if indexed && !assigned_later {
             return Some(name);
         }
@@ -307,7 +311,9 @@ impl SurrogateLlmJudge {
         }
         if let Some(name) = &signals.undeclared_assignment {
             if rng.gen_bool(reliability.undeclared_identifier) {
-                findings.push(format!("the variable '{name}' is assigned but never declared"));
+                findings.push(format!(
+                    "the variable '{name}' is assigned but never declared"
+                ));
             }
         }
         if let Some(word) = &signals.corrupted_directive {
@@ -351,7 +357,14 @@ impl SurrogateLlmJudge {
         }
 
         let omit_phrase = rng.gen_bool(reliability.format_failure);
-        self.render_response(prompt, model, &signals, &findings, verdict_invalid, omit_phrase)
+        self.render_response(
+            prompt,
+            model,
+            &signals,
+            &findings,
+            verdict_invalid,
+            omit_phrase,
+        )
     }
 
     fn render_response(
@@ -405,7 +418,11 @@ impl SurrogateLlmJudge {
             let _ = writeln!(
                 out,
                 "Overall, the test {} suitable for compiler validation.",
-                if invalid { "does not appear" } else { "appears" }
+                if invalid {
+                    "does not appear"
+                } else {
+                    "appears"
+                }
             );
             return out;
         }
@@ -489,10 +506,16 @@ int main() {
 
     #[test]
     fn undeclared_assignment_is_detected() {
-        let code = VALID_ACC_CODE.replace("    return 0;", "    phantom_value = phantom_value + 1;\n    return 0;");
+        let code = VALID_ACC_CODE.replace(
+            "    return 0;",
+            "    phantom_value = phantom_value + 1;\n    return 0;",
+        );
         let prompt = direct_prompt(&code, DirectiveModel::OpenAcc);
         let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
-        assert_eq!(signals.undeclared_assignment.as_deref(), Some("phantom_value"));
+        assert_eq!(
+            signals.undeclared_assignment.as_deref(),
+            Some("phantom_value")
+        );
     }
 
     #[test]
@@ -517,11 +540,23 @@ int main() {
     #[test]
     fn tool_failures_are_parsed_from_agent_prompts() {
         let tools = ToolContext {
-            compile: Some(ToolRecord { return_code: 2, stdout: String::new(), stderr: "NVC++-S-0155-bad (test.c: 9)".into() }),
-            run: Some(ToolRecord { return_code: 139, stdout: String::new(), stderr: "Segmentation fault".into() }),
+            compile: Some(ToolRecord {
+                return_code: 2,
+                stdout: String::new(),
+                stderr: "NVC++-S-0155-bad (test.c: 9)".into(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 139,
+                stdout: String::new(),
+                stderr: "Segmentation fault".into(),
+            }),
         };
-        let prompt =
-            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, Some(&tools));
+        let prompt = build_prompt(
+            PromptStyle::AgentDirect,
+            DirectiveModel::OpenAcc,
+            VALID_ACC_CODE,
+            Some(&tools),
+        );
         let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
         assert!(signals.tools_present);
         assert!(signals.compile_failed);
@@ -531,11 +566,23 @@ int main() {
     #[test]
     fn clean_tool_output_is_not_a_failure() {
         let tools = ToolContext {
-            compile: Some(ToolRecord { return_code: 0, stdout: String::new(), stderr: String::new() }),
-            run: Some(ToolRecord { return_code: 0, stdout: "Test passed".into(), stderr: String::new() }),
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: String::new(),
+                stderr: String::new(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "Test passed".into(),
+                stderr: String::new(),
+            }),
         };
-        let prompt =
-            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, Some(&tools));
+        let prompt = build_prompt(
+            PromptStyle::AgentDirect,
+            DirectiveModel::OpenAcc,
+            VALID_ACC_CODE,
+            Some(&tools),
+        );
         let signals = extract_signals(&prompt, DirectiveModel::OpenAcc);
         assert!(signals.tools_present);
         assert!(!signals.compile_failed);
@@ -548,14 +595,23 @@ int main() {
         let judge = SurrogateLlmJudge::new(JudgeProfile::oracle(), 0);
         // valid file -> valid
         let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenAcc);
-        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Valid));
+        assert_eq!(
+            extract_verdict(&judge.complete(&prompt)),
+            Some(Verdict::Valid)
+        );
         // file with no directives -> invalid
         let prompt = direct_prompt("int main() { return 0; }", DirectiveModel::OpenAcc);
-        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Invalid));
+        assert_eq!(
+            extract_verdict(&judge.complete(&prompt)),
+            Some(Verdict::Invalid)
+        );
         // corrupted directive -> invalid
         let broken = VALID_ACC_CODE.replace("parallel loop", "paralell loop");
         let prompt = direct_prompt(&broken, DirectiveModel::OpenAcc);
-        assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Invalid));
+        assert_eq!(
+            extract_verdict(&judge.complete(&prompt)),
+            Some(Verdict::Invalid)
+        );
     }
 
     #[test]
@@ -563,7 +619,10 @@ int main() {
         let judge = SurrogateLlmJudge::new(JudgeProfile::permissive(), 0);
         for code in [VALID_ACC_CODE, "int main() { return 0; }"] {
             let prompt = direct_prompt(code, DirectiveModel::OpenAcc);
-            assert_eq!(extract_verdict(&judge.complete(&prompt)), Some(Verdict::Valid));
+            assert_eq!(
+                extract_verdict(&judge.complete(&prompt)),
+                Some(Verdict::Valid)
+            );
         }
     }
 
@@ -573,8 +632,12 @@ int main() {
         let prompt = direct_prompt(VALID_ACC_CODE, DirectiveModel::OpenAcc);
         let response = judge.complete(&prompt);
         assert!(response.contains("FINAL JUDGEMENT: correct"));
-        let agent_prompt =
-            build_prompt(PromptStyle::AgentDirect, DirectiveModel::OpenAcc, VALID_ACC_CODE, None);
+        let agent_prompt = build_prompt(
+            PromptStyle::AgentDirect,
+            DirectiveModel::OpenAcc,
+            VALID_ACC_CODE,
+            None,
+        );
         let response = judge.complete(&agent_prompt);
         assert!(response.contains("FINAL JUDGEMENT: valid"));
     }

@@ -60,14 +60,26 @@ mod tests {
 
     #[test]
     fn extracts_valid_and_invalid() {
-        assert_eq!(extract_verdict("... FINAL JUDGEMENT: valid"), Some(Verdict::Valid));
-        assert_eq!(extract_verdict("... FINAL JUDGEMENT: invalid"), Some(Verdict::Invalid));
+        assert_eq!(
+            extract_verdict("... FINAL JUDGEMENT: valid"),
+            Some(Verdict::Valid)
+        );
+        assert_eq!(
+            extract_verdict("... FINAL JUDGEMENT: invalid"),
+            Some(Verdict::Invalid)
+        );
     }
 
     #[test]
     fn extracts_correct_and_incorrect_variants() {
-        assert_eq!(extract_verdict("FINAL JUDGEMENT: correct"), Some(Verdict::Valid));
-        assert_eq!(extract_verdict("FINAL JUDGEMENT: incorrect"), Some(Verdict::Invalid));
+        assert_eq!(
+            extract_verdict("FINAL JUDGEMENT: correct"),
+            Some(Verdict::Valid)
+        );
+        assert_eq!(
+            extract_verdict("FINAL JUDGEMENT: incorrect"),
+            Some(Verdict::Invalid)
+        );
     }
 
     #[test]
@@ -78,7 +90,8 @@ mod tests {
 
     #[test]
     fn last_judgement_wins() {
-        let response = "FINAL JUDGEMENT: valid ... wait, on reflection ... FINAL JUDGEMENT: invalid";
+        let response =
+            "FINAL JUDGEMENT: valid ... wait, on reflection ... FINAL JUDGEMENT: invalid";
         assert_eq!(extract_verdict(response), Some(Verdict::Invalid));
     }
 
@@ -91,7 +104,10 @@ mod tests {
     #[test]
     fn invalid_is_not_mistaken_for_valid() {
         // "invalid" contains "valid"; ordering of checks matters.
-        assert_eq!(extract_verdict("FINAL JUDGEMENT:   invalid  "), Some(Verdict::Invalid));
+        assert_eq!(
+            extract_verdict("FINAL JUDGEMENT:   invalid  "),
+            Some(Verdict::Invalid)
+        );
     }
 
     #[test]

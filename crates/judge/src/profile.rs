@@ -182,7 +182,11 @@ impl JudgeProfile {
             false_alarm: 0.0,
             format_failure: 0.0,
         };
-        Self { name: "oracle", acc: perfect, omp: perfect }
+        Self {
+            name: "oracle",
+            acc: perfect,
+            omp: perfect,
+        }
     }
 
     /// A judge that never acts on any signal (lower bound: always says
@@ -200,7 +204,11 @@ impl JudgeProfile {
             false_alarm: 0.0,
             format_failure: 0.0,
         };
-        Self { name: "permissive", acc: blind, omp: blind }
+        Self {
+            name: "permissive",
+            acc: blind,
+            omp: blind,
+        }
     }
 }
 
@@ -234,7 +242,11 @@ mod tests {
         ] {
             for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
                 for p in all_probabilities(profile.for_model(model)) {
-                    assert!((0.0..=1.0).contains(&p), "{} has probability {p}", profile.name);
+                    assert!(
+                        (0.0..=1.0).contains(&p),
+                        "{} has probability {p}",
+                        profile.name
+                    );
                 }
             }
         }

@@ -87,7 +87,10 @@ fn tool_section(model: DirectiveModel, tools: Option<&ToolContext>) -> String {
     let _ = writeln!(s, "Compiler return code: {}", compile.return_code);
     let _ = writeln!(s, "Compiler STDERR: {}", compile.stderr.trim_end());
     let _ = writeln!(s, "Compiler STDOUT: {}", compile.stdout.trim_end());
-    let _ = writeln!(s, "When the compiled code is run, it gives the following results:");
+    let _ = writeln!(
+        s,
+        "When the compiled code is run, it gives the following results:"
+    );
     let _ = writeln!(s, "Return code: {}", run.return_code);
     let _ = writeln!(s, "STDERR: {}", run.stderr.trim_end());
     let _ = writeln!(s, "STDOUT: {}", run.stdout.trim_end());
@@ -174,8 +177,16 @@ mod tests {
     #[test]
     fn agent_prompts_embed_tool_outputs() {
         let tools = ToolContext {
-            compile: Some(ToolRecord { return_code: 2, stdout: String::new(), stderr: "NVC++-S-0155-bad".into() }),
-            run: Some(ToolRecord { return_code: 0, stdout: "Test passed".into(), stderr: String::new() }),
+            compile: Some(ToolRecord {
+                return_code: 2,
+                stdout: String::new(),
+                stderr: "NVC++-S-0155-bad".into(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "Test passed".into(),
+                stderr: String::new(),
+            }),
         };
         for style in [PromptStyle::AgentDirect, PromptStyle::AgentIndirect] {
             let p = build_prompt(style, DirectiveModel::OpenAcc, CODE, Some(&tools));
@@ -190,7 +201,12 @@ mod tests {
 
     #[test]
     fn indirect_prompt_asks_for_a_description_first() {
-        let p = build_prompt(PromptStyle::AgentIndirect, DirectiveModel::OpenMp, CODE, None);
+        let p = build_prompt(
+            PromptStyle::AgentIndirect,
+            DirectiveModel::OpenMp,
+            CODE,
+            None,
+        );
         assert!(p.starts_with("Describe what the below OpenMP program will do when run."));
         assert!(p.contains("valid or invalid compiler test for OpenMP compilers"));
     }

@@ -35,7 +35,11 @@ pub struct EvaluationRecord {
 impl EvaluationRecord {
     /// Create a record.
     pub fn new(case_id: impl Into<String>, issue: IssueKind, verdict: Option<Verdict>) -> Self {
-        Self { case_id: case_id.into(), issue, verdict }
+        Self {
+            case_id: case_id.into(),
+            issue,
+            verdict,
+        }
     }
 
     /// The effective verdict: a missing judgement counts as `Invalid`
@@ -93,8 +97,18 @@ pub fn per_issue(records: &[EvaluationRecord]) -> Vec<PerIssueRow> {
             let count = group.len();
             let correct = group.iter().filter(|r| r.is_correct()).count();
             let incorrect = count - correct;
-            let accuracy = if count == 0 { 0.0 } else { correct as f64 / count as f64 };
-            PerIssueRow { issue: *issue, count, correct, incorrect, accuracy }
+            let accuracy = if count == 0 {
+                0.0
+            } else {
+                correct as f64 / count as f64
+            };
+            PerIssueRow {
+                issue: *issue,
+                count,
+                correct,
+                incorrect,
+                accuracy,
+            }
         })
         .collect()
 }
@@ -117,9 +131,22 @@ pub fn overall(records: &[EvaluationRecord]) -> OverallStats {
             bias_total += 1;
         }
     }
-    let accuracy = if total == 0 { 0.0 } else { (total - mistakes) as f64 / total as f64 };
-    let bias = if mistakes == 0 { 0.0 } else { bias_total as f64 / mistakes as f64 };
-    OverallStats { total, mistakes, accuracy, bias }
+    let accuracy = if total == 0 {
+        0.0
+    } else {
+        (total - mistakes) as f64 / total as f64
+    };
+    let bias = if mistakes == 0 {
+        0.0
+    } else {
+        bias_total as f64 / mistakes as f64
+    };
+    OverallStats {
+        total,
+        mistakes,
+        accuracy,
+        bias,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +186,10 @@ mod tests {
         assert_eq!(no_issue.correct, 1);
         assert_eq!(no_issue.incorrect, 1);
         assert!((no_issue.accuracy - 0.5).abs() < 1e-12);
-        let bracket = rows.iter().find(|r| r.issue == IssueKind::RemovedOpeningBracket).unwrap();
+        let bracket = rows
+            .iter()
+            .find(|r| r.issue == IssueKind::RemovedOpeningBracket)
+            .unwrap();
         assert_eq!(bracket.count, 1);
         assert!((bracket.accuracy - 1.0).abs() < 1e-12);
     }

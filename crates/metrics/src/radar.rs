@@ -87,8 +87,16 @@ pub fn radar_series(records: &[EvaluationRecord]) -> Vec<RadarPoint> {
                 .collect();
             let count = group.len();
             let correct = group.iter().filter(|r| r.is_correct()).count();
-            let accuracy = if count == 0 { 0.0 } else { correct as f64 / count as f64 };
-            RadarPoint { category: *category, count, accuracy }
+            let accuracy = if count == 0 {
+                0.0
+            } else {
+                correct as f64 / count as f64
+            };
+            RadarPoint {
+                category: *category,
+                count,
+                accuracy,
+            }
         })
         .collect()
 }
@@ -114,9 +122,17 @@ mod tests {
     fn radar_series_covers_all_axes_and_counts_sum() {
         let records = vec![
             EvaluationRecord::new("a", IssueKind::NoIssue, Some(Verdict::Valid)),
-            EvaluationRecord::new("b", IssueKind::RemovedOpeningBracket, Some(Verdict::Invalid)),
+            EvaluationRecord::new(
+                "b",
+                IssueKind::RemovedOpeningBracket,
+                Some(Verdict::Invalid),
+            ),
             EvaluationRecord::new("c", IssueKind::UndeclaredVariableUse, Some(Verdict::Valid)),
-            EvaluationRecord::new("d", IssueKind::ReplacedWithNonDirectiveCode, Some(Verdict::Invalid)),
+            EvaluationRecord::new(
+                "d",
+                IssueKind::ReplacedWithNonDirectiveCode,
+                Some(Verdict::Invalid),
+            ),
         ];
         let series = radar_series(&records);
         assert_eq!(series.len(), 5);
@@ -135,6 +151,9 @@ mod tests {
         for category in RadarCategory::ALL {
             assert!(!category.label().is_empty());
         }
-        assert_eq!(RadarCategory::MissingModelCode.label(), "Missing OpenACC/OpenMP");
+        assert_eq!(
+            RadarCategory::MissingModelCode.label(),
+            "Missing OpenACC/OpenMP"
+        );
     }
 }

@@ -17,7 +17,10 @@ pub fn render_per_issue_table(
     model: DirectiveModel,
     columns: &[(&str, &[PerIssueRow])],
 ) -> String {
-    assert!(!columns.is_empty(), "at least one column of rows is required");
+    assert!(
+        !columns.is_empty(),
+        "at least one column of rows is required"
+    );
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let mut header = format!("{:<58} {:>7}", format!("{model} Issue Type"), "Count");
@@ -29,11 +32,7 @@ pub fn render_per_issue_table(
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
     let reference = columns[0].1;
     for (index, row) in reference.iter().enumerate() {
-        let mut line = format!(
-            "{:<58} {:>7}",
-            row.issue.table_label(model),
-            row.count
-        );
+        let mut line = format!("{:<58} {:>7}", row.issue.table_label(model), row.count);
         for (_, rows) in columns {
             let cell = &rows[index];
             line.push_str(&format!(" {:>12}", cell.correct));
@@ -55,14 +54,24 @@ pub fn render_overall_table(title: &str, columns: &[(&str, OverallStats)]) -> St
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
-    let rows: [(&str, Box<dyn Fn(&OverallStats) -> String>); 4] = [
-        ("Total Count", Box::new(|s: &OverallStats| s.total.to_string())),
-        ("Total Mistakes", Box::new(|s: &OverallStats| s.mistakes.to_string())),
+    type RenderFn = Box<dyn Fn(&OverallStats) -> String>;
+    let rows: [(&str, RenderFn); 4] = [
+        (
+            "Total Count",
+            Box::new(|s: &OverallStats| s.total.to_string()),
+        ),
+        (
+            "Total Mistakes",
+            Box::new(|s: &OverallStats| s.mistakes.to_string()),
+        ),
         (
             "Overall Accuracy",
             Box::new(|s: &OverallStats| format!("{:.2}%", s.accuracy * 100.0)),
         ),
-        ("Bias", Box::new(|s: &OverallStats| format!("{:+.3}", s.bias))),
+        (
+            "Bias",
+            Box::new(|s: &OverallStats| format!("{:+.3}", s.bias)),
+        ),
     ];
     for (label, render) in rows {
         let mut line = format!("{label:<28}");
@@ -127,8 +136,16 @@ mod tests {
         vec![
             EvaluationRecord::new("a", IssueKind::NoIssue, Some(Verdict::Valid)),
             EvaluationRecord::new("b", IssueKind::NoIssue, Some(Verdict::Invalid)),
-            EvaluationRecord::new("c", IssueKind::RemovedOpeningBracket, Some(Verdict::Invalid)),
-            EvaluationRecord::new("d", IssueKind::ReplacedWithNonDirectiveCode, Some(Verdict::Valid)),
+            EvaluationRecord::new(
+                "c",
+                IssueKind::RemovedOpeningBracket,
+                Some(Verdict::Invalid),
+            ),
+            EvaluationRecord::new(
+                "d",
+                IssueKind::ReplacedWithNonDirectiveCode,
+                Some(Verdict::Valid),
+            ),
         ]
     }
 

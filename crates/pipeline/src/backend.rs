@@ -1,0 +1,275 @@
+//! Pluggable stage backends.
+//!
+//! Each pipeline stage is an object-safe trait, so alternative
+//! implementations — a real compiler shell-out, a caching executor, a second
+//! judge profile, a remote judge service — can be plugged into
+//! [`crate::ValidationService`] without touching the runner:
+//!
+//! * [`CompileBackend`] — turns a [`WorkItem`] into a [`CompileSummary`]
+//!   plus an optional executable artifact;
+//! * [`ExecBackend`] — runs an artifact and reports an [`ExecSummary`];
+//! * [`JudgeBackend`] — produces a [`JudgeOutcome`] from the source and the
+//!   collected stage evidence.
+//!
+//! The default implementations wrap the simulated substrates the paper's
+//! reproduction is built on: [`SimCompileBackend`] (vv-simcompiler),
+//! [`SimExecBackend`] (vv-simexec) and [`SurrogateJudgeBackend`]
+//! (vv-judge's calibrated surrogate model).
+
+use crate::{CompileSummary, ExecSummary, WorkItem};
+use vv_judge::{
+    JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext,
+    ToolRecord,
+};
+use vv_simcompiler::{compiler_for, Program};
+use vv_simexec::{ExecConfig, Executor};
+
+/// The result of a compile backend call: the summary recorded in the
+/// [`crate::CaseRecord`] plus the artifact handed to the execute stage.
+#[derive(Clone, Debug)]
+pub struct CompileOutput {
+    /// Exit code, captured output, success flag.
+    pub summary: CompileSummary,
+    /// The executable artifact, present only on success.
+    pub artifact: Option<Program>,
+}
+
+/// The compile stage: source text in, diagnostics and artifact out.
+///
+/// Implementations must be thread-safe — the service calls them from
+/// multiple stage workers concurrently.
+pub trait CompileBackend: Send + Sync {
+    /// Compile one work item.
+    fn compile(&self, item: &WorkItem) -> CompileOutput;
+
+    /// A short human-readable backend name (for logs and stats displays).
+    fn name(&self) -> &'static str {
+        "compile"
+    }
+}
+
+/// The execute stage: artifact in, runtime observation out.
+pub trait ExecBackend: Send + Sync {
+    /// Run one compiled artifact.
+    fn execute(&self, item: &WorkItem, program: &Program) -> ExecSummary;
+
+    /// A short human-readable backend name.
+    fn name(&self) -> &'static str {
+        "exec"
+    }
+}
+
+/// The judge stage: source plus stage evidence in, verdict out.
+pub trait JudgeBackend: Send + Sync {
+    /// Judge one work item given the evidence collected so far. `exec` is
+    /// `None` when the file never produced an artifact.
+    fn judge(
+        &self,
+        item: &WorkItem,
+        compile: &CompileSummary,
+        exec: Option<&ExecSummary>,
+    ) -> JudgeOutcome;
+
+    /// A short human-readable backend name.
+    fn name(&self) -> &'static str {
+        "judge"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// default backends (the paper's simulated substrates)
+// ---------------------------------------------------------------------------
+
+/// Default compile backend: the simulated vendor compiler selected by the
+/// item's [`vv_dclang::DirectiveModel`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimCompileBackend;
+
+impl CompileBackend for SimCompileBackend {
+    fn compile(&self, item: &WorkItem) -> CompileOutput {
+        let compiler = compiler_for(item.model);
+        let outcome = compiler.compile(&item.source, item.lang);
+        CompileOutput {
+            summary: CompileSummary {
+                return_code: outcome.return_code,
+                stdout: outcome.stdout.clone(),
+                stderr: outcome.stderr.clone(),
+                succeeded: outcome.succeeded(),
+            },
+            artifact: outcome.artifact,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sim-compiler"
+    }
+}
+
+/// Default execute backend: the deterministic vv-simexec interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct SimExecBackend {
+    executor: Executor,
+}
+
+impl SimExecBackend {
+    /// An execute backend with custom interpreter limits.
+    pub fn new(config: ExecConfig) -> Self {
+        Self {
+            executor: Executor::new(config),
+        }
+    }
+}
+
+impl ExecBackend for SimExecBackend {
+    fn execute(&self, _item: &WorkItem, program: &Program) -> ExecSummary {
+        let outcome = self.executor.run(program);
+        ExecSummary {
+            return_code: outcome.return_code,
+            stdout: outcome.stdout,
+            stderr: outcome.stderr,
+            passed: outcome.return_code == 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sim-exec"
+    }
+}
+
+/// Default judge backend: the calibrated surrogate LLM judge, with the
+/// compiler/runtime evidence embedded in the agent prompt exactly as in the
+/// paper's Listing 2.
+#[derive(Clone, Debug)]
+pub struct SurrogateJudgeBackend {
+    session: JudgeSession,
+}
+
+impl SurrogateJudgeBackend {
+    /// Build from a calibration profile, prompt style and decision seed.
+    pub fn new(profile: JudgeProfile, style: PromptStyle, seed: u64) -> Self {
+        Self::from_session(JudgeSession::new(
+            SurrogateLlmJudge::new(profile, seed),
+            style,
+        ))
+    }
+
+    /// Wrap an existing judging session.
+    pub fn from_session(session: JudgeSession) -> Self {
+        Self { session }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &JudgeSession {
+        &self.session
+    }
+}
+
+impl JudgeBackend for SurrogateJudgeBackend {
+    fn judge(
+        &self,
+        item: &WorkItem,
+        compile: &CompileSummary,
+        exec: Option<&ExecSummary>,
+    ) -> JudgeOutcome {
+        let tools = ToolContext {
+            compile: Some(ToolRecord {
+                return_code: compile.return_code,
+                stdout: compile.stdout.clone(),
+                stderr: compile.stderr.clone(),
+            }),
+            run: exec.map(|e| ToolRecord {
+                return_code: e.return_code,
+                stdout: e.stdout.clone(),
+                stderr: e.stderr.clone(),
+            }),
+        };
+        self.session
+            .evaluate(&item.source, item.model, Some(&tools))
+    }
+
+    fn name(&self) -> &'static str {
+        "surrogate-judge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_dclang::DirectiveModel;
+    use vv_simcompiler::Lang;
+
+    const VALID_ACC: &str = r#"
+#include <stdio.h>
+#include <stdlib.h>
+#define N 32
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    double *b = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) { a[i] = i * 0.5; b[i] = 0.0; }
+#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) { b[i] = a[i] * 2.0; }
+    int err = 0;
+    for (int i = 0; i < N; i++) { if (b[i] != a[i] * 2.0) { err = err + 1; } }
+    if (err != 0) { printf("Test failed\n"); return 1; }
+    printf("Test passed\n");
+    return 0;
+}
+"#;
+
+    fn item(source: &str) -> WorkItem {
+        WorkItem {
+            id: "case".into(),
+            source: source.into(),
+            lang: Lang::C,
+            model: DirectiveModel::OpenAcc,
+        }
+    }
+
+    #[test]
+    fn default_backends_chain_end_to_end() {
+        let compile = SimCompileBackend;
+        let exec = SimExecBackend::default();
+        let judge = SurrogateJudgeBackend::new(
+            JudgeProfile::deepseek_agent_direct(),
+            PromptStyle::AgentDirect,
+            7,
+        );
+        let work = item(VALID_ACC);
+        let compiled = compile.compile(&work);
+        assert!(
+            compiled.summary.succeeded,
+            "stderr: {}",
+            compiled.summary.stderr
+        );
+        let program = compiled.artifact.expect("valid file produces an artifact");
+        let ran = exec.execute(&work, &program);
+        assert!(ran.passed, "stderr: {}", ran.stderr);
+        let outcome = judge.judge(&work, &compiled.summary, Some(&ran));
+        assert!(outcome.prompt.contains("Compiler return code: 0"));
+        assert!(outcome.verdict.is_some());
+    }
+
+    #[test]
+    fn failed_compiles_produce_no_artifact() {
+        let compiled = SimCompileBackend.compile(&item("int main( { return 0; }"));
+        assert!(!compiled.summary.succeeded);
+        assert!(compiled.artifact.is_none());
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let names = [
+            CompileBackend::name(&SimCompileBackend),
+            ExecBackend::name(&SimExecBackend::default()),
+            JudgeBackend::name(&SurrogateJudgeBackend::new(
+                JudgeProfile::oracle(),
+                PromptStyle::AgentDirect,
+                0,
+            )),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            names.len()
+        );
+    }
+}

@@ -1,15 +1,65 @@
-//! `vv-pipeline` — the validation pipeline (Figure 2 of the paper).
+//! `vv-pipeline` — the validation service (Figure 2 of the paper).
 //!
 //! Candidate test files flow through three stages:
 //!
-//! 1. **Compile** — the simulated vendor compiler for the file's model;
-//! 2. **Execute** — the execution substrate, only for files that compiled;
-//! 3. **Judge** — an agent-based LLM judge whose prompt embeds the
-//!    compiler/runtime outputs collected by the earlier stages.
+//! 1. **Compile** — by default the simulated vendor compiler for the file's
+//!    model;
+//! 2. **Execute** — by default the deterministic execution substrate, only
+//!    for files that compiled;
+//! 3. **Judge** — by default an agent-based surrogate LLM judge whose
+//!    prompt embeds the compiler/runtime outputs collected by the earlier
+//!    stages.
 //!
-//! Each stage has its own worker pool connected by bounded channels
-//! (backpressure included), mirroring the paper's thread-pool design. Two
-//! modes are supported:
+//! # Trait-based design
+//!
+//! Every stage is an object-safe trait — [`backend::CompileBackend`],
+//! [`backend::ExecBackend`], [`backend::JudgeBackend`] — so alternative
+//! implementations (a real compiler shell-out, a caching executor, a second
+//! judge profile) plug into the same runner. The simulated substrates are
+//! just the default impls.
+//!
+//! A single [`ValidationService`], built via [`ValidationServiceBuilder`],
+//! replaces the old per-runner methods. The [`ExecutionStrategy`] selects
+//! the scheduling — the staged multi-worker pipeline of the paper, a
+//! sequential baseline, or per-file parallelism — and all strategies share
+//! identical per-file semantics, so they produce identical records for
+//! identical inputs.
+//!
+//! Results come in two shapes: a batch [`ValidationService::run`] returning
+//! a [`PipelineRun`], and a streaming [`ValidationService::submit`]
+//! returning an iterator that yields each [`CaseRecord`] as it completes
+//! through the bounded channels — constant memory for arbitrarily large
+//! suites.
+//!
+//! ```
+//! use vv_pipeline::{ExecutionStrategy, PipelineMode, ValidationService, WorkItem};
+//! use vv_dclang::DirectiveModel;
+//! use vv_simcompiler::Lang;
+//!
+//! let service = ValidationService::builder()
+//!     .mode(PipelineMode::EarlyExit)
+//!     .workers(2, 2, 1)
+//!     .strategy(ExecutionStrategy::Staged)
+//!     .build();
+//!
+//! let items = vec![WorkItem {
+//!     id: "demo".into(),
+//!     source: "int main() { return 0; }".into(),
+//!     lang: Lang::C,
+//!     model: DirectiveModel::OpenAcc,
+//! }];
+//!
+//! // Streaming: records arrive as they complete.
+//! for record in service.submit(items.clone()) {
+//!     println!("{} -> {:?}", record.id, record.pipeline_verdict());
+//! }
+//!
+//! // Batch: records in submission order plus aggregate stats.
+//! let run = service.run(items);
+//! assert_eq!(run.stats.submitted, 1);
+//! ```
+//!
+//! Two modes are supported:
 //!
 //! * [`PipelineMode::EarlyExit`] — production behaviour: a file that fails
 //!   an earlier stage is already known to be invalid and never reaches the
@@ -18,16 +68,20 @@
 //!   file is compiled, executed (when possible) and judged, so that the
 //!   stand-alone agent-judge accuracy and the pipeline accuracy can both be
 //!   computed retroactively from one run.
-//!
-//! Three runners share identical per-file semantics (and therefore produce
-//! identical records for identical inputs): the staged multi-worker
-//! pipeline, a sequential baseline, and a [rayon]-based per-file parallel
-//! runner used for comparison in the ablation benchmarks.
 
+pub mod backend;
 pub mod runner;
+pub mod service;
 pub mod stats;
 
-pub use runner::{PipelineRun, ValidationPipeline};
+pub use backend::{
+    CompileBackend, CompileOutput, ExecBackend, JudgeBackend, SimCompileBackend, SimExecBackend,
+    SurrogateJudgeBackend,
+};
+pub use runner::PipelineRun;
+#[allow(deprecated)]
+pub use runner::ValidationPipeline;
+pub use service::{ExecutionStrategy, RecordStream, ValidationService, ValidationServiceBuilder};
 pub use stats::PipelineStats;
 
 use vv_dclang::DirectiveModel;
@@ -49,7 +103,7 @@ pub struct WorkItem {
 
 /// Compiler stage result kept in the record (the full artifact is dropped
 /// once the later stages have used it).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompileSummary {
     /// Compiler exit code.
     pub return_code: i32,
@@ -62,7 +116,7 @@ pub struct CompileSummary {
 }
 
 /// Execution stage result kept in the record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecSummary {
     /// Program exit code.
     pub return_code: i32,
@@ -86,7 +140,9 @@ pub enum Stage {
 }
 
 /// Everything recorded about one file's trip through the pipeline.
-#[derive(Clone, Debug)]
+/// Equality is byte-for-byte over every captured field, which is what the
+/// strategy-parity tests assert across [`ExecutionStrategy`] variants.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CaseRecord {
     /// The work item's identifier.
     pub id: String,
@@ -102,7 +158,9 @@ pub struct CaseRecord {
 impl CaseRecord {
     /// The judge's own verdict, if the file was judged.
     pub fn judge_verdict(&self) -> Option<Verdict> {
-        self.judgement.as_ref().map(JudgeOutcome::verdict_or_invalid)
+        self.judgement
+            .as_ref()
+            .map(JudgeOutcome::verdict_or_invalid)
     }
 
     /// The verdict of the *pipeline as a whole*: a file is accepted only if
@@ -209,18 +267,37 @@ mod tests {
     use super::*;
 
     fn compile_ok() -> CompileSummary {
-        CompileSummary { return_code: 0, stdout: String::new(), stderr: String::new(), succeeded: true }
+        CompileSummary {
+            return_code: 0,
+            stdout: String::new(),
+            stderr: String::new(),
+            succeeded: true,
+        }
     }
 
     fn exec_ok() -> ExecSummary {
-        ExecSummary { return_code: 0, stdout: "Test passed\n".into(), stderr: String::new(), passed: true }
+        ExecSummary {
+            return_code: 0,
+            stdout: "Test passed\n".into(),
+            stderr: String::new(),
+            passed: true,
+        }
     }
 
     fn judgement(valid: bool) -> JudgeOutcome {
         JudgeOutcome {
             prompt: String::new(),
-            response: if valid { "FINAL JUDGEMENT: valid" } else { "FINAL JUDGEMENT: invalid" }.into(),
-            verdict: Some(if valid { Verdict::Valid } else { Verdict::Invalid }),
+            response: if valid {
+                "FINAL JUDGEMENT: valid"
+            } else {
+                "FINAL JUDGEMENT: invalid"
+            }
+            .into(),
+            verdict: Some(if valid {
+                Verdict::Valid
+            } else {
+                Verdict::Invalid
+            }),
             prompt_tokens: 10,
             response_tokens: 5,
             latency_ms: 1.0,
@@ -239,7 +316,12 @@ mod tests {
         assert_eq!(record.stage_reached(), Stage::Judge);
 
         let failed_compile = CaseRecord {
-            compile: CompileSummary { return_code: 2, succeeded: false, stdout: String::new(), stderr: "error".into() },
+            compile: CompileSummary {
+                return_code: 2,
+                succeeded: false,
+                stdout: String::new(),
+                stderr: "error".into(),
+            },
             exec: None,
             judgement: None,
             id: "t".into(),
@@ -250,7 +332,12 @@ mod tests {
         let failed_exec = CaseRecord {
             id: "t".into(),
             compile: compile_ok(),
-            exec: Some(ExecSummary { return_code: 1, stdout: String::new(), stderr: String::new(), passed: false }),
+            exec: Some(ExecSummary {
+                return_code: 1,
+                stdout: String::new(),
+                stderr: String::new(),
+                passed: false,
+            }),
             judgement: None,
         };
         assert_eq!(failed_exec.pipeline_verdict(), Verdict::Invalid);
@@ -266,7 +353,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let config = PipelineConfig::default().record_all().with_indirect_judge().single_threaded();
+        let config = PipelineConfig::default()
+            .record_all()
+            .with_indirect_judge()
+            .single_threaded();
         assert_eq!(config.mode, PipelineMode::RecordAll);
         assert_eq!(config.judge_style, PromptStyle::AgentIndirect);
         assert_eq!(config.compile_workers, 1);

@@ -1,343 +1,127 @@
-//! Pipeline runners: staged multi-worker, sequential baseline, and
-//! per-file-parallel (rayon) comparison.
+//! Batch run results and the deprecated `ValidationPipeline` shim.
+//!
+//! The runner logic itself lives in [`crate::service`]; this module keeps
+//! the [`PipelineRun`] result type and a thin compatibility layer for the
+//! pre-`ValidationService` API (kept for one release).
 
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rayon::prelude::*;
-
+use crate::service::{ExecutionStrategy, ValidationService};
 use crate::stats::PipelineStats;
-use crate::{
-    CaseRecord, CompileSummary, ExecSummary, PipelineConfig, PipelineMode, WorkItem,
-};
-use vv_judge::{JudgeOutcome, JudgeSession, SurrogateLlmJudge, ToolContext, ToolRecord};
-use vv_simcompiler::{compiler_for, Program};
-use vv_simexec::Executor;
+use crate::{CaseRecord, PipelineConfig, WorkItem};
 
-/// The result of running a pipeline over a batch of files.
-#[derive(Clone, Debug)]
+/// The result of running a validation service over a batch of files.
+#[derive(Debug, Default)]
 pub struct PipelineRun {
     /// One record per submitted file, in submission order.
     pub records: Vec<CaseRecord>,
     /// Aggregate statistics.
     pub stats: PipelineStats,
+    /// Lazily built id → index map backing [`PipelineRun::record`].
+    index: OnceLock<HashMap<String, usize>>,
 }
 
-impl PipelineRun {
-    /// Look up a record by case id.
-    pub fn record(&self, id: &str) -> Option<&CaseRecord> {
-        self.records.iter().find(|r| r.id == id)
+impl Clone for PipelineRun {
+    fn clone(&self) -> Self {
+        // The lookup index is cheap to rebuild and internally references
+        // `records` by position, so a clone starts with a fresh one.
+        Self::new(self.records.clone(), self.stats.clone())
     }
 }
 
-/// The validation pipeline.
+impl PipelineRun {
+    /// Assemble a run result.
+    pub fn new(records: Vec<CaseRecord>, stats: PipelineStats) -> Self {
+        Self {
+            records,
+            stats,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Look up a record by case id in O(1) (the index over all ids is built
+    /// once, on first use). For duplicate ids the first record wins,
+    /// matching the linear scan this replaces.
+    pub fn record(&self, id: &str) -> Option<&CaseRecord> {
+        let index = self.index.get_or_init(|| {
+            let mut map = HashMap::with_capacity(self.records.len());
+            for (position, record) in self.records.iter().enumerate() {
+                map.entry(record.id.clone()).or_insert(position);
+            }
+            map
+        });
+        match index
+            .get(id)
+            .and_then(|&position| self.records.get(position))
+        {
+            Some(record) if record.id == id => Some(record),
+            // `records` is a public field, so it may have been reordered or
+            // truncated after the index was built; fall back to the scan
+            // the index replaces rather than return a wrong record.
+            _ => self.records.iter().find(|record| record.id == id),
+        }
+    }
+}
+
+/// The pre-[`ValidationService`] pipeline API.
+///
+/// Each method maps onto the service with the corresponding
+/// [`ExecutionStrategy`]; per-file semantics are unchanged.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ValidationService::builder()` with an `ExecutionStrategy` instead"
+)]
 #[derive(Clone, Debug, Default)]
 pub struct ValidationPipeline {
     /// Configuration shared by all runners.
     pub config: PipelineConfig,
 }
 
+#[allow(deprecated)]
 impl ValidationPipeline {
     /// Create a pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
         Self { config }
     }
 
-    fn judge_session(&self) -> JudgeSession {
-        JudgeSession::new(
-            SurrogateLlmJudge::new(self.config.judge_profile.clone(), self.config.judge_seed),
-            self.config.judge_style,
-        )
+    fn service(&self, strategy: ExecutionStrategy) -> ValidationService {
+        ValidationService::builder()
+            .config(self.config.clone())
+            .strategy(strategy)
+            .build()
     }
 
-    /// Run the staged, multi-worker pipeline (bounded channels between the
-    /// compile, execute and judge stages; each stage has its own pool).
+    /// Run the staged, multi-worker pipeline.
     pub fn run(&self, items: Vec<WorkItem>) -> PipelineRun {
-        let started = Instant::now();
-        let total = items.len();
-        let mode = self.config.mode;
-        let capacity = self.config.channel_capacity.max(1);
-        let stats = Mutex::new(PipelineStats { submitted: total, ..Default::default() });
-        let records: Mutex<Vec<(usize, CaseRecord)>> = Mutex::new(Vec::with_capacity(total));
-
-        struct AfterCompile {
-            index: usize,
-            item: WorkItem,
-            compile: CompileSummary,
-            artifact: Option<Program>,
-        }
-        struct AfterExec {
-            index: usize,
-            item: WorkItem,
-            compile: CompileSummary,
-            exec: Option<ExecSummary>,
-        }
-
-        let (tx_items, rx_items): (Sender<(usize, WorkItem)>, Receiver<(usize, WorkItem)>) =
-            bounded(capacity);
-        let (tx_compiled, rx_compiled): (Sender<AfterCompile>, Receiver<AfterCompile>) =
-            bounded(capacity);
-        let (tx_executed, rx_executed): (Sender<AfterExec>, Receiver<AfterExec>) =
-            bounded(capacity);
-        let (tx_done, rx_done): (Sender<(usize, CaseRecord)>, Receiver<(usize, CaseRecord)>) =
-            bounded(capacity);
-
-        std::thread::scope(|scope| {
-            // Feeder
-            scope.spawn(move || {
-                for (index, item) in items.into_iter().enumerate() {
-                    if tx_items.send((index, item)).is_err() {
-                        break;
-                    }
-                }
-            });
-
-            // Compile stage
-            for _ in 0..self.config.compile_workers.max(1) {
-                let rx = rx_items.clone();
-                let tx_next = tx_compiled.clone();
-                let tx_done = tx_done.clone();
-                let stats = &stats;
-                scope.spawn(move || {
-                    for (index, item) in rx.iter() {
-                        let (compile, artifact) = compile_item(&item);
-                        {
-                            let mut s = stats.lock();
-                            s.compiled += 1;
-                            if !compile.succeeded {
-                                s.compile_failures += 1;
-                            }
-                        }
-                        if !compile.succeeded && mode == PipelineMode::EarlyExit {
-                            let record =
-                                CaseRecord { id: item.id.clone(), compile, exec: None, judgement: None };
-                            let _ = tx_done.send((index, record));
-                            continue;
-                        }
-                        let _ = tx_next.send(AfterCompile { index, item, compile, artifact });
-                    }
-                });
-            }
-            drop(tx_compiled);
-            drop(rx_items);
-
-            // Execute stage
-            for _ in 0..self.config.exec_workers.max(1) {
-                let rx = rx_compiled.clone();
-                let tx_next = tx_executed.clone();
-                let tx_done = tx_done.clone();
-                let stats = &stats;
-                scope.spawn(move || {
-                    let executor = Executor::default();
-                    for msg in rx.iter() {
-                        let exec = msg.artifact.as_ref().map(|program| exec_item(&executor, program));
-                        if exec.is_some() {
-                            let mut s = stats.lock();
-                            s.executed += 1;
-                            if exec.as_ref().is_some_and(|e| !e.passed) {
-                                s.exec_failures += 1;
-                            }
-                        }
-                        let failed = exec.as_ref().map_or(true, |e| !e.passed);
-                        if failed && mode == PipelineMode::EarlyExit {
-                            let record = CaseRecord {
-                                id: msg.item.id.clone(),
-                                compile: msg.compile,
-                                exec,
-                                judgement: None,
-                            };
-                            let _ = tx_done.send((msg.index, record));
-                            continue;
-                        }
-                        let _ = tx_next.send(AfterExec {
-                            index: msg.index,
-                            item: msg.item,
-                            compile: msg.compile,
-                            exec,
-                        });
-                    }
-                });
-            }
-            drop(tx_executed);
-            drop(rx_compiled);
-
-            // Judge stage
-            for _ in 0..self.config.judge_workers.max(1) {
-                let rx = rx_executed.clone();
-                let tx_done = tx_done.clone();
-                let stats = &stats;
-                let session = self.judge_session();
-                scope.spawn(move || {
-                    for msg in rx.iter() {
-                        let judgement =
-                            judge_item(&session, &msg.item, &msg.compile, msg.exec.as_ref());
-                        {
-                            let mut s = stats.lock();
-                            s.judged += 1;
-                            s.simulated_judge_latency_ms += judgement.latency_ms;
-                            if !judgement.verdict_or_invalid().is_valid() {
-                                s.judge_rejections += 1;
-                            }
-                        }
-                        let record = CaseRecord {
-                            id: msg.item.id.clone(),
-                            compile: msg.compile,
-                            exec: msg.exec,
-                            judgement: Some(judgement),
-                        };
-                        let _ = tx_done.send((msg.index, record));
-                    }
-                });
-            }
-            drop(tx_done);
-            drop(rx_executed);
-
-            // Collector (runs on the scope's own thread).
-            for entry in rx_done.iter() {
-                records.lock().push(entry);
-            }
-        });
-
-        let mut indexed = records.into_inner();
-        indexed.sort_by_key(|(index, _)| *index);
-        let records = indexed.into_iter().map(|(_, record)| record).collect();
-        let mut stats = stats.into_inner();
-        stats.wall_time = started.elapsed();
-        PipelineRun { records, stats }
+        self.service(ExecutionStrategy::Staged).run(items)
     }
 
-    /// Run the same per-file semantics on a single thread (baseline).
+    /// Run the same per-file semantics on a single worker (baseline).
     pub fn run_sequential(&self, items: Vec<WorkItem>) -> PipelineRun {
-        let started = Instant::now();
-        let session = self.judge_session();
-        let executor = Executor::default();
-        let mut stats = PipelineStats { submitted: items.len(), ..Default::default() };
-        let records = items
-            .iter()
-            .map(|item| process_full(item, self.config.mode, &session, &executor, &mut stats))
-            .collect();
-        stats.wall_time = started.elapsed();
-        PipelineRun { records, stats }
+        self.service(ExecutionStrategy::Sequential).run(items)
     }
 
-    /// Run with per-file parallelism (each file runs all stages inside one
-    /// rayon task) — the "parallel but not pipelined" comparison point.
+    /// Run with per-file parallelism (each task runs all stages for one
+    /// file) — the "parallel but not pipelined" comparison point.
     pub fn run_batch_rayon(&self, items: Vec<WorkItem>) -> PipelineRun {
-        let started = Instant::now();
-        let session = self.judge_session();
-        let mode = self.config.mode;
-        let results: Vec<(CaseRecord, PipelineStats)> = items
-            .par_iter()
-            .map(|item| {
-                let executor = Executor::default();
-                let mut stats = PipelineStats::default();
-                let record = process_full(item, mode, &session, &executor, &mut stats);
-                (record, stats)
-            })
-            .collect();
-        let mut stats = PipelineStats { submitted: items.len(), ..Default::default() };
-        let mut records = Vec::with_capacity(results.len());
-        for (record, partial) in results {
-            stats.merge(&partial);
-            records.push(record);
-        }
-        stats.submitted = items.len();
-        stats.wall_time = started.elapsed();
-        PipelineRun { records, stats }
+        self.service(ExecutionStrategy::RayonBatch).run(items)
     }
-}
-
-// ---------------------------------------------------------------------------
-// per-stage helpers (shared by all runners)
-// ---------------------------------------------------------------------------
-
-fn compile_item(item: &WorkItem) -> (CompileSummary, Option<Program>) {
-    let compiler = compiler_for(item.model);
-    let outcome = compiler.compile(&item.source, item.lang);
-    let summary = CompileSummary {
-        return_code: outcome.return_code,
-        stdout: outcome.stdout.clone(),
-        stderr: outcome.stderr.clone(),
-        succeeded: outcome.succeeded(),
-    };
-    (summary, outcome.artifact)
-}
-
-fn exec_item(executor: &Executor, program: &Program) -> ExecSummary {
-    let outcome = executor.run(program);
-    ExecSummary {
-        return_code: outcome.return_code,
-        stdout: outcome.stdout,
-        stderr: outcome.stderr,
-        passed: outcome.return_code == 0,
-    }
-}
-
-fn judge_item(
-    session: &JudgeSession,
-    item: &WorkItem,
-    compile: &CompileSummary,
-    exec: Option<&ExecSummary>,
-) -> JudgeOutcome {
-    let tools = ToolContext {
-        compile: Some(ToolRecord {
-            return_code: compile.return_code,
-            stdout: compile.stdout.clone(),
-            stderr: compile.stderr.clone(),
-        }),
-        run: exec.map(|e| ToolRecord {
-            return_code: e.return_code,
-            stdout: e.stdout.clone(),
-            stderr: e.stderr.clone(),
-        }),
-    };
-    session.evaluate(&item.source, item.model, Some(&tools))
-}
-
-fn process_full(
-    item: &WorkItem,
-    mode: PipelineMode,
-    session: &JudgeSession,
-    executor: &Executor,
-    stats: &mut PipelineStats,
-) -> CaseRecord {
-    let (compile, artifact) = compile_item(item);
-    stats.compiled += 1;
-    if !compile.succeeded {
-        stats.compile_failures += 1;
-        if mode == PipelineMode::EarlyExit {
-            return CaseRecord { id: item.id.clone(), compile, exec: None, judgement: None };
-        }
-    }
-    let exec = artifact.as_ref().map(|program| exec_item(executor, program));
-    if exec.is_some() {
-        stats.executed += 1;
-        if exec.as_ref().is_some_and(|e| !e.passed) {
-            stats.exec_failures += 1;
-        }
-    }
-    let exec_failed = exec.as_ref().map_or(true, |e| !e.passed);
-    if exec_failed && mode == PipelineMode::EarlyExit {
-        return CaseRecord { id: item.id.clone(), compile, exec, judgement: None };
-    }
-    let judgement = judge_item(session, item, &compile, exec.as_ref());
-    stats.judged += 1;
-    stats.simulated_judge_latency_ms += judgement.latency_ms;
-    if !judgement.verdict_or_invalid().is_valid() {
-        stats.judge_rejections += 1;
-    }
-    CaseRecord { id: item.id.clone(), compile, exec, judgement: Some(judgement) }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{PipelineMode, Stage};
     use vv_corpus::{generate_suite, SuiteConfig};
     use vv_dclang::DirectiveModel;
     use vv_probing::{build_probed_suite, IssueKind, ProbeConfig};
 
-    fn probed_items(model: DirectiveModel, size: usize, seed: u64) -> (Vec<WorkItem>, Vec<IssueKind>) {
+    fn probed_items(
+        model: DirectiveModel,
+        size: usize,
+        seed: u64,
+    ) -> (Vec<WorkItem>, Vec<IssueKind>) {
         let suite = generate_suite(&SuiteConfig::new(model, size, seed));
         let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
         let issues = probed.cases.iter().map(|c| c.issue).collect();
@@ -354,29 +138,43 @@ mod tests {
         (items, issues)
     }
 
+    fn record_all_service() -> ValidationService {
+        ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .build()
+    }
+
     #[test]
-    fn staged_and_sequential_and_rayon_runners_agree() {
+    fn all_strategies_agree_through_the_service() {
         let (items, _) = probed_items(DirectiveModel::OpenAcc, 30, 41);
-        let pipeline = ValidationPipeline::new(PipelineConfig::default().record_all());
-        let staged = pipeline.run(items.clone());
-        let sequential = pipeline.run_sequential(items.clone());
-        let rayon = pipeline.run_batch_rayon(items.clone());
-        assert_eq!(staged.records.len(), items.len());
-        for ((a, b), c) in staged.records.iter().zip(&sequential.records).zip(&rayon.records) {
-            assert_eq!(a.id, b.id);
-            assert_eq!(a.id, c.id);
-            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict(), "case {}", a.id);
-            assert_eq!(a.pipeline_verdict(), c.pipeline_verdict(), "case {}", a.id);
-            assert_eq!(a.judge_verdict(), b.judge_verdict(), "case {}", a.id);
+        let runs: Vec<PipelineRun> = ExecutionStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                ValidationService::builder()
+                    .mode(PipelineMode::RecordAll)
+                    .strategy(strategy)
+                    .build()
+                    .run(items.clone())
+            })
+            .collect();
+        for run in &runs {
+            assert_eq!(run.records.len(), items.len());
+        }
+        let (staged, rest) = runs.split_first().expect("three strategies");
+        for other in rest {
+            for (a, b) in staged.records.iter().zip(&other.records) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.pipeline_verdict(), b.pipeline_verdict(), "case {}", a.id);
+                assert_eq!(a.judge_verdict(), b.judge_verdict(), "case {}", a.id);
+            }
         }
     }
 
     #[test]
     fn early_exit_skips_judging_of_failed_files() {
         let (items, issues) = probed_items(DirectiveModel::OpenMp, 40, 17);
-        let early = ValidationPipeline::new(PipelineConfig::default()).run(items.clone());
-        let record_all =
-            ValidationPipeline::new(PipelineConfig::default().record_all()).run(items.clone());
+        let early = ValidationService::builder().build().run(items.clone());
+        let record_all = record_all_service().run(items.clone());
         // Some mutated files fail to compile, so early-exit must judge fewer.
         assert!(early.stats.judged < record_all.stats.judged);
         assert_eq!(record_all.stats.judged, items.len());
@@ -392,7 +190,7 @@ mod tests {
     #[test]
     fn pipeline_catches_compile_level_mutations() {
         let (items, issues) = probed_items(DirectiveModel::OpenAcc, 60, 23);
-        let run = ValidationPipeline::new(PipelineConfig::default().record_all()).run(items);
+        let run = record_all_service().run(items);
         for (record, issue) in run.records.iter().zip(issues.iter()) {
             match issue {
                 IssueKind::RemovedOpeningBracket | IssueKind::UndeclaredVariableUse => {
@@ -404,7 +202,11 @@ mod tests {
                     assert!(!record.pipeline_verdict().is_valid());
                 }
                 IssueKind::NoIssue => {
-                    assert!(record.compile.succeeded, "valid case {} must compile", record.id);
+                    assert!(
+                        record.compile.succeeded,
+                        "valid case {} must compile",
+                        record.id
+                    );
                     assert!(record.exec.as_ref().is_some_and(|e| e.passed));
                 }
                 _ => {}
@@ -415,7 +217,7 @@ mod tests {
     #[test]
     fn stats_are_internally_consistent() {
         let (items, _) = probed_items(DirectiveModel::OpenAcc, 24, 5);
-        let run = ValidationPipeline::new(PipelineConfig::default()).run(items.clone());
+        let run = ValidationService::builder().build().run(items.clone());
         assert_eq!(run.stats.submitted, items.len());
         assert_eq!(run.stats.compiled, items.len());
         assert!(run.stats.executed <= run.stats.compiled);
@@ -428,19 +230,183 @@ mod tests {
     #[test]
     fn worker_counts_do_not_change_results() {
         let (items, _) = probed_items(DirectiveModel::OpenMp, 20, 31);
-        let wide = ValidationPipeline::new(PipelineConfig {
-            compile_workers: 8,
-            exec_workers: 8,
-            judge_workers: 4,
-            ..PipelineConfig::default().record_all()
-        })
-        .run(items.clone());
-        let narrow =
-            ValidationPipeline::new(PipelineConfig::default().record_all().single_threaded())
-                .run(items);
+        let wide = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .workers(8, 8, 4)
+            .build()
+            .run(items.clone());
+        let narrow = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .workers(1, 1, 1)
+            .build()
+            .run(items);
         for (a, b) in wide.records.iter().zip(&narrow.records) {
             assert_eq!(a.id, b.id);
             assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
         }
+    }
+
+    #[test]
+    fn streaming_submit_yields_every_record_with_backpressure() {
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 25, 9);
+        let expected: Vec<String> = items.iter().map(|i| i.id.clone()).collect();
+        let service = ValidationService::builder().channel_capacity(2).build();
+        let stream = service.submit(items);
+        let mut seen: Vec<String> = stream.map(|record| record.id).collect();
+        // Completion order is nondeterministic; the *set* must match.
+        seen.sort();
+        let mut expected_sorted = expected;
+        expected_sorted.sort();
+        assert_eq!(seen, expected_sorted);
+    }
+
+    #[test]
+    fn streaming_stats_are_final_after_exhaustion() {
+        let (items, _) = probed_items(DirectiveModel::OpenMp, 12, 3);
+        let total = items.len();
+        let service = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .build();
+        let mut stream = service.submit(items);
+        let mut yielded = 0;
+        while stream.next().is_some() {
+            yielded += 1;
+        }
+        assert_eq!(yielded, total);
+        let stats = stream.stats();
+        assert_eq!(stats.submitted, total);
+        assert_eq!(stats.judged, total);
+        assert!(stats.wall_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn dropping_a_stream_early_cancels_cleanly() {
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 30, 77);
+        let service = ValidationService::builder().channel_capacity(1).build();
+        let mut stream = service.submit(items);
+        let first = stream.next();
+        assert!(first.is_some());
+        drop(stream); // must not deadlock or leak blocked workers
+    }
+
+    #[test]
+    fn record_lookup_is_available_and_first_wins() {
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 10, 2);
+        let lookup_id = items[4].id.clone();
+        let run = ValidationService::builder().build().run(items);
+        let record = run.record(&lookup_id).expect("known id resolves");
+        assert_eq!(record.id, lookup_id);
+        assert!(run.record("no-such-case").is_none());
+        // The clone rebuilds its index lazily and agrees with the original.
+        let cloned = run.clone();
+        assert_eq!(cloned.record(&lookup_id).map(|r| &r.id), Some(&lookup_id));
+        // Mutating the public `records` field after a lookup must not
+        // produce wrong answers or panics from the stale index.
+        let mut mutated = run;
+        mutated.records.reverse();
+        let tail_id = mutated.records.last().expect("non-empty").id.clone();
+        assert_eq!(mutated.record(&tail_id).map(|r| &r.id), Some(&tail_id));
+        // Truncation drops `tail_id` (it sorted to the end after reverse):
+        // the stale index must report it gone, not panic or mis-resolve.
+        mutated.records.truncate(2);
+        assert!(mutated.record(&tail_id).is_none());
+        let kept_id = mutated.records[0].id.clone();
+        assert_eq!(mutated.record(&kept_id).map(|r| &r.id), Some(&kept_id));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_service() {
+        let (items, _) = probed_items(DirectiveModel::OpenMp, 16, 8);
+        let config = PipelineConfig::default().record_all();
+        let via_shim = ValidationPipeline::new(config.clone()).run(items.clone());
+        let via_service = ValidationService::new(config).run(items);
+        for (a, b) in via_shim.records.iter().zip(&via_service.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
+            assert_eq!(a.judge_verdict(), b.judge_verdict());
+        }
+    }
+
+    #[test]
+    fn backend_panics_propagate_to_the_caller() {
+        use crate::backend::JudgeBackend;
+
+        /// A judge that dies on its first file.
+        struct PanickingJudge;
+        impl JudgeBackend for PanickingJudge {
+            fn judge(
+                &self,
+                _item: &WorkItem,
+                _compile: &crate::CompileSummary,
+                _exec: Option<&crate::ExecSummary>,
+            ) -> vv_judge::JudgeOutcome {
+                panic!("judge backend exploded");
+            }
+        }
+
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 8, 19);
+        for strategy in ExecutionStrategy::ALL {
+            let service = ValidationService::builder()
+                .strategy(strategy)
+                .judge_backend(PanickingJudge)
+                .build();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.run(items.clone())
+            }));
+            let payload = result.expect_err("a worker panic must not yield a truncated run");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                message.contains("judge backend exploded"),
+                "{strategy:?}: unexpected panic payload: {message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_judge_backend_is_used() {
+        use crate::backend::JudgeBackend;
+        use vv_judge::JudgeOutcome;
+
+        /// A judge that accepts everything (for testing backend plumbing).
+        struct AlwaysValid;
+        impl JudgeBackend for AlwaysValid {
+            fn judge(
+                &self,
+                _item: &WorkItem,
+                _compile: &crate::CompileSummary,
+                _exec: Option<&crate::ExecSummary>,
+            ) -> JudgeOutcome {
+                JudgeOutcome {
+                    prompt: String::new(),
+                    response: "FINAL JUDGEMENT: valid".into(),
+                    verdict: Some(vv_judge::Verdict::Valid),
+                    prompt_tokens: 1,
+                    response_tokens: 1,
+                    latency_ms: 0.5,
+                }
+            }
+            fn name(&self) -> &'static str {
+                "always-valid"
+            }
+        }
+
+        let (items, _) = probed_items(DirectiveModel::OpenAcc, 12, 13);
+        let run = ValidationService::builder()
+            .judge_backend(AlwaysValid)
+            .build()
+            .run(items);
+        for record in &run.records {
+            if record.stage_reached() == Stage::Judge {
+                assert_eq!(record.judge_verdict(), Some(vv_judge::Verdict::Valid));
+            }
+        }
+        assert!(run.stats.judged > 0);
+        assert_eq!(run.stats.judge_rejections, 0);
     }
 }

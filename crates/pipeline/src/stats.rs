@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = PipelineStats { submitted: 2, judged: 1, ..Default::default() };
+        let mut a = PipelineStats {
+            submitted: 2,
+            judged: 1,
+            ..Default::default()
+        };
         let b = PipelineStats {
             submitted: 3,
             judged: 2,

@@ -157,7 +157,12 @@ impl ProbedSuite {
     pub fn issue_counts(&self) -> Vec<(IssueKind, usize)> {
         IssueKind::ALL
             .iter()
-            .map(|issue| (*issue, self.cases.iter().filter(|c| c.issue == *issue).count()))
+            .map(|issue| {
+                (
+                    *issue,
+                    self.cases.iter().filter(|c| c.issue == *issue).count(),
+                )
+            })
             .collect()
     }
 
@@ -194,7 +199,10 @@ impl Default for ProbeConfig {
 impl ProbeConfig {
     /// Create a probe config with a specific seed and default weights.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Default::default() }
+        Self {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -203,8 +211,7 @@ pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuit
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4E45_4741_5449_5645);
     let mut indices: Vec<usize> = (0..suite.cases.len()).collect();
     indices.shuffle(&mut rng);
-    let mutated_count =
-        ((suite.cases.len() as f64) * config.mutated_fraction).round() as usize;
+    let mutated_count = ((suite.cases.len() as f64) * config.mutated_fraction).round() as usize;
 
     let mut cases = Vec::with_capacity(suite.cases.len());
     for (rank, &index) in indices.iter().enumerate() {
@@ -212,7 +219,12 @@ pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuit
         if rank < mutated_count {
             let issue = pick_issue(&config.mutation_weights, &mut rng);
             let outcome = apply_mutation(&case, issue, &mut rng);
-            cases.push(ProbedCase { case, issue: outcome.issue, source: outcome.source, note: outcome.note });
+            cases.push(ProbedCase {
+                case,
+                issue: outcome.issue,
+                source: outcome.source,
+                note: outcome.note,
+            });
         } else {
             cases.push(ProbedCase {
                 source: case.source.clone(),
@@ -225,7 +237,10 @@ pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuit
     // Shuffle once more so mutated/valid files are interleaved as they would
     // be in a directory listing.
     cases.shuffle(&mut rng);
-    ProbedSuite { model: suite.model, cases }
+    ProbedSuite {
+        model: suite.model,
+        cases,
+    }
 }
 
 fn pick_issue(weights: &[f64; 5], rng: &mut StdRng) -> IssueKind {
@@ -300,7 +315,11 @@ mod tests {
         let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(11));
         for case in &probed.cases {
             if case.issue != IssueKind::NoIssue {
-                assert_ne!(case.source, case.case.source, "{:?} left the source unchanged", case.issue);
+                assert_ne!(
+                    case.source, case.case.source,
+                    "{:?} left the source unchanged",
+                    case.issue
+                );
             } else {
                 assert_eq!(case.source, case.case.source);
             }

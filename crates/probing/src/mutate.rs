@@ -85,7 +85,10 @@ fn remove_alloc_or_swap_directive(case: &TestCase, rng: &mut impl Rng) -> Mutati
     // the corpus): corrupt the first line so the mutation is still visible.
     MutationOutcome {
         issue: IssueKind::RemovedAllocOrSwappedDirective,
-        source: format!("#pragma {} bogus_directive\n{source}", model_sentinel(case.model)),
+        source: format!(
+            "#pragma {} bogus_directive\n{source}",
+            model_sentinel(case.model)
+        ),
         note: "prepended a bogus directive (no malloc or pragma found)".to_string(),
     }
 }
@@ -115,7 +118,11 @@ fn remove_allocation(source: &str) -> Option<(String, String)> {
 }
 
 /// Corrupt one directive keyword on a randomly chosen pragma line.
-fn swap_directive(source: &str, model: DirectiveModel, rng: &mut impl Rng) -> Option<(String, String)> {
+fn swap_directive(
+    source: &str,
+    model: DirectiveModel,
+    rng: &mut impl Rng,
+) -> Option<(String, String)> {
     let sentinel = format!("#pragma {}", model_sentinel(model));
     let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
     let pragma_indices: Vec<usize> = lines
@@ -132,9 +139,7 @@ fn swap_directive(source: &str, model: DirectiveModel, rng: &mut impl Rng) -> Op
     // Words after "#pragma <sentinel>"; corrupt the first directive word.
     let prefix_len = lines[target].find(&sentinel).unwrap_or(0) + sentinel.len();
     let rest = lines[target][prefix_len..].to_string();
-    let Some(word) = rest.split_whitespace().next().map(str::to_string) else {
-        return None;
-    };
+    let word = rest.split_whitespace().next().map(str::to_string)?;
     let corrupted_word = corrupt_word(&word, rng);
     let new_rest = rest.replacen(&word, &corrupted_word, 1);
     lines[target] = format!("{}{}", &lines[target][..prefix_len], new_rest);
@@ -169,8 +174,11 @@ fn corrupt_word(word: &str, rng: &mut impl Rng) -> String {
 
 /// Issue 1: delete one `{` chosen at random.
 fn remove_opening_bracket(source: &str, rng: &mut impl Rng, issue: IssueKind) -> MutationOutcome {
-    let positions: Vec<usize> =
-        source.char_indices().filter(|(_, c)| *c == '{').map(|(i, _)| i).collect();
+    let positions: Vec<usize> = source
+        .char_indices()
+        .filter(|(_, c)| *c == '{')
+        .map(|(i, _)| i)
+        .collect();
     if positions.is_empty() {
         return MutationOutcome {
             issue,
@@ -192,8 +200,12 @@ fn remove_opening_bracket(source: &str, rng: &mut impl Rng, issue: IssueKind) ->
 
 /// Issue 2: insert a statement that uses a variable that is never declared.
 fn add_undeclared_variable(source: &str, rng: &mut impl Rng, issue: IssueKind) -> MutationOutcome {
-    let phantom = ["phantom_value", "missing_buffer", "ghost_index", "stray_total"]
-        [rng.gen_range(0..4)];
+    let phantom = [
+        "phantom_value",
+        "missing_buffer",
+        "ghost_index",
+        "stray_total",
+    ][rng.gen_range(0..4)];
     let statement = format!("    {phantom} = {phantom} + 1;");
     let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
     // Insert just before the final `return` in the file, which is inside
@@ -206,7 +218,10 @@ fn add_undeclared_variable(source: &str, rng: &mut impl Rng, issue: IssueKind) -
     MutationOutcome {
         issue,
         source: lines.join("\n") + "\n",
-        note: format!("inserted use of undeclared variable '{phantom}' before line {}", insert_at + 1),
+        note: format!(
+            "inserted use of undeclared variable '{phantom}' before line {}",
+            insert_at + 1
+        ),
     }
 }
 
@@ -257,7 +272,9 @@ mod tests {
     use vv_simcompiler::compiler_for;
 
     fn sample_case(model: DirectiveModel, seed: u64) -> TestCase {
-        generate_suite(&SuiteConfig::new(model, 8, seed)).cases.remove(0)
+        generate_suite(&SuiteConfig::new(model, 8, seed))
+            .cases
+            .remove(0)
     }
 
     #[test]
@@ -266,7 +283,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mutated = apply_mutation(&case, IssueKind::RemovedOpeningBracket, &mut rng);
         let outcome = compiler_for(case.model).compile(&mutated.source, case.lang);
-        assert!(!outcome.succeeded(), "expected compile failure:\n{}", mutated.source);
+        assert!(
+            !outcome.succeeded(),
+            "expected compile failure:\n{}",
+            mutated.source
+        );
     }
 
     #[test]
@@ -286,8 +307,7 @@ mod tests {
         // Force the directive-swap arm by using a stack-array template if the
         // drawn case has no malloc; either way the mutation must invalidate
         // the file (compile error or runtime fault).
-        let mutated =
-            apply_mutation(&case, IssueKind::RemovedAllocOrSwappedDirective, &mut rng);
+        let mutated = apply_mutation(&case, IssueKind::RemovedAllocOrSwappedDirective, &mut rng);
         assert_ne!(mutated.source, case.source);
     }
 
@@ -309,7 +329,8 @@ mod tests {
         let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 30, 99));
         let mut still_compiles = 0usize;
         for case in &suite.cases {
-            let mutated = remove_last_bracketed_section(&case.source, IssueKind::RemovedLastBracketedSection);
+            let mutated =
+                remove_last_bracketed_section(&case.source, IssueKind::RemovedLastBracketedSection);
             let outcome = compiler_for(case.model).compile(&mutated.source, case.lang);
             if outcome.succeeded() {
                 still_compiles += 1;

@@ -108,7 +108,11 @@ mod tests {
             diagnostics: vec![],
         };
         assert!(ok.succeeded());
-        let failed = CompileOutcome { return_code: 2, artifact: None, ..ok.clone() };
+        let failed = CompileOutcome {
+            return_code: 2,
+            artifact: None,
+            ..ok.clone()
+        };
         assert!(!failed.succeeded());
     }
 }

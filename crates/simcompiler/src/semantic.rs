@@ -47,13 +47,56 @@ impl SemanticOptions {
 
 /// Functions provided by the (simulated) C standard library and runtime.
 pub const KNOWN_LIBRARY_FUNCTIONS: &[&str] = &[
-    "malloc", "calloc", "realloc", "free", "printf", "fprintf", "sprintf", "puts", "putchar",
-    "exit", "abort", "abs", "labs", "fabs", "fabsf", "sqrt", "sqrtf", "pow", "exp", "log", "sin",
-    "cos", "tan", "floor", "ceil", "rand", "srand", "memset", "memcpy", "memcmp", "strlen",
-    "strcmp", "strcpy", "atoi", "atof", "acc_get_num_devices", "acc_set_device_num",
-    "acc_get_device_num", "acc_malloc", "acc_free", "omp_get_num_threads", "omp_get_thread_num",
-    "omp_get_num_teams", "omp_get_team_num", "omp_get_num_devices", "omp_set_num_threads",
-    "omp_get_wtime", "omp_is_initial_device", "omp_target_alloc", "omp_target_free",
+    "malloc",
+    "calloc",
+    "realloc",
+    "free",
+    "printf",
+    "fprintf",
+    "sprintf",
+    "puts",
+    "putchar",
+    "exit",
+    "abort",
+    "abs",
+    "labs",
+    "fabs",
+    "fabsf",
+    "sqrt",
+    "sqrtf",
+    "pow",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "floor",
+    "ceil",
+    "rand",
+    "srand",
+    "memset",
+    "memcpy",
+    "memcmp",
+    "strlen",
+    "strcmp",
+    "strcpy",
+    "atoi",
+    "atof",
+    "acc_get_num_devices",
+    "acc_set_device_num",
+    "acc_get_device_num",
+    "acc_malloc",
+    "acc_free",
+    "omp_get_num_threads",
+    "omp_get_thread_num",
+    "omp_get_num_teams",
+    "omp_get_team_num",
+    "omp_get_num_devices",
+    "omp_set_num_threads",
+    "omp_get_wtime",
+    "omp_is_initial_device",
+    "omp_target_alloc",
+    "omp_target_free",
 ];
 
 /// Analyze a translation unit; returns vendor-neutral diagnostics.
@@ -173,7 +216,12 @@ impl Context {
                 }
             }
             Stmt::Expr(expr) => self.check_expr(expr),
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.check_expr(cond);
                 self.push_scope();
                 self.check_stmt(then_branch);
@@ -184,7 +232,13 @@ impl Context {
                     self.pop_scope();
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.push_scope();
                 if let Some(init) = init {
                     self.check_stmt(init);
@@ -291,7 +345,12 @@ impl Context {
                 self.check_expr(index);
             }
             Expr::Cast { expr, .. } => self.check_expr(expr),
-            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
                 self.check_expr(cond);
                 self.check_expr(then_expr);
                 self.check_expr(else_expr);
@@ -320,7 +379,8 @@ impl Context {
                         SpecIssueKind::MalformedClauseArgs => "clause-args",
                         SpecIssueKind::UnsupportedVersion => "unsupported-version",
                     };
-                    self.diagnostics.push(Diagnostic::error(directive.span, code, issue.message));
+                    self.diagnostics
+                        .push(Diagnostic::error(directive.span, code, issue.message));
                 }
             }
             _ => {
@@ -356,7 +416,9 @@ impl Context {
         if directive_requires_loop(directive) {
             let governs_loop = match body {
                 Some(Stmt::For { .. }) => true,
-                Some(Stmt::Directive { body: Some(inner), .. }) => {
+                Some(Stmt::Directive {
+                    body: Some(inner), ..
+                }) => {
                     matches!(inner.as_ref(), Stmt::For { .. })
                 }
                 _ => false,
@@ -380,7 +442,11 @@ impl Context {
             let relevant = data_clauses.contains(&clause.name.as_str())
                 || matches!(
                     clause.name.as_str(),
-                    "private" | "firstprivate" | "lastprivate" | "reduction" | "use_device"
+                    "private"
+                        | "firstprivate"
+                        | "lastprivate"
+                        | "reduction"
+                        | "use_device"
                         | "use_device_ptr"
                 );
             if !relevant {
@@ -392,7 +458,10 @@ impl Context {
                     self.diagnostics.push(Diagnostic::error(
                         directive.span,
                         "clause-undeclared",
-                        format!("variable '{var}' in clause '{}' is not declared", clause.name),
+                        format!(
+                            "variable '{var}' in clause '{}' is not declared",
+                            clause.name
+                        ),
                     ));
                 }
             }
@@ -403,15 +472,25 @@ impl Context {
 fn is_lvalue(expr: &Expr) -> bool {
     matches!(
         expr,
-        Expr::Ident(..) | Expr::Index { .. } | Expr::Unary { op: UnOp::Deref, .. }
+        Expr::Ident(..)
+            | Expr::Index { .. }
+            | Expr::Unary {
+                op: UnOp::Deref,
+                ..
+            }
     )
 }
 
 /// True if the directive's innermost construct is loop-associated and
 /// therefore must govern a `for` loop.
 fn directive_requires_loop(directive: &Directive) -> bool {
-    let Some(last) = directive.name.last() else { return false };
-    matches!(last.as_str(), "loop" | "for" | "simd" | "distribute" | "taskloop")
+    let Some(last) = directive.name.last() else {
+        return false;
+    };
+    matches!(
+        last.as_str(),
+        "loop" | "for" | "simd" | "distribute" | "taskloop"
+    )
 }
 
 /// Extract variable names from a data/privatization clause argument list.
@@ -499,7 +578,9 @@ mod tests {
             "int main() { int a = 0; a = a + undeclared_thing; return a; }",
             DirectiveModel::OpenAcc,
         );
-        assert!(errors(&diags).iter().any(|d| d.code == "undeclared-identifier"));
+        assert!(errors(&diags)
+            .iter()
+            .any(|d| d.code == "undeclared-identifier"));
     }
 
     #[test]
@@ -589,7 +670,9 @@ mod tests {
             "int main() { int a[4];\n#pragma omp loop\nfor (int i = 0; i < 4; i++) { a[i] = i; }\nreturn 0; }",
             DirectiveModel::OpenMp,
         );
-        assert!(errors(&diags).iter().any(|d| d.code == "unsupported-version"));
+        assert!(errors(&diags)
+            .iter()
+            .any(|d| d.code == "unsupported-version"));
     }
 
     #[test]
@@ -598,7 +681,10 @@ mod tests {
         assert_eq!(clause_variables("map", "tofrom: c[0:N]"), vec!["c"]);
         assert_eq!(clause_variables("reduction", "+:sum"), vec!["sum"]);
         assert_eq!(clause_variables("map", "a[0:8]"), vec!["a"]);
-        assert_eq!(clause_variables("private", "i, j, tmp"), vec!["i", "j", "tmp"]);
+        assert_eq!(
+            clause_variables("private", "i, j, tmp"),
+            vec!["i", "j", "tmp"]
+        );
     }
 
     #[test]

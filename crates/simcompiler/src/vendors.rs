@@ -28,7 +28,9 @@ pub struct NvcCompiler {
 
 impl Default for NvcCompiler {
     fn default() -> Self {
-        Self { spec_version: vv_specs::default_version(DirectiveModel::OpenAcc) }
+        Self {
+            spec_version: vv_specs::default_version(DirectiveModel::OpenAcc),
+        }
     }
 }
 
@@ -109,7 +111,9 @@ pub struct ClangOmpCompiler {
 
 impl Default for ClangOmpCompiler {
     fn default() -> Self {
-        Self { spec_version: vv_specs::default_version(DirectiveModel::OpenMp) }
+        Self {
+            spec_version: vv_specs::default_version(DirectiveModel::OpenMp),
+        }
     }
 }
 
@@ -146,7 +150,10 @@ impl ClangOmpCompiler {
             ));
         }
         if warnings > 0 {
-            out.push_str(&format!("{warnings} warning{} generated.\n", plural(warnings)));
+            out.push_str(&format!(
+                "{warnings} warning{} generated.\n",
+                plural(warnings)
+            ));
         }
         if errors > 0 {
             out.push_str(&format!("{errors} error{} generated.\n", plural(errors)));
@@ -194,7 +201,11 @@ fn compile_with(
             diagnostics: diags,
         },
         Ok(parsed) => {
-            let opts = SemanticOptions { model, spec_version, warn_unknown_pragmas: true };
+            let opts = SemanticOptions {
+                model,
+                spec_version,
+                warn_unknown_pragmas: true,
+            };
             let mut diags = parsed.diagnostics.clone();
             diags.extend(analyze(&parsed.unit, &opts));
             let has_errors = diags.iter().any(Diagnostic::is_error);
@@ -212,7 +223,11 @@ fn compile_with(
                     return_code: 0,
                     stdout: String::new(),
                     stderr,
-                    artifact: Some(Program { unit: parsed.unit, model, lang }),
+                    artifact: Some(Program {
+                        unit: parsed.unit,
+                        model,
+                        lang,
+                    }),
                     diagnostics: diags,
                 }
             }
@@ -275,7 +290,9 @@ int main() {
         let bad = OMP_VALID.replace("sum += a[i];", "sum += a[i] + mystery;");
         let outcome = ClangOmpCompiler::new().compile(&bad, Lang::C);
         assert_eq!(outcome.return_code, 1);
-        assert!(outcome.stderr.contains("error: use of undeclared identifier 'mystery'"));
+        assert!(outcome
+            .stderr
+            .contains("error: use of undeclared identifier 'mystery'"));
         assert!(outcome.stderr.contains("error generated."));
     }
 
@@ -298,7 +315,8 @@ int main() {
 
     #[test]
     fn plain_c_without_directives_compiles_under_both() {
-        let src = "#include <stdio.h>\nint main() { int x = 2 + 2; printf(\"%d\\n\", x); return 0; }";
+        let src =
+            "#include <stdio.h>\nint main() { int x = 2 + 2; printf(\"%d\\n\", x); return 0; }";
         assert!(NvcCompiler::new().compile(src, Lang::C).succeeded());
         assert!(ClangOmpCompiler::new().compile(src, Lang::Cpp).succeeded());
     }
@@ -318,7 +336,9 @@ int main() {
         assert_eq!(outcome.return_code, 1);
         assert!(outcome.stderr.contains("4.5"));
         // ... but a 5.0-capable configuration accepts it
-        let newer = ClangOmpCompiler { spec_version: Version::OMP_5_0 };
+        let newer = ClangOmpCompiler {
+            spec_version: Version::OMP_5_0,
+        };
         assert!(newer.compile(src, Lang::C).succeeded());
     }
 

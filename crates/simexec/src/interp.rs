@@ -5,9 +5,7 @@ use std::collections::HashMap;
 use crate::memory::{DeviceSpace, HostSpace, MapKind, MemoryError};
 use crate::outcome::{ExecOutcome, RuntimeFault};
 use crate::value::Value;
-use vv_dclang::{
-    AssignOp, BaseType, BinOp, Directive, Expr, Function, Stmt, Type, UnOp, VarDecl,
-};
+use vv_dclang::{AssignOp, BaseType, BinOp, Directive, Expr, Function, Stmt, Type, UnOp, VarDecl};
 use vv_simcompiler::semantic::clause_variables;
 use vv_simcompiler::Program;
 
@@ -25,7 +23,11 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { step_limit: 4_000_000, max_call_depth: 128, capture_limit: 64 * 1024 }
+        Self {
+            step_limit: 4_000_000,
+            max_call_depth: 128,
+            capture_limit: 64 * 1024,
+        }
     }
 }
 
@@ -245,7 +247,7 @@ impl<'p> Interp<'p> {
         self.call_depth += 1;
         let saved_locals = std::mem::take(&mut self.locals);
         self.push_scope();
-        for (param, arg) in func.params.iter().zip(args.into_iter()) {
+        for (param, arg) in func.params.iter().zip(args) {
             let value = coerce(&param.ty, arg);
             self.bind(&param.name, value);
         }
@@ -285,7 +287,12 @@ impl<'p> Interp<'p> {
                 self.eval(expr)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let c = self.eval(cond)?;
                 if c.truthy() {
                     self.push_scope();
@@ -301,7 +308,13 @@ impl<'p> Interp<'p> {
                     Ok(Flow::Normal)
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.push_scope();
                 if let Some(init) = init {
                     if let Flow::Return(v) = self.exec_stmt_propagating(init)? {
@@ -488,10 +501,14 @@ impl<'p> Interp<'p> {
                             continue;
                         }
                         let kind = kind.expect("kind is Some when not delete");
-                        self.device.enter(&self.host, alloc, kind).map_err(Self::fault_from)?;
+                        self.device
+                            .enter(&self.host, alloc, kind)
+                            .map_err(Self::fault_from)?;
                     }
                     ClausePhase::Exit => {
-                        self.device.exit(&mut self.host, alloc).map_err(Self::fault_from)?;
+                        self.device
+                            .exit(&mut self.host, alloc)
+                            .map_err(Self::fault_from)?;
                     }
                 }
             }
@@ -512,9 +529,13 @@ impl<'p> Interp<'p> {
                     continue;
                 };
                 if to_host {
-                    self.device.update_host(&mut self.host, alloc).map_err(Self::fault_from)?;
+                    self.device
+                        .update_host(&mut self.host, alloc)
+                        .map_err(Self::fault_from)?;
                 } else {
-                    self.device.update_device(&self.host, alloc).map_err(Self::fault_from)?;
+                    self.device
+                        .update_device(&self.host, alloc)
+                        .map_err(Self::fault_from)?;
                 }
             }
         }
@@ -534,7 +555,9 @@ impl<'p> Interp<'p> {
             Expr::CharLit(c, _) => Ok(Value::Int(*c as i64)),
             Expr::Ident(name, _) => match self.lookup(name) {
                 Some(Value::Uninit) => {
-                    let salt = name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31) + b as u64);
+                    let salt = name
+                        .bytes()
+                        .fold(0u64, |acc, b| acc.wrapping_mul(31) + b as u64);
                     Ok(self.garbage(salt))
                 }
                 Some(v) => Ok(v.clone()),
@@ -542,7 +565,9 @@ impl<'p> Interp<'p> {
             },
             Expr::Unary { op, expr, .. } => self.eval_unary(*op, expr),
             Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs),
-            Expr::Assign { op, target, value, .. } => {
+            Expr::Assign {
+                op, target, value, ..
+            } => {
                 let rhs = self.eval(value)?;
                 let place = self.resolve_place(target)?;
                 let new_value = if *op == AssignOp::Assign {
@@ -569,7 +594,9 @@ impl<'p> Interp<'p> {
                         let place = self.resolve_place(expr)?;
                         self.read_place(&place)
                     }
-                    Expr::Postfix { target, decrement, .. } => {
+                    Expr::Postfix {
+                        target, decrement, ..
+                    } => {
                         let place = self.resolve_place(target)?;
                         let old = self.read_place(&place)?;
                         let delta = if *decrement { -1 } else { 1 };
@@ -585,10 +612,19 @@ impl<'p> Interp<'p> {
                 Ok(coerce(ty, v))
             }
             Expr::SizeofType { ty, .. } => {
-                let size = if ty.is_pointer() { 8 } else { ty.base.size_bytes() };
+                let size = if ty.is_pointer() {
+                    8
+                } else {
+                    ty.base.size_bytes()
+                };
                 Ok(Value::Int(size as i64))
             }
-            Expr::Ternary { cond, then_expr, else_expr, .. } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
                 if self.eval(cond)?.truthy() {
                     self.eval(then_expr)
                 } else {
@@ -664,14 +700,26 @@ impl<'p> Interp<'p> {
         // Pointer arithmetic.
         if let Value::Ptr { alloc, offset } = &l {
             match op {
-                BinOp::Add => return Ok(Value::Ptr { alloc: *alloc, offset: offset + r.as_i64() }),
+                BinOp::Add => {
+                    return Ok(Value::Ptr {
+                        alloc: *alloc,
+                        offset: offset + r.as_i64(),
+                    })
+                }
                 BinOp::Sub => {
-                    if let Value::Ptr { alloc: ra, offset: ro } = &r {
+                    if let Value::Ptr {
+                        alloc: ra,
+                        offset: ro,
+                    } = &r
+                    {
                         if ra == alloc {
                             return Ok(Value::Int(offset - ro));
                         }
                     }
-                    return Ok(Value::Ptr { alloc: *alloc, offset: offset - r.as_i64() });
+                    return Ok(Value::Ptr {
+                        alloc: *alloc,
+                        offset: offset - r.as_i64(),
+                    });
                 }
                 BinOp::Eq | BinOp::Ne => {
                     let equal = matches!(&r, Value::Ptr { alloc: ra, offset: ro } if ra == alloc && ro == offset);
@@ -682,7 +730,10 @@ impl<'p> Interp<'p> {
             }
         }
         if let (Value::Ptr { alloc, offset }, BinOp::Add) = (&r, op) {
-            return Ok(Value::Ptr { alloc: *alloc, offset: offset + l.as_i64() });
+            return Ok(Value::Ptr {
+                alloc: *alloc,
+                offset: offset + l.as_i64(),
+            });
         }
 
         let float_mode = l.is_float() || r.is_float() || l.is_uninit() || r.is_uninit();
@@ -767,13 +818,18 @@ impl<'p> Interp<'p> {
                 let base_v = self.eval(base)?;
                 let index_v = self.eval(index)?.as_i64();
                 match base_v {
-                    Value::Ptr { alloc, offset } => {
-                        Ok(Place::Mem { alloc, offset: offset + index_v })
-                    }
+                    Value::Ptr { alloc, offset } => Ok(Place::Mem {
+                        alloc,
+                        offset: offset + index_v,
+                    }),
                     _ => Err(Stop::Fault(RuntimeFault::Segfault)),
                 }
             }
-            Expr::Unary { op: UnOp::Deref, expr, .. } => self.resolve_deref_place(expr),
+            Expr::Unary {
+                op: UnOp::Deref,
+                expr,
+                ..
+            } => self.resolve_deref_place(expr),
             Expr::Cast { expr, .. } => self.resolve_place(expr),
             _ => Err(Stop::Fault(RuntimeFault::Segfault)),
         }
@@ -791,14 +847,18 @@ impl<'p> Interp<'p> {
         match place {
             Place::Var(name) => match self.lookup(name) {
                 Some(Value::Uninit) | None => {
-                    let salt = name.bytes().fold(7u64, |acc, b| acc.wrapping_mul(131) + b as u64);
+                    let salt = name
+                        .bytes()
+                        .fold(7u64, |acc, b| acc.wrapping_mul(131) + b as u64);
                     Ok(self.garbage(salt))
                 }
                 Some(v) => Ok(v.clone()),
             },
             Place::Mem { alloc, offset } => {
                 let value = if self.offload_depth > 0 && self.device.is_present(*alloc) {
-                    self.device.read(*alloc, *offset).map_err(Self::fault_from)?
+                    self.device
+                        .read(*alloc, *offset)
+                        .map_err(Self::fault_from)?
                 } else {
                     self.host.read(*alloc, *offset).map_err(Self::fault_from)?
                 };
@@ -819,9 +879,13 @@ impl<'p> Interp<'p> {
             }
             Place::Mem { alloc, offset } => {
                 if self.offload_depth > 0 && self.device.is_present(*alloc) {
-                    self.device.write(*alloc, *offset, value).map_err(Self::fault_from)
+                    self.device
+                        .write(*alloc, *offset, value)
+                        .map_err(Self::fault_from)
                 } else {
-                    self.host.write(*alloc, *offset, value).map_err(Self::fault_from)
+                    self.host
+                        .write(*alloc, *offset, value)
+                        .map_err(Self::fault_from)
                 }
             }
         }
@@ -984,9 +1048,7 @@ impl<'p> Interp<'p> {
             "acc_set_device_num" | "omp_set_num_threads" => Ok(Value::Int(0)),
             "omp_get_num_threads" => Ok(Value::Int(if self.offload_depth > 0 { 8 } else { 1 })),
             "omp_get_num_teams" => Ok(Value::Int(if self.offload_depth > 0 { 4 } else { 1 })),
-            "omp_is_initial_device" => {
-                Ok(Value::Int(if self.offload_depth > 0 { 0 } else { 1 }))
-            }
+            "omp_is_initial_device" => Ok(Value::Int(if self.offload_depth > 0 { 0 } else { 1 })),
             "omp_get_wtime" => Ok(Value::Float(self.steps as f64 * 1.0e-9)),
             _ => {
                 // Implicitly declared function (compile-time warning): calling
@@ -1004,7 +1066,13 @@ impl<'p> Interp<'p> {
         // Recognize the idiomatic `count * sizeof(T)` shape and use `count`
         // as the element count; otherwise fall back to the raw byte value
         // divided by 8 (the widest element the corpus uses).
-        if let Expr::Binary { op: BinOp::Mul, lhs, rhs, .. } = arg {
+        if let Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        } = arg
+        {
             if matches!(rhs.as_ref(), Expr::SizeofType { .. }) {
                 let count = self.eval(lhs)?.as_i64();
                 return Ok(count.clamp(0, 4_000_000) as usize);
@@ -1077,7 +1145,9 @@ impl<'p> Interp<'p> {
     }
 
     fn format_printf(&mut self, args: &[Expr]) -> EResult<String> {
-        let Some(first) = args.first() else { return Ok(String::new()) };
+        let Some(first) = args.first() else {
+            return Ok(String::new());
+        };
         let fmt = match self.eval(first)? {
             Value::Str(s) => s,
             other => other.to_string(),
@@ -1155,7 +1225,8 @@ fn format_c_string(fmt: &str, values: &[Value]) -> String {
         let mut spec = String::new();
         let mut conversion = None;
         while let Some(&next) = chars.peek() {
-            if next.is_ascii_digit() || matches!(next, '-' | '+' | ' ' | '.' | '#' | '*' | 'l' | 'h' | 'z')
+            if next.is_ascii_digit()
+                || matches!(next, '-' | '+' | ' ' | '.' | '#' | '*' | 'l' | 'h' | 'z')
             {
                 spec.push(next);
                 chars.next();
@@ -1176,10 +1247,13 @@ fn format_c_string(fmt: &str, values: &[Value]) -> String {
         }
         let value = values.get(arg_index).cloned().unwrap_or(Value::Int(0));
         arg_index += 1;
-        let precision = spec
-            .split('.')
-            .nth(1)
-            .and_then(|p| p.chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse::<usize>().ok());
+        let precision = spec.split('.').nth(1).and_then(|p| {
+            p.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse::<usize>()
+                .ok()
+        });
         match conv {
             'd' | 'i' | 'u' => out.push_str(&value.as_i64().to_string()),
             'x' => out.push_str(&format!("{:x}", value.as_i64())),
@@ -1271,14 +1345,23 @@ mod tests {
 
     #[test]
     fn division_by_zero_faults() {
-        let out = run("int main() { int a = 4; int b = 0; return a / b; }", DirectiveModel::OpenMp);
+        let out = run(
+            "int main() { int a = 4; int b = 0; return a / b; }",
+            DirectiveModel::OpenMp,
+        );
         assert_eq!(out.return_code, 136);
     }
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let program = compile("int main() { while (1) { } return 0; }", DirectiveModel::OpenAcc);
-        let exec = Executor::new(ExecConfig { step_limit: 10_000, ..Default::default() });
+        let program = compile(
+            "int main() { while (1) { } return 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        let exec = Executor::new(ExecConfig {
+            step_limit: 10_000,
+            ..Default::default()
+        });
         let out = exec.run(&program);
         assert_eq!(out.return_code, 124);
         assert_eq!(out.fault, Some(RuntimeFault::StepLimit));
@@ -1317,7 +1400,11 @@ int main() {
 "#,
             DirectiveModel::OpenMp,
         );
-        assert_eq!(out.return_code, 0, "stdout: {} stderr: {}", out.stdout, out.stderr);
+        assert_eq!(
+            out.return_code, 0,
+            "stdout: {} stderr: {}",
+            out.stdout, out.stderr
+        );
         assert!(out.stdout.contains("PASS"));
     }
 
@@ -1342,7 +1429,11 @@ int main() {
 "#,
             DirectiveModel::OpenAcc,
         );
-        assert_eq!(out.return_code, 0, "stdout: {} stderr: {}", out.stdout, out.stderr);
+        assert_eq!(
+            out.return_code, 0,
+            "stdout: {} stderr: {}",
+            out.stdout, out.stderr
+        );
     }
 
     #[test]
@@ -1400,7 +1491,11 @@ int main() {
 "#,
             DirectiveModel::OpenAcc,
         );
-        assert_eq!(out.return_code, 0, "stdout: {} stderr: {}", out.stdout, out.stderr);
+        assert_eq!(
+            out.return_code, 0,
+            "stdout: {} stderr: {}",
+            out.stdout, out.stderr
+        );
     }
 
     #[test]
@@ -1415,7 +1510,10 @@ int main() {
     #[test]
     fn format_c_string_specifiers() {
         assert_eq!(
-            format_c_string("i=%d f=%.2f s=%s %%", &[Value::Int(3), Value::Float(1.5), Value::Str("ok".into())]),
+            format_c_string(
+                "i=%d f=%.2f s=%s %%",
+                &[Value::Int(3), Value::Float(1.5), Value::Str("ok".into())]
+            ),
             "i=3 f=1.50 s=ok %"
         );
         assert_eq!(format_c_string("%ld", &[Value::Int(-9)]), "-9");

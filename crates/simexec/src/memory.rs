@@ -17,7 +17,11 @@ pub enum MemoryError {
     /// Access to an allocation id that was never created (wild pointer).
     InvalidAllocation,
     /// Access outside the bounds of an allocation.
-    OutOfBounds { alloc: usize, offset: i64, len: usize },
+    OutOfBounds {
+        alloc: usize,
+        offset: i64,
+        len: usize,
+    },
     /// Access to an allocation after `free`.
     UseAfterFree { alloc: usize },
     /// `free` called twice on the same allocation.
@@ -45,13 +49,19 @@ impl HostSpace {
 
     /// Allocate `len` cells, all uninitialized. Returns the allocation id.
     pub fn alloc(&mut self, len: usize) -> usize {
-        self.allocations.push(Allocation { data: vec![Value::Uninit; len], freed: false });
+        self.allocations.push(Allocation {
+            data: vec![Value::Uninit; len],
+            freed: false,
+        });
         self.allocations.len() - 1
     }
 
     /// Allocate `len` cells initialized to `value`.
     pub fn alloc_init(&mut self, len: usize, value: Value) -> usize {
-        self.allocations.push(Allocation { data: vec![value; len], freed: false });
+        self.allocations.push(Allocation {
+            data: vec![value; len],
+            freed: false,
+        });
         self.allocations.len() - 1
     }
 
@@ -74,12 +84,19 @@ impl HostSpace {
     }
 
     fn check(&self, alloc: usize, offset: i64) -> Result<usize, MemoryError> {
-        let a = self.allocations.get(alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let a = self
+            .allocations
+            .get(alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if a.freed {
             return Err(MemoryError::UseAfterFree { alloc });
         }
         if offset < 0 || offset as usize >= a.data.len() {
-            return Err(MemoryError::OutOfBounds { alloc, offset, len: a.data.len() });
+            return Err(MemoryError::OutOfBounds {
+                alloc,
+                offset,
+                len: a.data.len(),
+            });
         }
         Ok(offset as usize)
     }
@@ -99,7 +116,10 @@ impl HostSpace {
 
     /// Free an allocation.
     pub fn free(&mut self, alloc: usize) -> Result<(), MemoryError> {
-        let a = self.allocations.get_mut(alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let a = self
+            .allocations
+            .get_mut(alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if a.freed {
             return Err(MemoryError::DoubleFree { alloc });
         }
@@ -109,7 +129,10 @@ impl HostSpace {
 
     /// Snapshot of an allocation's cells (used for device transfers).
     pub fn snapshot(&self, alloc: usize) -> Result<Vec<Value>, MemoryError> {
-        let a = self.allocations.get(alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let a = self
+            .allocations
+            .get(alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if a.freed {
             return Err(MemoryError::UseAfterFree { alloc });
         }
@@ -118,7 +141,10 @@ impl HostSpace {
 
     /// Overwrite an allocation's cells (used for device→host transfers).
     pub fn restore(&mut self, alloc: usize, data: Vec<Value>) -> Result<(), MemoryError> {
-        let a = self.allocations.get_mut(alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let a = self
+            .allocations
+            .get_mut(alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if a.freed {
             return Err(MemoryError::UseAfterFree { alloc });
         }
@@ -173,7 +199,12 @@ impl DeviceSpace {
 
     /// Enter a data region for one allocation. If already present the
     /// reference count is incremented (structured-region semantics).
-    pub fn enter(&mut self, host: &HostSpace, alloc: usize, kind: MapKind) -> Result<(), MemoryError> {
+    pub fn enter(
+        &mut self,
+        host: &HostSpace,
+        alloc: usize,
+        kind: MapKind,
+    ) -> Result<(), MemoryError> {
         if let Some(entry) = self.present.get_mut(&alloc) {
             entry.refcount += 1;
             return Ok(());
@@ -184,7 +215,14 @@ impl DeviceSpace {
                 vec![Value::Uninit; host.len(alloc)?]
             }
         };
-        self.present.insert(alloc, DeviceEntry { data, kind, refcount: 1 });
+        self.present.insert(
+            alloc,
+            DeviceEntry {
+                data,
+                kind,
+                refcount: 1,
+            },
+        );
         Ok(())
     }
 
@@ -223,18 +261,32 @@ impl DeviceSpace {
 
     /// Read a cell from the device copy (caller checked presence).
     pub fn read(&self, alloc: usize, offset: i64) -> Result<Value, MemoryError> {
-        let entry = self.present.get(&alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let entry = self
+            .present
+            .get(&alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if offset < 0 || offset as usize >= entry.data.len() {
-            return Err(MemoryError::OutOfBounds { alloc, offset, len: entry.data.len() });
+            return Err(MemoryError::OutOfBounds {
+                alloc,
+                offset,
+                len: entry.data.len(),
+            });
         }
         Ok(entry.data[offset as usize].clone())
     }
 
     /// Write a cell on the device copy (caller checked presence).
     pub fn write(&mut self, alloc: usize, offset: i64, value: Value) -> Result<(), MemoryError> {
-        let entry = self.present.get_mut(&alloc).ok_or(MemoryError::InvalidAllocation)?;
+        let entry = self
+            .present
+            .get_mut(&alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
         if offset < 0 || offset as usize >= entry.data.len() {
-            return Err(MemoryError::OutOfBounds { alloc, offset, len: entry.data.len() });
+            return Err(MemoryError::OutOfBounds {
+                alloc,
+                offset,
+                len: entry.data.len(),
+            });
         }
         entry.data[offset as usize] = value;
         Ok(())
@@ -259,8 +311,14 @@ mod tests {
     fn out_of_bounds_and_negative_offsets_fail() {
         let mut host = HostSpace::new();
         let a = host.alloc(2);
-        assert!(matches!(host.read(a, 5), Err(MemoryError::OutOfBounds { .. })));
-        assert!(matches!(host.write(a, -1, Value::Int(0)), Err(MemoryError::OutOfBounds { .. })));
+        assert!(matches!(
+            host.read(a, 5),
+            Err(MemoryError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            host.write(a, -1, Value::Int(0)),
+            Err(MemoryError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -268,14 +326,20 @@ mod tests {
         let mut host = HostSpace::new();
         let a = host.alloc(2);
         host.free(a).unwrap();
-        assert!(matches!(host.read(a, 0), Err(MemoryError::UseAfterFree { .. })));
+        assert!(matches!(
+            host.read(a, 0),
+            Err(MemoryError::UseAfterFree { .. })
+        ));
         assert!(matches!(host.free(a), Err(MemoryError::DoubleFree { .. })));
     }
 
     #[test]
     fn invalid_allocation_id_fails() {
         let host = HostSpace::new();
-        assert!(matches!(host.read(99, 0), Err(MemoryError::InvalidAllocation)));
+        assert!(matches!(
+            host.read(99, 0),
+            Err(MemoryError::InvalidAllocation)
+        ));
     }
 
     #[test]

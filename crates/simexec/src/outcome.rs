@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn outcome_pass_predicate() {
-        assert!(ExecOutcome { return_code: 0, ..Default::default() }.passed());
+        assert!(ExecOutcome {
+            return_code: 0,
+            ..Default::default()
+        }
+        .passed());
         assert!(!ExecOutcome::from_fault(RuntimeFault::Segfault, String::new(), 10).passed());
     }
 

@@ -86,7 +86,11 @@ mod tests {
         assert!(Value::Int(3).truthy());
         assert!(!Value::Float(0.0).truthy());
         assert!(Value::Float(0.5).truthy());
-        assert!(Value::Ptr { alloc: 1, offset: 0 }.truthy());
+        assert!(Value::Ptr {
+            alloc: 1,
+            offset: 0
+        }
+        .truthy());
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub mod validate;
 pub mod version;
 
 pub use tables::{
-    acc_directives, clause_spec, data_movement_clauses, directive_spec, omp_directives,
-    ClauseSpec, DirectiveSpec,
+    acc_directives, clause_spec, data_movement_clauses, directive_spec, omp_directives, ClauseSpec,
+    DirectiveSpec,
 };
 pub use validate::{validate_directive, SpecIssue, SpecIssueKind};
 pub use version::Version;

@@ -33,7 +33,11 @@ pub struct DirectiveSpec {
 }
 
 const fn c(name: &'static str, requires_args: bool, major: u16, minor: u16) -> ClauseSpec {
-    ClauseSpec { name, requires_args, since: Version::new(major, minor) }
+    ClauseSpec {
+        name,
+        requires_args,
+        since: Version::new(major, minor),
+    }
 }
 
 const fn d(
@@ -43,7 +47,12 @@ const fn d(
     minor: u16,
     allowed_clauses: &'static [&'static str],
 ) -> DirectiveSpec {
-    DirectiveSpec { name, standalone, since: Version::new(major, minor), allowed_clauses }
+    DirectiveSpec {
+        name,
+        standalone,
+        since: Version::new(major, minor),
+        allowed_clauses,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -100,26 +109,85 @@ pub const ACC_CLAUSES: &[ClauseSpec] = &[
 ];
 
 const ACC_COMPUTE_CLAUSES: &[&str] = &[
-    "async", "wait", "num_gangs", "num_workers", "vector_length", "private", "firstprivate",
-    "reduction", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr",
-    "attach", "default", "if", "self",
+    "async",
+    "wait",
+    "num_gangs",
+    "num_workers",
+    "vector_length",
+    "private",
+    "firstprivate",
+    "reduction",
+    "copy",
+    "copyin",
+    "copyout",
+    "create",
+    "no_create",
+    "present",
+    "deviceptr",
+    "attach",
+    "default",
+    "if",
+    "self",
 ];
 
 const ACC_LOOP_CLAUSES: &[&str] = &[
-    "collapse", "gang", "worker", "vector", "seq", "auto", "independent", "private", "reduction",
-    "tile", "device_type",
+    "collapse",
+    "gang",
+    "worker",
+    "vector",
+    "seq",
+    "auto",
+    "independent",
+    "private",
+    "reduction",
+    "tile",
+    "device_type",
 ];
 
 const ACC_COMBINED_CLAUSES: &[&str] = &[
-    "async", "wait", "num_gangs", "num_workers", "vector_length", "private", "firstprivate",
-    "reduction", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr",
-    "attach", "default", "if", "self", "collapse", "gang", "worker", "vector", "seq", "auto",
-    "independent", "tile", "device_type",
+    "async",
+    "wait",
+    "num_gangs",
+    "num_workers",
+    "vector_length",
+    "private",
+    "firstprivate",
+    "reduction",
+    "copy",
+    "copyin",
+    "copyout",
+    "create",
+    "no_create",
+    "present",
+    "deviceptr",
+    "attach",
+    "default",
+    "if",
+    "self",
+    "collapse",
+    "gang",
+    "worker",
+    "vector",
+    "seq",
+    "auto",
+    "independent",
+    "tile",
+    "device_type",
 ];
 
 const ACC_DATA_CLAUSES: &[&str] = &[
-    "if", "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr", "attach",
-    "default", "async", "wait",
+    "if",
+    "copy",
+    "copyin",
+    "copyout",
+    "create",
+    "no_create",
+    "present",
+    "deviceptr",
+    "attach",
+    "default",
+    "async",
+    "wait",
 ];
 
 /// Directive registry for OpenACC.
@@ -132,25 +200,54 @@ pub const ACC_DIRECTIVES: &[DirectiveSpec] = &[
     d("kernels loop", false, 1, 0, ACC_COMBINED_CLAUSES),
     d("serial loop", false, 2, 5, ACC_COMBINED_CLAUSES),
     d("data", false, 1, 0, ACC_DATA_CLAUSES),
-    d("enter data", true, 2, 0, &["if", "async", "wait", "copyin", "create", "attach"]),
+    d(
+        "enter data",
+        true,
+        2,
+        0,
+        &["if", "async", "wait", "copyin", "create", "attach"],
+    ),
     d(
         "exit data",
         true,
         2,
         0,
-        &["if", "async", "wait", "copyout", "delete", "detach", "finalize"],
+        &[
+            "if", "async", "wait", "copyout", "delete", "detach", "finalize",
+        ],
     ),
-    d("host_data", false, 1, 0, &["use_device", "if", "if_present"]),
+    d(
+        "host_data",
+        false,
+        1,
+        0,
+        &["use_device", "if", "if_present"],
+    ),
     d(
         "update",
         true,
         1,
         0,
-        &["async", "wait", "device_type", "if", "if_present", "self", "host", "device"],
+        &[
+            "async",
+            "wait",
+            "device_type",
+            "if",
+            "if_present",
+            "self",
+            "host",
+            "device",
+        ],
     ),
     d("wait", true, 1, 0, &["async", "if"]),
     d("cache", true, 1, 0, &[]),
-    d("atomic", false, 1, 0, &["read", "write", "update", "capture"]),
+    d(
+        "atomic",
+        false,
+        1,
+        0,
+        &["read", "write", "update", "capture"],
+    ),
     // `atomic update` parses as a two-word directive name because `update`
     // is itself a construct keyword; keep explicit entries for those forms.
     d("atomic update", false, 1, 0, &[]),
@@ -159,18 +256,41 @@ pub const ACC_DIRECTIVES: &[DirectiveSpec] = &[
         true,
         1,
         0,
-        &["copy", "copyin", "copyout", "create", "present", "deviceptr", "device_resident", "link"],
+        &[
+            "copy",
+            "copyin",
+            "copyout",
+            "create",
+            "present",
+            "deviceptr",
+            "device_resident",
+            "link",
+        ],
     ),
     d(
         "routine",
         true,
         1,
         0,
-        &["gang", "worker", "vector", "seq", "bind", "device_type", "nohost"],
+        &[
+            "gang",
+            "worker",
+            "vector",
+            "seq",
+            "bind",
+            "device_type",
+            "nohost",
+        ],
     ),
     d("init", true, 1, 0, &["device_type", "device_num", "if"]),
     d("shutdown", true, 1, 0, &["device_type", "device_num", "if"]),
-    d("set", true, 2, 5, &["device_type", "device_num", "default_async", "if"]),
+    d(
+        "set",
+        true,
+        2,
+        5,
+        &["device_type", "device_num", "default_async", "if"],
+    ),
 ];
 
 // ---------------------------------------------------------------------------
@@ -232,62 +352,178 @@ pub const OMP_CLAUSES: &[ClauseSpec] = &[
 ];
 
 const OMP_PARALLEL_CLAUSES: &[&str] = &[
-    "if", "num_threads", "default", "private", "firstprivate", "shared", "copyin", "reduction",
+    "if",
+    "num_threads",
+    "default",
+    "private",
+    "firstprivate",
+    "shared",
+    "copyin",
+    "reduction",
     "proc_bind",
 ];
 
 const OMP_FOR_CLAUSES: &[&str] = &[
-    "private", "firstprivate", "lastprivate", "linear", "reduction", "schedule", "collapse",
-    "ordered", "nowait",
+    "private",
+    "firstprivate",
+    "lastprivate",
+    "linear",
+    "reduction",
+    "schedule",
+    "collapse",
+    "ordered",
+    "nowait",
 ];
 
 const OMP_PARALLEL_FOR_CLAUSES: &[&str] = &[
-    "if", "num_threads", "default", "private", "firstprivate", "lastprivate", "shared", "copyin",
-    "reduction", "proc_bind", "linear", "schedule", "collapse", "ordered",
+    "if",
+    "num_threads",
+    "default",
+    "private",
+    "firstprivate",
+    "lastprivate",
+    "shared",
+    "copyin",
+    "reduction",
+    "proc_bind",
+    "linear",
+    "schedule",
+    "collapse",
+    "ordered",
 ];
 
 const OMP_SIMD_CLAUSES: &[&str] = &[
-    "safelen", "simdlen", "linear", "aligned", "private", "lastprivate", "reduction", "collapse",
+    "safelen",
+    "simdlen",
+    "linear",
+    "aligned",
+    "private",
+    "lastprivate",
+    "reduction",
+    "collapse",
 ];
 
 const OMP_TARGET_CLAUSES: &[&str] = &[
-    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
+    "if",
+    "device",
+    "private",
+    "firstprivate",
+    "map",
+    "is_device_ptr",
+    "defaultmap",
+    "nowait",
     "depend",
 ];
 
 const OMP_TEAMS_CLAUSES: &[&str] = &[
-    "num_teams", "thread_limit", "default", "private", "firstprivate", "shared", "reduction",
+    "num_teams",
+    "thread_limit",
+    "default",
+    "private",
+    "firstprivate",
+    "shared",
+    "reduction",
 ];
 
-const OMP_DISTRIBUTE_CLAUSES: &[&str] =
-    &["private", "firstprivate", "lastprivate", "collapse", "dist_schedule"];
+const OMP_DISTRIBUTE_CLAUSES: &[&str] = &[
+    "private",
+    "firstprivate",
+    "lastprivate",
+    "collapse",
+    "dist_schedule",
+];
 
 const OMP_TARGET_TEAMS_CLAUSES: &[&str] = &[
-    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
-    "depend", "num_teams", "thread_limit", "default", "shared", "reduction",
+    "if",
+    "device",
+    "private",
+    "firstprivate",
+    "map",
+    "is_device_ptr",
+    "defaultmap",
+    "nowait",
+    "depend",
+    "num_teams",
+    "thread_limit",
+    "default",
+    "shared",
+    "reduction",
 ];
 
 const OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES: &[&str] = &[
-    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
-    "depend", "num_teams", "thread_limit", "default", "shared", "reduction", "lastprivate",
-    "collapse", "dist_schedule",
+    "if",
+    "device",
+    "private",
+    "firstprivate",
+    "map",
+    "is_device_ptr",
+    "defaultmap",
+    "nowait",
+    "depend",
+    "num_teams",
+    "thread_limit",
+    "default",
+    "shared",
+    "reduction",
+    "lastprivate",
+    "collapse",
+    "dist_schedule",
 ];
 
 const OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES: &[&str] = &[
-    "if", "device", "private", "firstprivate", "map", "is_device_ptr", "defaultmap", "nowait",
-    "depend", "num_teams", "thread_limit", "default", "shared", "reduction", "lastprivate",
-    "collapse", "dist_schedule", "num_threads", "copyin", "proc_bind", "linear", "schedule",
+    "if",
+    "device",
+    "private",
+    "firstprivate",
+    "map",
+    "is_device_ptr",
+    "defaultmap",
+    "nowait",
+    "depend",
+    "num_teams",
+    "thread_limit",
+    "default",
+    "shared",
+    "reduction",
+    "lastprivate",
+    "collapse",
+    "dist_schedule",
+    "num_threads",
+    "copyin",
+    "proc_bind",
+    "linear",
+    "schedule",
     "ordered",
 ];
 
 const OMP_TASK_CLAUSES: &[&str] = &[
-    "if", "final", "untied", "default", "mergeable", "private", "firstprivate", "shared",
-    "depend", "priority",
+    "if",
+    "final",
+    "untied",
+    "default",
+    "mergeable",
+    "private",
+    "firstprivate",
+    "shared",
+    "depend",
+    "priority",
 ];
 
 const OMP_TASKLOOP_CLAUSES: &[&str] = &[
-    "if", "shared", "private", "firstprivate", "lastprivate", "default", "grainsize",
-    "num_tasks", "collapse", "final", "priority", "untied", "mergeable", "nogroup",
+    "if",
+    "shared",
+    "private",
+    "firstprivate",
+    "lastprivate",
+    "default",
+    "grainsize",
+    "num_tasks",
+    "collapse",
+    "final",
+    "priority",
+    "untied",
+    "mergeable",
+    "nogroup",
 ];
 
 /// Directive registry for OpenMP.
@@ -299,14 +535,44 @@ pub const OMP_DIRECTIVES: &[DirectiveSpec] = &[
     d("for simd", false, 4, 0, OMP_FOR_CLAUSES),
     d("parallel for simd", false, 4, 0, OMP_PARALLEL_FOR_CLAUSES),
     d("target", false, 4, 0, OMP_TARGET_CLAUSES),
-    d("target data", false, 4, 0, &["if", "device", "map", "use_device_ptr"]),
-    d("target enter data", true, 4, 5, &["if", "device", "map", "depend", "nowait"]),
-    d("target exit data", true, 4, 5, &["if", "device", "map", "depend", "nowait"]),
-    d("target update", true, 4, 0, &["if", "device", "to", "from", "depend", "nowait"]),
+    d(
+        "target data",
+        false,
+        4,
+        0,
+        &["if", "device", "map", "use_device_ptr"],
+    ),
+    d(
+        "target enter data",
+        true,
+        4,
+        5,
+        &["if", "device", "map", "depend", "nowait"],
+    ),
+    d(
+        "target exit data",
+        true,
+        4,
+        5,
+        &["if", "device", "map", "depend", "nowait"],
+    ),
+    d(
+        "target update",
+        true,
+        4,
+        0,
+        &["if", "device", "to", "from", "depend", "nowait"],
+    ),
     d("teams", false, 4, 0, OMP_TEAMS_CLAUSES),
     d("distribute", false, 4, 0, OMP_DISTRIBUTE_CLAUSES),
     d("target teams", false, 4, 0, OMP_TARGET_TEAMS_CLAUSES),
-    d("target teams distribute", false, 4, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d(
+        "target teams distribute",
+        false,
+        4,
+        0,
+        OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES,
+    ),
     d(
         "target teams distribute parallel for",
         false,
@@ -314,8 +580,20 @@ pub const OMP_DIRECTIVES: &[DirectiveSpec] = &[
         0,
         OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES,
     ),
-    d("target parallel for", false, 4, 5, OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES),
-    d("teams distribute", false, 4, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d(
+        "target parallel for",
+        false,
+        4,
+        5,
+        OMP_TARGET_TEAMS_DISTRIBUTE_PARALLEL_FOR_CLAUSES,
+    ),
+    d(
+        "teams distribute",
+        false,
+        4,
+        0,
+        OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES,
+    ),
     d(
         "teams distribute parallel for",
         false,
@@ -329,13 +607,37 @@ pub const OMP_DIRECTIVES: &[DirectiveSpec] = &[
     d("taskyield", true, 3, 1, &[]),
     d("barrier", true, 3, 0, &[]),
     d("critical", false, 3, 0, &[]),
-    d("atomic", false, 3, 0, &["read", "write", "update", "capture", "seq_cst"]),
+    d(
+        "atomic",
+        false,
+        3,
+        0,
+        &["read", "write", "update", "capture", "seq_cst"],
+    ),
     // `atomic update` parses as a two-word directive name because `update`
     // is itself a construct keyword; keep an explicit entry for that form.
     d("atomic update", false, 3, 0, &["seq_cst"]),
-    d("single", false, 3, 0, &["private", "firstprivate", "copyprivate", "nowait"]),
+    d(
+        "single",
+        false,
+        3,
+        0,
+        &["private", "firstprivate", "copyprivate", "nowait"],
+    ),
     d("master", false, 3, 0, &[]),
-    d("sections", false, 3, 0, &["private", "firstprivate", "lastprivate", "reduction", "nowait"]),
+    d(
+        "sections",
+        false,
+        3,
+        0,
+        &[
+            "private",
+            "firstprivate",
+            "lastprivate",
+            "reduction",
+            "nowait",
+        ],
+    ),
     d("section", false, 3, 0, &[]),
     d("ordered", false, 3, 0, &["threads", "simd", "depend"]),
     d("flush", true, 3, 0, &[]),
@@ -344,8 +646,20 @@ pub const OMP_DIRECTIVES: &[DirectiveSpec] = &[
     d("end declare target", true, 4, 0, &[]),
     d("declare reduction", true, 4, 0, &[]),
     // 5.x directives, present so that a 4.5-capped compiler rejects them
-    d("loop", false, 5, 0, &["reduction", "collapse", "private", "lastprivate", "order"]),
-    d("teams loop", false, 5, 0, OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES),
+    d(
+        "loop",
+        false,
+        5,
+        0,
+        &["reduction", "collapse", "private", "lastprivate", "order"],
+    ),
+    d(
+        "teams loop",
+        false,
+        5,
+        0,
+        OMP_TARGET_TEAMS_DISTRIBUTE_CLAUSES,
+    ),
     d("requires", true, 5, 0, &[]),
     d("scan", true, 5, 0, &[]),
     d("masked", false, 5, 1, &[]),
@@ -388,8 +702,19 @@ pub fn clause_spec(model: DirectiveModel, name: &str) -> Option<&'static ClauseS
 pub fn data_movement_clauses(model: DirectiveModel) -> &'static [&'static str] {
     match model {
         DirectiveModel::OpenAcc => &[
-            "copy", "copyin", "copyout", "create", "no_create", "present", "deviceptr", "delete",
-            "attach", "detach", "host", "device", "self",
+            "copy",
+            "copyin",
+            "copyout",
+            "create",
+            "no_create",
+            "present",
+            "deviceptr",
+            "delete",
+            "attach",
+            "detach",
+            "host",
+            "device",
+            "self",
         ],
         DirectiveModel::OpenMp => &["map", "to", "from", "is_device_ptr", "use_device_ptr"],
     }
@@ -431,8 +756,11 @@ mod tests {
     #[test]
     fn lookup_combined_directives() {
         assert!(directive_spec(DirectiveModel::OpenAcc, "parallel loop").is_some());
-        assert!(directive_spec(DirectiveModel::OpenMp, "target teams distribute parallel for")
-            .is_some());
+        assert!(directive_spec(
+            DirectiveModel::OpenMp,
+            "target teams distribute parallel for"
+        )
+        .is_some());
         assert!(directive_spec(DirectiveModel::OpenAcc, "paralel loop").is_none());
     }
 

@@ -33,7 +33,10 @@ pub struct SpecIssue {
 
 impl SpecIssue {
     fn new(kind: SpecIssueKind, message: impl Into<String>) -> Self {
-        Self { kind, message: message.into() }
+        Self {
+            kind,
+            message: message.into(),
+        }
     }
 }
 
@@ -83,7 +86,14 @@ pub fn validate_directive(directive: &Directive, max_version: Version) -> Vec<Sp
     }
 
     for clause in &directive.clauses {
-        validate_clause(model, &name, spec.allowed_clauses, clause, max_version, &mut issues);
+        validate_clause(
+            model,
+            &name,
+            spec.allowed_clauses,
+            clause,
+            max_version,
+            &mut issues,
+        );
     }
 
     issues
@@ -178,8 +188,9 @@ fn check_clause_args(
                 // prefix to be a plain word.
                 let map_type = map_type.trim();
                 if map_type.chars().all(|c| c.is_ascii_alphabetic()) {
-                    const MAP_TYPES: &[&str] =
-                        &["to", "from", "tofrom", "alloc", "release", "delete", "always"];
+                    const MAP_TYPES: &[&str] = &[
+                        "to", "from", "tofrom", "alloc", "release", "delete", "always",
+                    ];
                     if !MAP_TYPES.contains(&map_type) {
                         issues.push(SpecIssue::new(
                             SpecIssueKind::MalformedClauseArgs,
@@ -197,13 +208,13 @@ fn check_clause_args(
         }
         "num_gangs" | "num_workers" | "vector_length" | "num_threads" | "num_teams"
         | "thread_limit" | "collapse" | "safelen" | "simdlen" | "device_num" | "priority"
-        | "grainsize" | "num_tasks" => {
-            if args.trim().is_empty() {
-                issues.push(SpecIssue::new(
-                    SpecIssueKind::MalformedClauseArgs,
-                    format!("clause '{clause_name}' requires an integer expression"),
-                ));
-            }
+        | "grainsize" | "num_tasks"
+            if args.trim().is_empty() =>
+        {
+            issues.push(SpecIssue::new(
+                SpecIssueKind::MalformedClauseArgs,
+                format!("clause '{clause_name}' requires an integer expression"),
+            ));
         }
         "schedule" => {
             let kind = args.split(',').next().unwrap_or("").trim();
@@ -264,8 +275,10 @@ mod tests {
 
     #[test]
     fn conforming_omp_directives_pass() {
-        assert!(omp("omp target teams distribute parallel for map(tofrom: c[0:64]) reduction(+:err)")
-            .is_empty());
+        assert!(omp(
+            "omp target teams distribute parallel for map(tofrom: c[0:64]) reduction(+:err)"
+        )
+        .is_empty());
         assert!(omp("omp parallel for schedule(static) num_threads(4)").is_empty());
         assert!(omp("omp target data map(to: a[0:64]) map(from: b[0:64])").is_empty());
         assert!(omp("omp atomic capture").is_empty());
@@ -274,44 +287,62 @@ mod tests {
     #[test]
     fn corrupted_directive_name_is_unknown() {
         let issues = acc("acc paralel loop");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownDirective));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnknownDirective));
         let issues = omp("omp targett teams");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownDirective));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnknownDirective));
     }
 
     #[test]
     fn unknown_clause_is_flagged() {
         let issues = acc("acc parallel loop banana(3)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownClause));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnknownClause));
     }
 
     #[test]
     fn clause_not_valid_on_directive_is_flagged() {
         // `schedule` is an OpenMP worksharing clause, not valid on `target data`.
         let issues = omp("omp target data schedule(static)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnknownClause));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnknownClause));
     }
 
     #[test]
     fn missing_required_args_is_flagged() {
         let issues = acc("acc parallel copyin");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
         let issues = omp("omp target map");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MissingClauseArgs));
     }
 
     #[test]
     fn malformed_reduction_is_flagged() {
         let issues = acc("acc parallel loop reduction(sum)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
         let issues = omp("omp parallel for reduction(foo:sum)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
     }
 
     #[test]
     fn bad_map_type_is_flagged() {
         let issues = omp("omp target map(sideways: a[0:8])");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
         // array sections without a map-type are fine
         assert!(omp("omp target map(a[0:8])").is_empty());
     }
@@ -319,11 +350,15 @@ mod tests {
     #[test]
     fn omp5_features_rejected_at_4_5_but_allowed_at_5_0() {
         let issues = omp("omp loop");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
         let issues = validate("omp loop", Version::OMP_5_0);
         assert!(issues.is_empty());
         let issues = omp("omp parallel for allocate(a)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::UnsupportedVersion));
     }
 
     #[test]
@@ -335,9 +370,13 @@ mod tests {
     #[test]
     fn bad_schedule_and_default_args() {
         let issues = omp("omp parallel for schedule(bananas)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
         let issues = acc("acc parallel default(everything)");
-        assert!(issues.iter().any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
+        assert!(issues
+            .iter()
+            .any(|i| i.kind == SpecIssueKind::MalformedClauseArgs));
         assert!(acc("acc parallel default(none)").is_empty());
     }
 }

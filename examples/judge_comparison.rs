@@ -6,9 +6,7 @@
 //! cargo run --release --example judge_comparison
 //! ```
 
-use llm4vv::experiment::{
-    run_part_one, run_part_two, Evaluator, PartOneConfig, PartTwoConfig,
-};
+use llm4vv::experiment::{run_part_one, run_part_two, Evaluator, PartOneConfig, PartTwoConfig};
 use llm4vv::metrics::render_radar_table;
 use vv_dclang::DirectiveModel;
 

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 
 use vv_corpus::{generate_suite, SuiteConfig};
 use vv_dclang::DirectiveModel;
-use vv_judge::{JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext, ToolRecord};
+use vv_judge::{
+    JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext, ToolRecord,
+};
 use vv_probing::{apply_mutation, IssueKind};
 use vv_simcompiler::compiler_for;
 use vv_simexec::Executor;
@@ -32,7 +34,10 @@ fn main() {
     for issue in IssueKind::ALL {
         let mutated = apply_mutation(case, issue, &mut rng);
         let compiled = compiler.compile(&mutated.source, case.lang);
-        let exec = compiled.artifact.as_ref().map(|program| executor.run(program));
+        let exec = compiled
+            .artifact
+            .as_ref()
+            .map(|program| executor.run(program));
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: compiled.return_code,

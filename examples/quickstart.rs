@@ -13,7 +13,10 @@ use vv_dclang::DirectiveModel;
 fn main() {
     // 60 files: 30 stay valid, 30 receive one of the five mutation classes.
     let config = PartTwoConfig::quick(DirectiveModel::OpenAcc, 60);
-    println!("running the validation pipeline over {} probed OpenACC files...\n", config.suite_size);
+    println!(
+        "running the validation pipeline over {} probed OpenACC files...\n",
+        config.suite_size
+    );
 
     let results = run_part_two(&config);
 

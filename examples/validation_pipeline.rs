@@ -1,7 +1,8 @@
-//! Validation-pipeline throughput demo: run the same probed OpenACC suite
-//! through the staged multi-worker pipeline (early-exit and record-all), the
-//! sequential baseline, and the per-file rayon runner, then compare wall
-//! time, judge-stage savings and verdict agreement.
+//! Validation-service throughput demo: run the same probed OpenACC suite
+//! through all three execution strategies of the `ValidationService`
+//! (early-exit and record-all), compare wall time, judge-stage savings and
+//! verdict agreement, then stream a suite through `submit` to show records
+//! arriving as they complete.
 //!
 //! ```text
 //! cargo run --release --example validation_pipeline
@@ -9,13 +10,19 @@
 
 use vv_corpus::{generate_suite, SuiteConfig};
 use vv_dclang::DirectiveModel;
-use vv_pipeline::{PipelineConfig, ValidationPipeline, WorkItem};
+use vv_pipeline::{ExecutionStrategy, PipelineMode, ValidationService, WorkItem};
 use vv_probing::{build_probed_suite, ProbeConfig};
 
-fn main() {
-    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 120, 7));
+fn probed_items(size: usize) -> Vec<WorkItem> {
+    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, size, 7));
     let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(8));
-    let items: Vec<WorkItem> = probed
+    println!(
+        "{} probed files ({} valid, {} mutated)\n",
+        probed.len(),
+        probed.valid_count(),
+        probed.len() - probed.valid_count()
+    );
+    probed
         .cases
         .iter()
         .map(|c| WorkItem {
@@ -24,16 +31,27 @@ fn main() {
             lang: c.case.lang,
             model: DirectiveModel::OpenAcc,
         })
-        .collect();
-    println!("{} probed files ({} valid, {} mutated)\n", probed.len(), probed.valid_count(), probed.len() - probed.valid_count());
+        .collect()
+}
 
-    let early = ValidationPipeline::new(PipelineConfig::default());
-    let record_all = ValidationPipeline::new(PipelineConfig::default().record_all());
+fn main() {
+    let items = probed_items(120);
 
-    let staged = early.run(items.clone());
-    let staged_all = record_all.run(items.clone());
-    let sequential = early.run_sequential(items.clone());
-    let rayon = early.run_batch_rayon(items.clone());
+    // One service per (strategy, mode) combination — a single entry point,
+    // `run`, regardless of scheduling.
+    let staged = ValidationService::builder().build().run(items.clone());
+    let staged_all = ValidationService::builder()
+        .mode(PipelineMode::RecordAll)
+        .build()
+        .run(items.clone());
+    let sequential = ValidationService::builder()
+        .strategy(ExecutionStrategy::Sequential)
+        .build()
+        .run(items.clone());
+    let per_file = ValidationService::builder()
+        .strategy(ExecutionStrategy::RayonBatch)
+        .build()
+        .run(items.clone());
 
     let agreement = staged
         .records
@@ -42,12 +60,15 @@ fn main() {
         .filter(|(a, b)| a.pipeline_verdict() == b.pipeline_verdict())
         .count();
 
-    println!("{:<28} {:>10} {:>10} {:>12} {:>16}", "runner", "wall (ms)", "judged", "savings", "sim. GPU (ms)");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>16}",
+        "strategy", "wall (ms)", "judged", "savings", "sim. GPU (ms)"
+    );
     for (name, run) in [
         ("staged, early-exit", &staged),
         ("staged, record-all", &staged_all),
         ("sequential, early-exit", &sequential),
-        ("rayon per-file, early-exit", &rayon),
+        ("per-file par., early-exit", &per_file),
     ] {
         println!(
             "{:<28} {:>10.1} {:>10} {:>11.0}% {:>16.0}",
@@ -59,11 +80,30 @@ fn main() {
         );
     }
     println!(
-        "\nverdict agreement between staged and sequential runners: {agreement}/{} files",
+        "\nverdict agreement between staged and sequential strategies: {agreement}/{} files",
         staged.records.len()
     );
     println!(
         "early-exit spared the (simulated 33B-parameter) judge {:.0}% of the files that record-all would have sent to the GPU.",
         (1.0 - staged.stats.judged as f64 / staged_all.stats.judged.max(1) as f64) * 100.0
     );
+
+    // Streaming: `submit` accepts any iterator and yields records as they
+    // complete through the bounded channels — constant memory, no barrier.
+    println!("\nstreaming 40 files through submit() (first 5 completions):");
+    let service = ValidationService::builder().channel_capacity(4).build();
+    let stream = service.submit(probed_items(40));
+    let mut completed = 0usize;
+    for record in stream {
+        if completed < 5 {
+            println!(
+                "  {:<36} stage {:?}, verdict {:?}",
+                record.id,
+                record.stage_reached(),
+                record.pipeline_verdict()
+            );
+        }
+        completed += 1;
+    }
+    println!("  ... {completed} records streamed in completion order");
 }

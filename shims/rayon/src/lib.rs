@@ -1,0 +1,138 @@
+//! Vendored, offline stand-in for the parts of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect()`.
+//!
+//! Work is distributed over `std::thread::scope` workers that claim items
+//! through an atomic cursor (a simple work-stealing-free task queue).
+//! Results are written back index-aligned, so `collect()` preserves input
+//! order exactly like rayon's indexed parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The rayon prelude: import the traits.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator returned by
+/// [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator; consume it with
+/// [`ParallelIterator::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace consumes.
+pub trait ParallelIterator {
+    /// The produced item type.
+    type Output: Send;
+
+    /// Run the pipeline and gather results in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Output>;
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Output = R;
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let workers = workers.min(self.items.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(self.items.len()));
+        let f = &self.f;
+        let items = self.items;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    results.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut indexed = results.into_inner().unwrap();
+        indexed.sort_by_key(|(index, _)| *index);
+        indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let squares: Vec<u64> = input.par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, input.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -3,34 +3,57 @@
 //! Listing 2 of the paper), and the pipeline must wire those tools up
 //! correctly for both valid and damaged files.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use vv_corpus::{generate_suite, SuiteConfig};
 use vv_dclang::DirectiveModel;
 use vv_judge::Verdict;
-use vv_pipeline::{PipelineConfig, Stage, ValidationPipeline, WorkItem};
+use vv_pipeline::{PipelineMode, Stage, ValidationService, WorkItem};
 use vv_probing::{apply_mutation, IssueKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+fn record_all() -> ValidationService {
+    ValidationService::builder()
+        .mode(PipelineMode::RecordAll)
+        .build()
+}
+
+fn early_exit() -> ValidationService {
+    ValidationService::builder().build()
+}
 
 fn items_from(model: DirectiveModel, size: usize, seed: u64) -> Vec<WorkItem> {
     generate_suite(&SuiteConfig::new(model, size, seed))
         .cases
         .into_iter()
-        .map(|c| WorkItem { id: c.id, source: c.source, lang: c.lang, model })
+        .map(|c| WorkItem {
+            id: c.id,
+            source: c.source,
+            lang: c.lang,
+            model,
+        })
         .collect()
 }
 
 #[test]
 fn judge_prompts_embed_real_tool_outputs() {
     let items = items_from(DirectiveModel::OpenAcc, 6, 1001);
-    let run = ValidationPipeline::new(PipelineConfig::default().record_all()).run(items);
+    let run = record_all().run(items);
     for record in &run.records {
-        let judgement = record.judgement.as_ref().expect("record-all judges everything");
+        let judgement = record
+            .judgement
+            .as_ref()
+            .expect("record-all judges everything");
         // The agent prompt must contain the exact tool sections of Listing 2.
         assert!(judgement.prompt.contains("Compiler return code:"));
         assert!(judgement.prompt.contains("When the compiled code is run"));
-        assert!(judgement.prompt.contains(&format!("Compiler return code: {}", record.compile.return_code)));
+        assert!(judgement.prompt.contains(&format!(
+            "Compiler return code: {}",
+            record.compile.return_code
+        )));
         if let Some(exec) = &record.exec {
-            assert!(judgement.prompt.contains(&format!("Return code: {}", exec.return_code)));
+            assert!(judgement
+                .prompt
+                .contains(&format!("Return code: {}", exec.return_code)));
             if !exec.stdout.is_empty() {
                 assert!(judgement.prompt.contains(exec.stdout.trim_end()));
             }
@@ -59,7 +82,7 @@ fn compile_failures_surface_in_the_prompt_and_drive_the_verdict() {
     }];
 
     // Record-all: the judge still sees the file, with the compiler errors.
-    let record_all = ValidationPipeline::new(PipelineConfig::default().record_all()).run(items.clone());
+    let record_all = record_all().run(items.clone());
     let record = &record_all.records[0];
     assert!(!record.compile.succeeded);
     let judgement = record.judgement.as_ref().unwrap();
@@ -67,7 +90,7 @@ fn compile_failures_surface_in_the_prompt_and_drive_the_verdict() {
     assert_eq!(record.pipeline_verdict(), Verdict::Invalid);
 
     // Early-exit: the file never reaches the judge at all.
-    let early = ValidationPipeline::new(PipelineConfig::default()).run(items);
+    let early = early_exit().run(items);
     let record = &early.records[0];
     assert!(record.judgement.is_none());
     assert_eq!(record.stage_reached(), Stage::Compile);
@@ -77,10 +100,15 @@ fn compile_failures_surface_in_the_prompt_and_drive_the_verdict() {
 #[test]
 fn valid_files_reach_the_judge_stage_even_with_early_exit() {
     let items = items_from(DirectiveModel::OpenAcc, 8, 4242);
-    let run = ValidationPipeline::new(PipelineConfig::default()).run(items);
+    let run = early_exit().run(items);
     for record in &run.records {
         assert!(record.compile.succeeded, "{} should compile", record.id);
-        assert_eq!(record.stage_reached(), Stage::Judge, "{} should be judged", record.id);
+        assert_eq!(
+            record.stage_reached(),
+            Stage::Judge,
+            "{} should be judged",
+            record.id
+        );
         assert!(record.exec.as_ref().is_some_and(|e| e.passed));
     }
     assert_eq!(run.stats.judged, run.stats.submitted);

@@ -1,29 +1,42 @@
 //! Workspace-level integration tests: the paper's headline qualitative
 //! findings must hold for the reproduction (the *shape* of Tables I–IX).
 
-use llm4vv::experiment::{
-    run_part_one, run_part_two, Evaluator, PartOneConfig, PartTwoConfig,
-};
+use llm4vv::experiment::{run_part_one, run_part_two, Evaluator, PartOneConfig, PartTwoConfig};
 use vv_probing::IssueKind;
 
 fn acc_part_one() -> llm4vv::PartOneResults {
-    run_part_one(&PartOneConfig { suite_size: 160, ..PartOneConfig::paper_openacc() })
+    run_part_one(&PartOneConfig {
+        suite_size: 160,
+        ..PartOneConfig::paper_openacc()
+    })
 }
 
 fn omp_part_one() -> llm4vv::PartOneResults {
-    run_part_one(&PartOneConfig { suite_size: 140, ..PartOneConfig::paper_openmp() })
+    run_part_one(&PartOneConfig {
+        suite_size: 140,
+        ..PartOneConfig::paper_openmp()
+    })
 }
 
 fn acc_part_two() -> llm4vv::PartTwoResults {
-    run_part_two(&PartTwoConfig { suite_size: 180, ..PartTwoConfig::paper_openacc() })
+    run_part_two(&PartTwoConfig {
+        suite_size: 180,
+        ..PartTwoConfig::paper_openacc()
+    })
 }
 
 fn omp_part_two() -> llm4vv::PartTwoResults {
-    run_part_two(&PartTwoConfig { suite_size: 150, ..PartTwoConfig::paper_openmp() })
+    run_part_two(&PartTwoConfig {
+        suite_size: 150,
+        ..PartTwoConfig::paper_openmp()
+    })
 }
 
 fn accuracy_for(rows: &[vv_metrics::PerIssueRow], issue: IssueKind) -> f64 {
-    rows.iter().find(|r| r.issue == issue).map(|r| r.accuracy).unwrap_or(0.0)
+    rows.iter()
+        .find(|r| r.issue == issue)
+        .map(|r| r.accuracy)
+        .unwrap_or(0.0)
 }
 
 #[test]
@@ -56,7 +69,10 @@ fn pipeline_catches_what_the_compiler_catches() {
     for results in [acc_part_two(), omp_part_two()] {
         for evaluator in [Evaluator::Pipeline1, Evaluator::Pipeline2] {
             let rows = results.per_issue(evaluator);
-            for issue in [IssueKind::RemovedOpeningBracket, IssueKind::UndeclaredVariableUse] {
+            for issue in [
+                IssueKind::RemovedOpeningBracket,
+                IssueKind::UndeclaredVariableUse,
+            ] {
                 let accuracy = accuracy_for(&rows, issue);
                 assert!(
                     accuracy >= 0.95,
@@ -94,8 +110,16 @@ fn plain_judge_biases_match_the_paper_signs() {
     // (bias ≈ +0.72) and roughly balanced-to-restrictive on OpenMP.
     let acc = acc_part_one().overall();
     let omp = omp_part_one().overall();
-    assert!(acc.bias > 0.3, "OpenACC plain-judge bias should be clearly positive, got {}", acc.bias);
-    assert!(omp.bias < 0.3, "OpenMP plain-judge bias should not be strongly positive, got {}", omp.bias);
+    assert!(
+        acc.bias > 0.3,
+        "OpenACC plain-judge bias should be clearly positive, got {}",
+        acc.bias
+    );
+    assert!(
+        omp.bias < 0.3,
+        "OpenMP plain-judge bias should not be strongly positive, got {}",
+        omp.bias
+    );
     // and the plain judge is weak overall (well under the pipeline's level)
     assert!(acc.accuracy < 0.8);
     assert!(omp.accuracy < 0.7);
@@ -114,7 +138,11 @@ fn agent_judges_are_permissive_and_pipelines_shift_toward_restrictive() {
     let results = acc_part_two();
     let llmj1 = results.overall(Evaluator::Llmj1);
     let pipeline1 = results.overall(Evaluator::Pipeline1);
-    assert!(llmj1.bias > 0.0, "LLMJ 1 bias should be positive, got {}", llmj1.bias);
+    assert!(
+        llmj1.bias > 0.0,
+        "LLMJ 1 bias should be positive, got {}",
+        llmj1.bias
+    );
     assert!(
         pipeline1.bias < llmj1.bias,
         "pipeline bias ({}) should be shifted toward restrictive relative to LLMJ 1 ({})",
@@ -131,7 +159,11 @@ fn missing_model_code_is_caught_by_judges_not_compilers() {
     let results = acc_part_two();
     for record in &results.records {
         if record.issue == IssueKind::ReplacedWithNonDirectiveCode {
-            assert!(record.compile_ok, "plain C replacement should compile ({})", record.case_id);
+            assert!(
+                record.compile_ok,
+                "plain C replacement should compile ({})",
+                record.case_id
+            );
             assert_eq!(record.exec_passed, Some(true));
         }
     }

@@ -1,125 +1,141 @@
-//! Property-based tests over the full stack (proptest).
+//! Property-style tests over the full stack.
+//!
+//! The crates.io `proptest` harness is unavailable in the offline build
+//! environment, so these properties are checked over deterministic sweeps
+//! of seeds, sizes and worker configurations instead of randomized
+//! strategies. The invariants are the same ones the proptest version
+//! asserted; the sweep grids are chosen to cover both models and a spread
+//! of suite shapes.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use vv_corpus::{generate_suite, SuiteConfig};
 use vv_dclang::DirectiveModel;
 use vv_judge::Verdict;
 use vv_metrics::{overall, per_issue, radar_series, EvaluationRecord};
-use vv_pipeline::{PipelineConfig, ValidationPipeline, WorkItem};
+use vv_pipeline::{ValidationService, WorkItem};
 use vv_probing::{build_probed_suite, IssueKind, ProbeConfig};
 
-fn arbitrary_model() -> impl Strategy<Value = DirectiveModel> {
-    prop_oneof![Just(DirectiveModel::OpenAcc), Just(DirectiveModel::OpenMp)]
+const MODELS: [DirectiveModel; 2] = [DirectiveModel::OpenAcc, DirectiveModel::OpenMp];
+
+/// Pseudo-random evaluation records driven by a seeded generator: every
+/// issue id, with judge verdicts valid/invalid/unparseable.
+fn arbitrary_records(seed: u64, count: usize) -> Vec<EvaluationRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let issue = IssueKind::from_id(rng.gen_range(0..6u8)).unwrap();
+            let verdict = match rng.gen_range(0..3u8) {
+                0 => None,
+                1 => Some(Verdict::Valid),
+                _ => Some(Verdict::Invalid),
+            };
+            EvaluationRecord::new(format!("case_{i}"), issue, verdict)
+        })
+        .collect()
 }
 
-fn arbitrary_records() -> impl Strategy<Value = Vec<EvaluationRecord>> {
-    prop::collection::vec(
-        (0u8..6, prop::option::of(prop::bool::ANY)).prop_map(|(issue_id, verdict)| {
-            EvaluationRecord::new(
-                format!("case_{issue_id}"),
-                IssueKind::from_id(issue_id).unwrap(),
-                verdict.map(|v| if v { Verdict::Valid } else { Verdict::Invalid }),
-            )
-        }),
-        0..200,
-    )
-}
+#[test]
+fn metrics_invariants_hold_for_arbitrary_records() {
+    for seed in 0..16u64 {
+        let count = (seed as usize * 13) % 200;
+        let records = arbitrary_records(seed, count);
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-
-    /// Metrics invariants hold for arbitrary evaluation records.
-    #[test]
-    fn metrics_invariants(records in arbitrary_records()) {
         let stats = overall(&records);
-        prop_assert!(stats.accuracy >= 0.0 && stats.accuracy <= 1.0);
-        prop_assert!(stats.bias >= -1.0 && stats.bias <= 1.0);
-        prop_assert_eq!(stats.total, records.len());
-        prop_assert!(stats.mistakes <= stats.total);
+        assert!((0.0..=1.0).contains(&stats.accuracy));
+        assert!((-1.0..=1.0).contains(&stats.bias));
+        assert_eq!(stats.total, records.len());
+        assert!(stats.mistakes <= stats.total);
 
         let rows = per_issue(&records);
         let total: usize = rows.iter().map(|r| r.count).sum();
-        prop_assert_eq!(total, records.len());
+        assert_eq!(total, records.len());
         for row in &rows {
-            prop_assert_eq!(row.correct + row.incorrect, row.count);
-            prop_assert!(row.accuracy >= 0.0 && row.accuracy <= 1.0);
+            assert_eq!(row.correct + row.incorrect, row.count);
+            assert!((0.0..=1.0).contains(&row.accuracy));
         }
 
         let radar = radar_series(&records);
         let radar_total: usize = radar.iter().map(|p| p.count).sum();
-        prop_assert_eq!(radar_total, records.len());
+        assert_eq!(radar_total, records.len());
     }
+}
 
-    /// Corpus generation is deterministic and every file mentions its model.
-    #[test]
-    fn corpus_determinism(model in arbitrary_model(), size in 1usize..24, seed in 0u64..1000) {
-        let a = generate_suite(&SuiteConfig::new(model, size, seed));
-        let b = generate_suite(&SuiteConfig::new(model, size, seed));
-        prop_assert_eq!(a.len(), size);
-        for (x, y) in a.cases.iter().zip(b.cases.iter()) {
-            prop_assert_eq!(&x.source, &y.source);
-            prop_assert!(x.source.contains("#pragma"));
-        }
-    }
-
-    /// Probing always splits into the requested fraction and mutations always
-    /// change the source.
-    #[test]
-    fn probing_invariants(model in arbitrary_model(), size in 2usize..30, seed in 0u64..500) {
-        let suite = generate_suite(&SuiteConfig::new(model, size, seed));
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
-        prop_assert_eq!(probed.len(), size);
-        let expected_valid = size - ((size as f64) * 0.5).round() as usize;
-        prop_assert_eq!(probed.valid_count(), expected_valid);
-        for case in &probed.cases {
-            if case.issue == IssueKind::NoIssue {
-                prop_assert_eq!(&case.source, &case.case.source);
-            } else {
-                prop_assert_ne!(&case.source, &case.case.source);
+#[test]
+fn corpus_generation_is_deterministic_and_on_model() {
+    for model in MODELS {
+        for (size, seed) in [(1usize, 0u64), (7, 123), (16, 999), (23, 500)] {
+            let a = generate_suite(&SuiteConfig::new(model, size, seed));
+            let b = generate_suite(&SuiteConfig::new(model, size, seed));
+            assert_eq!(a.len(), size);
+            for (x, y) in a.cases.iter().zip(b.cases.iter()) {
+                assert_eq!(x.source, y.source);
+                assert!(x.source.contains("#pragma"));
             }
         }
     }
 }
 
-proptest! {
-    // The full pipeline is comparatively expensive, so fewer cases.
-    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
-
-    /// The staged multi-worker pipeline and the sequential baseline always
-    /// agree on every verdict, for any seed and worker configuration.
-    #[test]
-    fn staged_pipeline_equals_sequential(
-        model in arbitrary_model(),
-        seed in 0u64..200,
-        compile_workers in 1usize..5,
-        judge_workers in 1usize..4,
-    ) {
-        let suite = generate_suite(&SuiteConfig::new(model, 14, seed));
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
-        let items: Vec<WorkItem> = probed
-            .cases
-            .iter()
-            .map(|c| WorkItem {
-                id: c.case.id.clone(),
-                source: c.source.clone(),
-                lang: c.case.lang,
-                model,
-            })
-            .collect();
-        let pipeline = ValidationPipeline::new(PipelineConfig {
-            compile_workers,
-            exec_workers: 2,
-            judge_workers,
-            ..PipelineConfig::default()
-        });
-        let staged = pipeline.run(items.clone());
-        let sequential = pipeline.run_sequential(items);
-        prop_assert_eq!(staged.records.len(), sequential.records.len());
-        for (a, b) in staged.records.iter().zip(&sequential.records) {
-            prop_assert_eq!(&a.id, &b.id);
-            prop_assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
-            prop_assert_eq!(a.stage_reached(), b.stage_reached());
+#[test]
+fn probing_always_splits_at_the_requested_fraction() {
+    for model in MODELS {
+        for (size, seed) in [(2usize, 0u64), (9, 77), (18, 250), (29, 499)] {
+            let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+            let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
+            assert_eq!(probed.len(), size);
+            let expected_valid = size - ((size as f64) * 0.5).round() as usize;
+            assert_eq!(probed.valid_count(), expected_valid);
+            for case in &probed.cases {
+                if case.issue == IssueKind::NoIssue {
+                    assert_eq!(case.source, case.case.source);
+                } else {
+                    assert_ne!(case.source, case.case.source);
+                }
+            }
         }
+    }
+}
+
+#[test]
+fn staged_pipeline_equals_sequential_for_any_worker_shape() {
+    // Sweep over models, seeds and worker configurations; the staged
+    // multi-worker service and the sequential baseline must always agree on
+    // every verdict and on how far every file progressed.
+    let shapes = [(1usize, 1usize), (2, 3), (4, 1), (3, 2)];
+    let seeds = [0u64, 59, 131, 197];
+    for model in MODELS {
+        for (seed, (compile_workers, judge_workers)) in seeds.into_iter().zip(shapes) {
+            run_parity_case(model, seed, compile_workers, judge_workers);
+        }
+    }
+}
+
+fn run_parity_case(model: DirectiveModel, seed: u64, compile_workers: usize, judge_workers: usize) {
+    let suite = generate_suite(&SuiteConfig::new(model, 14, seed));
+    let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
+    let items: Vec<WorkItem> = probed
+        .cases
+        .iter()
+        .map(|c| WorkItem {
+            id: c.case.id.clone(),
+            source: c.source.clone(),
+            lang: c.case.lang,
+            model,
+        })
+        .collect();
+    let staged = ValidationService::builder()
+        .workers(compile_workers, 2, judge_workers)
+        .build()
+        .run(items.clone());
+    let sequential = ValidationService::builder()
+        .strategy(vv_pipeline::ExecutionStrategy::Sequential)
+        .build()
+        .run(items);
+    assert_eq!(staged.records.len(), sequential.records.len());
+    for (a, b) in staged.records.iter().zip(&sequential.records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
+        assert_eq!(a.stage_reached(), b.stage_reached());
     }
 }

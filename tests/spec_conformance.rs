@@ -22,7 +22,11 @@ fn every_emitted_directive_is_spec_conforming() {
         for source in suite_sources(model, 60, 314) {
             let parsed = parse_source(&source).expect("corpus output parses");
             for directive in parsed.unit.all_directives() {
-                assert_eq!(directive.model, Some(model), "foreign pragma in corpus:\n{source}");
+                assert_eq!(
+                    directive.model,
+                    Some(model),
+                    "foreign pragma in corpus:\n{source}"
+                );
                 let issues = validate_directive(directive, version);
                 assert!(
                     issues.is_empty(),
@@ -58,7 +62,10 @@ fn omp_corpus_stays_within_4_5() {
 fn every_directive_in_the_spec_tables_round_trips_through_the_pragma_parser() {
     use vv_dclang::directive::parse_pragma;
     use vv_dclang::Span;
-    for (model, sentinel) in [(DirectiveModel::OpenAcc, "acc"), (DirectiveModel::OpenMp, "omp")] {
+    for (model, sentinel) in [
+        (DirectiveModel::OpenAcc, "acc"),
+        (DirectiveModel::OpenMp, "omp"),
+    ] {
         for spec in vv_specs::directives_for(model) {
             let parsed = parse_pragma(&format!("{sentinel} {}", spec.name), Span::unknown());
             assert_eq!(parsed.model, Some(model));

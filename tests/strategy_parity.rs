@@ -1,0 +1,138 @@
+//! Runner-parity determinism tests: the `Staged`, `Sequential` and
+//! `RayonBatch` strategies of the `ValidationService` must produce
+//! **byte-identical** `CaseRecord`s — same verdicts, same summaries, same
+//! judge prompts and responses — for the same seeds and inputs, in both
+//! `EarlyExit` and `RecordAll` modes. This is the contract that lets the
+//! ablation benchmarks compare scheduling strategies without re-validating
+//! semantics, and it is asserted here over full record equality
+//! (`CaseRecord: PartialEq` covers every captured field).
+
+use vv_corpus::{generate_suite, SuiteConfig};
+use vv_dclang::DirectiveModel;
+use vv_pipeline::{
+    CaseRecord, ExecutionStrategy, PipelineMode, ValidationService, ValidationServiceBuilder,
+    WorkItem,
+};
+use vv_probing::{build_probed_suite, ProbeConfig};
+
+fn probed_items(model: DirectiveModel, size: usize, seed: u64) -> Vec<WorkItem> {
+    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
+    let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed ^ 0xA5A5));
+    probed
+        .cases
+        .iter()
+        .map(|c| WorkItem {
+            id: c.case.id.clone(),
+            source: c.source.clone(),
+            lang: c.case.lang,
+            model,
+        })
+        .collect()
+}
+
+fn builder(mode: PipelineMode, strategy: ExecutionStrategy) -> ValidationServiceBuilder {
+    ValidationService::builder()
+        .mode(mode)
+        .strategy(strategy)
+        .workers(3, 2, 2)
+}
+
+fn records_for(
+    mode: PipelineMode,
+    strategy: ExecutionStrategy,
+    items: &[WorkItem],
+) -> Vec<CaseRecord> {
+    builder(mode, strategy).build().run(items.to_vec()).records
+}
+
+#[test]
+fn strategies_produce_byte_identical_records_in_both_modes() {
+    for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+        let items = probed_items(model, 36, 4711);
+        for mode in [PipelineMode::EarlyExit, PipelineMode::RecordAll] {
+            let reference = records_for(mode, ExecutionStrategy::Staged, &items);
+            assert_eq!(reference.len(), items.len());
+            for strategy in [ExecutionStrategy::Sequential, ExecutionStrategy::RayonBatch] {
+                let candidate = records_for(mode, strategy, &items);
+                assert_eq!(
+                    reference, candidate,
+                    "{model} {mode:?}: {strategy:?} diverged from Staged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reruns_are_deterministic_per_strategy() {
+    let items = probed_items(DirectiveModel::OpenAcc, 24, 99);
+    for strategy in ExecutionStrategy::ALL {
+        let first = records_for(PipelineMode::RecordAll, strategy, &items);
+        let second = records_for(PipelineMode::RecordAll, strategy, &items);
+        assert_eq!(
+            first, second,
+            "{strategy:?} is not deterministic across runs"
+        );
+    }
+}
+
+#[test]
+fn streaming_submit_matches_the_batch_run() {
+    let items = probed_items(DirectiveModel::OpenMp, 30, 2024);
+    let service = ValidationService::builder()
+        .mode(PipelineMode::RecordAll)
+        .build();
+
+    let batch = service.run(items.clone());
+
+    // submit() yields in completion order; re-keying by id must reproduce
+    // exactly the batch records, and the final stream stats must agree on
+    // every counter (wall time differs by construction).
+    let mut stream = service.submit(items.clone());
+    let mut streamed: Vec<CaseRecord> = Vec::new();
+    for record in &mut stream {
+        streamed.push(record);
+    }
+    assert_eq!(streamed.len(), batch.records.len());
+    let stream_stats = stream.stats();
+    assert_eq!(stream_stats.submitted, batch.stats.submitted);
+    assert_eq!(stream_stats.judged, batch.stats.judged);
+    assert_eq!(stream_stats.compile_failures, batch.stats.compile_failures);
+
+    streamed.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut expected = batch.records.clone();
+    expected.sort_by(|a, b| a.id.cmp(&b.id));
+    assert_eq!(streamed, expected);
+}
+
+#[test]
+fn streaming_handles_lazily_generated_unbounded_style_input() {
+    // The iterator is consumed lazily through the bounded channels: feed a
+    // generator that would be wasteful to materialize, stop consuming after
+    // a prefix, and drop the stream — the tail must never be produced.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let items = probed_items(DirectiveModel::OpenAcc, 200, 31);
+    let pulled = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&pulled);
+    let lazy = items.into_iter().inspect(move |_| {
+        counter.fetch_add(1, Ordering::SeqCst);
+    });
+
+    let service = ValidationService::builder()
+        .channel_capacity(2)
+        .workers(1, 1, 1)
+        .build();
+    let mut stream = service.submit(lazy);
+    for _ in 0..5 {
+        assert!(stream.next().is_some());
+    }
+    drop(stream);
+
+    let consumed = pulled.load(Ordering::SeqCst);
+    assert!(
+        consumed < 200,
+        "lazy input was fully materialized ({consumed}/200 items pulled)"
+    );
+}
