@@ -1,0 +1,85 @@
+//! Streaming-path benchmarks: the corpus `CaseSource` pipeline feeding the
+//! validation service through `submit_source`, against the same workload
+//! pre-materialized into a `Vec<WorkItem>`.
+//!
+//! * `generate_only` — cost of the lazy corpus pipeline itself (templates +
+//!   probing), no validation;
+//! * `submit_source_vs_materialized` — end-to-end streaming validation vs
+//!   materialize-then-submit, same seeds and sizes;
+//! * `sharded_generation` — producing one shard of a corpus must cost ~1/n
+//!   of the full stream, not a full generation pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use vv_bench::{probed_spec, probed_workload, sizes};
+use vv_corpus::CaseSource;
+use vv_dclang::DirectiveModel;
+use vv_pipeline::ValidationService;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_generate_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_generate_only");
+    configure(&mut group);
+    group.bench_function("probed_source", |b| {
+        b.iter(|| {
+            let count = probed_spec(DirectiveModel::OpenAcc, sizes::BENCH_SUITE, 808)
+                .source()
+                .into_cases()
+                .count();
+            criterion::black_box(count)
+        });
+    });
+    group.finish();
+}
+
+fn bench_submit_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submit_source_vs_materialized");
+    configure(&mut group);
+    let service = ValidationService::builder().build();
+    group.bench_function("submit_source_streaming", |b| {
+        b.iter(|| {
+            let source = probed_spec(DirectiveModel::OpenAcc, sizes::BENCH_SUITE, 909).source();
+            criterion::black_box(service.run_source(source).stats.judged)
+        });
+    });
+    group.bench_function("materialize_then_submit", |b| {
+        b.iter(|| {
+            let workload = probed_workload(DirectiveModel::OpenAcc, sizes::BENCH_SUITE, 909);
+            criterion::black_box(service.run(workload.items).stats.judged)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sharded_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_generation");
+    configure(&mut group);
+    for n in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let count = probed_spec(DirectiveModel::OpenMp, sizes::BENCH_SUITE * 4, 101)
+                    .shard(0, n)
+                    .source()
+                    .into_cases()
+                    .count();
+                criterion::black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate_only,
+    bench_submit_source,
+    bench_sharded_generation
+);
+criterion_main!(benches);

@@ -5,10 +5,10 @@
 //! these helpers so that the `cargo bench` targets, the `repro` binary and
 //! the integration tests all agree on what "the Table IV workload" means.
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::CaseSource;
 use vv_dclang::DirectiveModel;
 use vv_pipeline::WorkItem;
-use vv_probing::{build_probed_suite, IssueKind, ProbeConfig, ProbedSuite};
+use vv_probing::{CorpusSpec, IssueKind, ProbeConfig};
 
 /// A probed workload plus the ground-truth issue of each file.
 #[derive(Clone, Debug)]
@@ -33,21 +33,24 @@ impl Workload {
     }
 }
 
-/// Build a probed workload of `size` files for `model`.
+/// The corpus spec behind [`probed_workload`]: a probed stream of `size`
+/// files for `model`. Use `probed_spec(...).source()` to drive the
+/// streaming `submit_source` path without materializing anything.
+pub fn probed_spec(model: DirectiveModel, size: usize, seed: u64) -> CorpusSpec {
+    CorpusSpec::new(model)
+        .seed(seed)
+        .probe(ProbeConfig::with_seed(seed ^ 0xBEEF))
+        .size(size)
+}
+
+/// Build a probed workload of `size` files for `model` (materialized).
 pub fn probed_workload(model: DirectiveModel, size: usize, seed: u64) -> Workload {
-    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
-    let probed: ProbedSuite = build_probed_suite(&suite, &ProbeConfig::with_seed(seed ^ 0xBEEF));
-    let issues = probed.cases.iter().map(|c| c.issue).collect();
-    let items = probed
-        .cases
-        .iter()
-        .map(|c| WorkItem {
-            id: c.case.id.clone(),
-            source: c.source.clone(),
-            lang: c.case.lang,
-            model,
-        })
-        .collect();
+    let mut items = Vec::with_capacity(size);
+    let mut issues = Vec::with_capacity(size);
+    for case in probed_spec(model, size, seed).source().into_cases() {
+        issues.push(IssueKind::of_case(&case));
+        items.push(WorkItem::from(case));
+    }
     Workload {
         model,
         items,

@@ -1,15 +1,17 @@
 //! Experiment drivers for the paper's Part One and Part Two.
 
+use std::sync::{Arc, Mutex};
+
 use rayon::prelude::*;
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::{CaseSource, GeneratedCase};
 use vv_dclang::DirectiveModel;
 use vv_judge::{JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, Verdict};
 use vv_metrics::{
     overall, per_issue, radar_series, EvaluationRecord, OverallStats, PerIssueRow, RadarPoint,
 };
-use vv_pipeline::{PipelineMode, ValidationService, WorkItem};
-use vv_probing::{build_probed_suite, IssueKind, ProbeConfig, ProbedSuite};
+use vv_pipeline::{PipelineMode, ValidationService};
+use vv_probing::{CorpusSpec, IssueKind, ProbeConfig};
 
 // ---------------------------------------------------------------------------
 // Part One: plain LLMJ via negative probing (Tables I-III)
@@ -68,6 +70,18 @@ impl PartOneConfig {
             c_only: false,
         }
     }
+
+    /// The corpus pipeline this configuration describes.
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        let mut spec = CorpusSpec::new(self.model)
+            .seed(self.corpus_seed)
+            .probe(ProbeConfig::with_seed(self.probe_seed))
+            .size(self.suite_size);
+        if self.c_only {
+            spec = spec.c_only();
+        }
+        spec
+    }
 }
 
 /// One judged file in Part One.
@@ -115,43 +129,24 @@ impl PartOneResults {
     }
 }
 
-fn probed_suite(
-    model: DirectiveModel,
-    size: usize,
-    corpus_seed: u64,
-    probe_seed: u64,
-    c_only: bool,
-) -> ProbedSuite {
-    let mut config = SuiteConfig::new(model, size, corpus_seed);
-    if c_only {
-        config = config.c_only();
-    }
-    let suite = generate_suite(&config);
-    build_probed_suite(&suite, &ProbeConfig::with_seed(probe_seed))
-}
-
 /// Run Part One: judge every probed file with the plain direct-analysis
 /// prompt (no compilation, no execution, no tool information).
 pub fn run_part_one(config: &PartOneConfig) -> PartOneResults {
-    let probed = probed_suite(
-        config.model,
-        config.suite_size,
-        config.corpus_seed,
-        config.probe_seed,
-        config.c_only,
-    );
+    // The judge pass wants rayon's data parallelism, so the streamed cases
+    // are materialized here; use the spec's source directly for workloads
+    // that must stay constant-memory.
+    let cases: Vec<GeneratedCase> = config.corpus_spec().source().into_cases().collect();
     let session = JudgeSession::new(
         SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), config.judge_seed),
         PromptStyle::Direct,
     );
-    let records: Vec<PartOneRecord> = probed
-        .cases
+    let records: Vec<PartOneRecord> = cases
         .par_iter()
         .map(|case| {
             let outcome = session.evaluate(&case.source, config.model, None);
             PartOneRecord {
                 case_id: case.case.id.clone(),
-                issue: case.issue,
+                issue: IssueKind::of_case(case),
                 outcome,
             }
         })
@@ -228,6 +223,14 @@ impl PartTwoConfig {
             exec_workers: 2,
             judge_workers: 2,
         }
+    }
+
+    /// The corpus pipeline this configuration describes.
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        CorpusSpec::new(self.model)
+            .seed(self.corpus_seed)
+            .probe(ProbeConfig::with_seed(self.probe_seed))
+            .size(self.suite_size)
     }
 }
 
@@ -345,24 +348,7 @@ impl PartTwoResults {
 /// methodology ("we did not prevent invalid files from continuing through
 /// the pipeline"), so the pipeline results can be derived retroactively.
 pub fn run_part_two(config: &PartTwoConfig) -> PartTwoResults {
-    let probed = probed_suite(
-        config.model,
-        config.suite_size,
-        config.corpus_seed,
-        config.probe_seed,
-        false,
-    );
-    let items: Vec<WorkItem> = probed
-        .cases
-        .iter()
-        .map(|case| WorkItem {
-            id: case.case.id.clone(),
-            source: case.source.clone(),
-            lang: case.case.lang,
-            model: config.model,
-        })
-        .collect();
-
+    let spec = config.corpus_spec();
     let base = ValidationService::builder()
         .mode(PipelineMode::RecordAll)
         .workers(
@@ -372,20 +358,31 @@ pub fn run_part_two(config: &PartTwoConfig) -> PartTwoResults {
         )
         .judge_seed(config.judge_seed);
 
-    let run_direct = base.clone().build().run(items.clone());
-    let run_indirect = base.indirect_judge().build().run(items);
+    // Generation and probing stream lazily into the service; the ground
+    // truth is tapped off the stream (in submission order) as cases are
+    // pulled, so no probed suite is ever materialized.
+    let truth: Arc<Mutex<Vec<(String, IssueKind)>>> = Arc::default();
+    let capture = Arc::clone(&truth);
+    let tapped = spec.source().inspect(move |case| {
+        capture
+            .lock()
+            .expect("ground-truth capture poisoned")
+            .push((case.case.id.clone(), IssueKind::of_case(case)));
+    });
+    let run_direct = base.clone().build().run_source(tapped);
+    let run_indirect = base.indirect_judge().build().run_source(spec.source());
+    let truth = std::mem::take(&mut *truth.lock().expect("ground-truth capture poisoned"));
 
-    let records = probed
-        .cases
-        .iter()
+    let records = truth
+        .into_iter()
         .zip(run_direct.records)
         .zip(run_indirect.records)
-        .map(|((case, direct), indirect)| {
-            debug_assert_eq!(case.case.id, direct.id);
-            debug_assert_eq!(case.case.id, indirect.id);
+        .map(|(((case_id, issue), direct), indirect)| {
+            debug_assert_eq!(case_id, direct.id);
+            debug_assert_eq!(case_id, indirect.id);
             PartTwoRecord {
-                case_id: case.case.id.clone(),
-                issue: case.issue,
+                case_id,
+                issue,
                 compile_ok: direct.compile.succeeded,
                 exec_passed: direct.exec.as_ref().map(|e| e.passed),
                 llmj1: direct.judgement.expect("record-all mode judges every file"),

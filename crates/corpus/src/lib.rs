@@ -1,5 +1,5 @@
-//! `vv-corpus` — a deterministic generator of directive-based compiler
-//! validation tests.
+//! `vv-corpus` — a deterministic, **streaming** generator of directive-based
+//! compiler validation tests.
 //!
 //! The paper draws its experimental population from the OpenACC V&V and
 //! OpenMP V&V testsuites (hand-written C/C++/Fortran tests, one feature per
@@ -14,28 +14,69 @@
 //!   a nonzero exit code on mismatch;
 //! * realistic surface diversity (heap vs stack arrays, different variable
 //!   naming schemes, array sizes, scaling constants, C vs C++ flavor,
-//!   header comments) driven entirely by a seedable RNG, so suites are
+//!   header comments) driven entirely by seedable RNGs, so suites are
 //!   reproducible.
 //!
 //! Every generated test is *valid by construction*: it compiles under the
 //! simulated vendor compiler and passes its own verification when executed
 //! (`tests/` assert this invariant). Negative probing (`vv-probing`) then
 //! damages copies of these files.
+//!
+//! # The source / combinator model
+//!
+//! Generation is organized around the [`CaseSource`] trait (module
+//! [`source`]): a pull-based stream of [`GeneratedCase`]s that a consumer
+//! drains one case at a time, so corpora of any size flow through in
+//! constant memory. Built-in sources — [`TemplateSource`] (the V&V template
+//! emitters), [`RandomCodeSource`] (plain non-directive programs, the
+//! paper's issue-3 replacement corpus), [`source::CasesSource`] (replay a
+//! materialized suite) — compose through iterator-style adapters:
+//!
+//! * [`CaseSource::take`] bounds an unbounded generator,
+//! * [`CaseSource::filter_features`] restricts the feature set,
+//! * [`CaseSource::interleave`] merges two streams,
+//! * [`CaseSource::shard`]`(k, n)` selects a reproducible 1/n slice,
+//! * [`CaseSource::inspect`] taps metadata off the stream,
+//! * `probe(ProbeConfig)` (in `vv-probing`) injects negative-probing
+//!   mutations.
+//!
+//! Every built-in source derives the RNG of case *i* from the stream seed
+//! and *i* alone ([`source::split_seed`]), so shard *k* of *n* is
+//! reproducible without generating the other shards, and the union of all
+//! shards is byte-identical to the unsharded stream for any shard count.
+//!
+//! ```
+//! use vv_corpus::{CaseSource, TemplateSource};
+//! use vv_dclang::DirectiveModel;
+//!
+//! let mut total = 0usize;
+//! for case in TemplateSource::new(DirectiveModel::OpenAcc, 42)
+//!     .take(10)
+//!     .into_cases()
+//! {
+//!     assert!(case.source.contains("#pragma acc"));
+//!     total += 1;
+//! }
+//! assert_eq!(total, 10);
+//! ```
+//!
+//! The batch entry point [`generate_suite`] is kept as a deprecated thin
+//! collector over [`TemplateSource`] for one release.
 
 pub mod features;
 pub mod random_code;
+pub mod source;
 pub mod templates;
 
 pub use features::{AccFeature, Feature, OmpFeature};
 pub use random_code::generate_non_directive_code;
+pub use source::{CaseSource, GeneratedCase, RandomCodeSource, TemplateSource, NO_ISSUE_ID};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vv_dclang::DirectiveModel;
 use vv_simcompiler::Lang;
 
 /// A single generated compiler-validation test.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TestCase {
     /// Stable identifier, e.g. `acc_parallel_loop_reduction_0007`.
     pub id: String,
@@ -69,12 +110,21 @@ impl TestSuite {
         self.cases.is_empty()
     }
 
-    /// Count of cases per feature (sorted by feature name).
+    /// Count of cases per feature, sorted by feature name.
+    ///
+    /// Every feature of [`Feature::all_for`]`(self.model)` is present —
+    /// zero-count features included — so metrics tables built from the
+    /// histogram have a stable row set across seeds and suite sizes.
     pub fn feature_histogram(&self) -> Vec<(Feature, usize)> {
-        let mut counts: Vec<(Feature, usize)> = Vec::new();
+        let mut counts: Vec<(Feature, usize)> = Feature::all_for(self.model)
+            .into_iter()
+            .map(|f| (f, 0))
+            .collect();
         for case in &self.cases {
             match counts.iter_mut().find(|(f, _)| *f == case.feature) {
                 Some((_, n)) => *n += 1,
+                // Defensive: `cases` is a public field, so a foreign-model
+                // case still gets a row rather than being dropped.
                 None => counts.push((case.feature, 1)),
             }
         }
@@ -117,51 +167,32 @@ impl SuiteConfig {
     }
 }
 
-/// Generate a testsuite.
+/// Generate a testsuite (batch).
+///
+/// Thin collector over the streaming [`TemplateSource`]; the suite is
+/// byte-identical to `TemplateSource::from_config(config).take(config.size)`.
+///
+/// **Compatibility:** same-seed output differs from the 0.2 implementation,
+/// which threaded one RNG through the whole suite; the source layer derives
+/// each case from `(seed, index)` instead. Seeds recorded under 0.2 do not
+/// reproduce their old suites here (determinism per seed is unchanged).
+#[deprecated(
+    since = "0.3.0",
+    note = "use the streaming `TemplateSource` (or `CorpusSpec` in vv-probing) and collect the cases you need"
+)]
 pub fn generate_suite(config: &SuiteConfig) -> TestSuite {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x56_56_43_4F_52_50_55_53);
-    let features: Vec<Feature> = if config.features.is_empty() {
-        Feature::all_for(config.model)
-    } else {
-        config.features.clone()
-    };
-    assert!(
-        !features.is_empty(),
-        "no features available for {:?}",
-        config.model
-    );
-
-    let mut cases = Vec::with_capacity(config.size);
-    for index in 0..config.size {
-        // Round-robin over features for coverage, with RNG-driven parameters
-        // for diversity.
-        let feature = features[index % features.len()];
-        let lang = if config.langs.len() == 1 {
-            config.langs[0]
-        } else {
-            config.langs[rng.gen_range(0..config.langs.len())]
-        };
-        let source = templates::emit(feature, lang, &mut rng);
-        let id = format!(
-            "{}_{}_{index:04}",
-            model_prefix(config.model),
-            feature.name()
-        );
-        cases.push(TestCase {
-            id,
-            model: config.model,
-            lang,
-            feature,
-            source,
-        });
-    }
+    let cases = TemplateSource::from_config(config)
+        .take(config.size)
+        .into_cases()
+        .map(|generated| generated.case)
+        .collect();
     TestSuite {
         model: config.model,
         cases,
     }
 }
 
-fn model_prefix(model: DirectiveModel) -> &'static str {
+pub(crate) fn model_prefix(model: DirectiveModel) -> &'static str {
     match model {
         DirectiveModel::OpenAcc => "acc",
         DirectiveModel::OpenMp => "omp",
@@ -169,6 +200,7 @@ fn model_prefix(model: DirectiveModel) -> &'static str {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy collector keeps its contract for one release
 mod tests {
     use super::*;
 
@@ -182,6 +214,18 @@ mod tests {
             assert_eq!(x.source, y.source);
             assert_eq!(x.id, y.id);
         }
+    }
+
+    #[test]
+    fn legacy_collector_matches_the_streaming_source() {
+        let config = SuiteConfig::new(DirectiveModel::OpenMp, 18, 314).c_only();
+        let suite = generate_suite(&config);
+        let streamed: Vec<TestCase> = TemplateSource::from_config(&config)
+            .take(config.size)
+            .into_cases()
+            .map(|c| c.case)
+            .collect();
+        assert_eq!(suite.cases, streamed);
     }
 
     #[test]
@@ -203,6 +247,31 @@ mod tests {
             histogram.len(),
             Feature::all_for(DirectiveModel::OpenAcc).len()
         );
+        assert!(histogram.iter().all(|(_, count)| *count > 0));
+    }
+
+    #[test]
+    fn feature_histogram_has_stable_rows_even_for_tiny_suites() {
+        // A suite smaller than the feature catalog must still report every
+        // feature, with explicit zero counts, in the same order.
+        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 3, 5));
+        let histogram = suite.feature_histogram();
+        let all = Feature::all_for(DirectiveModel::OpenMp);
+        assert_eq!(histogram.len(), all.len());
+        let total: usize = histogram.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 3);
+        assert!(histogram.iter().any(|(_, count)| *count == 0));
+        let empty = TestSuite {
+            model: DirectiveModel::OpenMp,
+            cases: Vec::new(),
+        };
+        let rows: Vec<&str> = empty
+            .feature_histogram()
+            .iter()
+            .map(|(f, _)| f.name())
+            .collect();
+        let full_rows: Vec<&str> = histogram.iter().map(|(f, _)| f.name()).collect();
+        assert_eq!(rows, full_rows, "row set must not depend on the cases");
     }
 
     #[test]

@@ -2,16 +2,16 @@
 //! compiles under the simulated vendor compiler for its model and passes its
 //! own verification when executed. Negative probing relies on this.
 
-use vv_corpus::{generate_suite, Feature, SuiteConfig};
+use vv_corpus::{CaseSource, Feature, TemplateSource};
 use vv_dclang::DirectiveModel;
 use vv_simcompiler::compiler_for;
 use vv_simexec::Executor;
 
 fn assert_suite_valid(model: DirectiveModel, seed: u64, size: usize) {
-    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
     let compiler = compiler_for(model);
     let executor = Executor::default();
-    for case in &suite.cases {
+    for generated in TemplateSource::new(model, seed).take(size).into_cases() {
+        let case = &generated.case;
         let compiled = compiler.compile(&case.source, case.lang);
         assert!(
             compiled.succeeded(),

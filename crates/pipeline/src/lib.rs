@@ -29,7 +29,10 @@
 //! a [`PipelineRun`], and a streaming [`ValidationService::submit`]
 //! returning an iterator that yields each [`CaseRecord`] as it completes
 //! through the bounded channels — constant memory for arbitrarily large
-//! suites.
+//! suites. Corpus pipelines plug in directly through
+//! [`ValidationService::submit_source`], which drains any
+//! `vv_corpus::CaseSource` lazily, so generation → probing → compile →
+//! execute → judge streams end-to-end without ever materializing the suite.
 //!
 //! ```
 //! use vv_pipeline::{ExecutionStrategy, PipelineMode, ValidationService, WorkItem};
@@ -79,8 +82,6 @@ pub use backend::{
     SurrogateJudgeBackend,
 };
 pub use runner::PipelineRun;
-#[allow(deprecated)]
-pub use runner::ValidationPipeline;
 pub use service::{ExecutionStrategy, RecordStream, ValidationService, ValidationServiceBuilder};
 pub use stats::PipelineStats;
 
@@ -99,6 +100,21 @@ pub struct WorkItem {
     pub lang: Lang,
     /// Programming model (selects the compiler and the prompt wording).
     pub model: DirectiveModel,
+}
+
+impl From<vv_corpus::GeneratedCase> for WorkItem {
+    /// Queue a streamed corpus case: the (possibly mutated) source text
+    /// under the original case's identity. Probing provenance does not
+    /// travel with the item — join it back by id, or capture it off the
+    /// stream with the source's `inspect` adapter.
+    fn from(case: vv_corpus::GeneratedCase) -> Self {
+        WorkItem {
+            id: case.case.id,
+            source: case.source,
+            lang: case.case.lang,
+            model: case.case.model,
+        }
+    }
 }
 
 /// Compiler stage result kept in the record (the full artifact is dropped

@@ -1,15 +1,16 @@
-//! Batch run results and the deprecated `ValidationPipeline` shim.
+//! Batch run results.
 //!
-//! The runner logic itself lives in [`crate::service`]; this module keeps
-//! the [`PipelineRun`] result type and a thin compatibility layer for the
-//! pre-`ValidationService` API (kept for one release).
+//! The runner logic lives in [`crate::service`]; this module keeps the
+//! [`PipelineRun`] result type. (The pre-`ValidationService`
+//! `ValidationPipeline` shim that used to live here was deprecated in 0.2.0
+//! and has been removed; build a [`crate::ValidationService`] with an
+//! [`crate::ExecutionStrategy`] instead.)
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use crate::service::{ExecutionStrategy, ValidationService};
 use crate::stats::PipelineStats;
-use crate::{CaseRecord, PipelineConfig, WorkItem};
+use crate::CaseRecord;
 
 /// The result of running a validation service over a batch of files.
 #[derive(Debug, Default)]
@@ -64,77 +65,33 @@ impl PipelineRun {
     }
 }
 
-/// The pre-[`ValidationService`] pipeline API.
-///
-/// Each method maps onto the service with the corresponding
-/// [`ExecutionStrategy`]; per-file semantics are unchanged.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ValidationService::builder()` with an `ExecutionStrategy` instead"
-)]
-#[derive(Clone, Debug, Default)]
-pub struct ValidationPipeline {
-    /// Configuration shared by all runners.
-    pub config: PipelineConfig,
-}
-
-#[allow(deprecated)]
-impl ValidationPipeline {
-    /// Create a pipeline with the given configuration.
-    pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
-    }
-
-    fn service(&self, strategy: ExecutionStrategy) -> ValidationService {
-        ValidationService::builder()
-            .config(self.config.clone())
-            .strategy(strategy)
-            .build()
-    }
-
-    /// Run the staged, multi-worker pipeline.
-    pub fn run(&self, items: Vec<WorkItem>) -> PipelineRun {
-        self.service(ExecutionStrategy::Staged).run(items)
-    }
-
-    /// Run the same per-file semantics on a single worker (baseline).
-    pub fn run_sequential(&self, items: Vec<WorkItem>) -> PipelineRun {
-        self.service(ExecutionStrategy::Sequential).run(items)
-    }
-
-    /// Run with per-file parallelism (each task runs all stages for one
-    /// file) — the "parallel but not pipelined" comparison point.
-    pub fn run_batch_rayon(&self, items: Vec<WorkItem>) -> PipelineRun {
-        self.service(ExecutionStrategy::RayonBatch).run(items)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PipelineMode, Stage};
-    use vv_corpus::{generate_suite, SuiteConfig};
+    use crate::service::{ExecutionStrategy, ValidationService};
+    use crate::{PipelineMode, Stage, WorkItem};
+    use vv_corpus::CaseSource;
     use vv_dclang::DirectiveModel;
-    use vv_probing::{build_probed_suite, IssueKind, ProbeConfig};
+    use vv_probing::{CorpusSpec, IssueKind};
+
+    fn probed_spec(model: DirectiveModel, size: usize, seed: u64) -> CorpusSpec {
+        CorpusSpec::new(model)
+            .seed(seed)
+            .probe_seed(seed)
+            .size(size)
+    }
 
     fn probed_items(
         model: DirectiveModel,
         size: usize,
         seed: u64,
     ) -> (Vec<WorkItem>, Vec<IssueKind>) {
-        let suite = generate_suite(&SuiteConfig::new(model, size, seed));
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed));
-        let issues = probed.cases.iter().map(|c| c.issue).collect();
-        let items = probed
-            .cases
-            .iter()
-            .map(|c| WorkItem {
-                id: c.case.id.clone(),
-                source: c.source.clone(),
-                lang: c.case.lang,
-                model,
-            })
-            .collect();
+        let mut items = Vec::with_capacity(size);
+        let mut issues = Vec::with_capacity(size);
+        for case in probed_spec(model, size, seed).source().into_cases() {
+            issues.push(IssueKind::of_case(&case));
+            items.push(WorkItem::from(case));
+        }
         (items, issues)
     }
 
@@ -261,6 +218,38 @@ mod tests {
     }
 
     #[test]
+    fn submit_source_streams_a_corpus_without_materializing_it() {
+        let size = 48;
+        let spec = probed_spec(DirectiveModel::OpenAcc, size, 77);
+        let service = ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .channel_capacity(4)
+            .build();
+        let mut stream = service.submit_source(spec.source());
+        let mut yielded = 0usize;
+        while stream.next().is_some() {
+            yielded += 1;
+        }
+        assert_eq!(yielded, size);
+        let stats = stream.stats();
+        assert_eq!(stats.submitted, size);
+        assert_eq!(stats.judged, size);
+    }
+
+    #[test]
+    fn run_source_matches_materialized_run() {
+        let (items, _) = probed_items(DirectiveModel::OpenMp, 20, 3);
+        let spec = probed_spec(DirectiveModel::OpenMp, 20, 3);
+        let service = record_all_service();
+        let via_source = service.run_source(spec.source());
+        let via_items = service.run(items);
+        assert_eq!(via_source.records.len(), via_items.records.len());
+        for (a, b) in via_source.records.iter().zip(&via_items.records) {
+            assert_eq!(a, b, "source path diverged from item path");
+        }
+    }
+
+    #[test]
     fn streaming_stats_are_final_after_exhaustion() {
         let (items, _) = probed_items(DirectiveModel::OpenMp, 12, 3);
         let total = items.len();
@@ -312,20 +301,6 @@ mod tests {
         assert!(mutated.record(&tail_id).is_none());
         let kept_id = mutated.records[0].id.clone();
         assert_eq!(mutated.record(&kept_id).map(|r| &r.id), Some(&kept_id));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_service() {
-        let (items, _) = probed_items(DirectiveModel::OpenMp, 16, 8);
-        let config = PipelineConfig::default().record_all();
-        let via_shim = ValidationPipeline::new(config.clone()).run(items.clone());
-        let via_service = ValidationService::new(config).run(items);
-        for (a, b) in via_shim.records.iter().zip(&via_service.records) {
-            assert_eq!(a.id, b.id);
-            assert_eq!(a.pipeline_verdict(), b.pipeline_verdict());
-            assert_eq!(a.judge_verdict(), b.judge_verdict());
-        }
     }
 
     #[test]

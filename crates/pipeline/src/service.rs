@@ -30,6 +30,7 @@ use crate::backend::{
 use crate::runner::PipelineRun;
 use crate::stats::PipelineStats;
 use crate::{CaseRecord, CompileSummary, PipelineConfig, PipelineMode, WorkItem};
+use vv_corpus::CaseSource;
 use vv_judge::{JudgeProfile, PromptStyle};
 
 /// How the service schedules the per-file work.
@@ -244,6 +245,30 @@ impl ValidationService {
     pub fn run(&self, items: Vec<WorkItem>) -> PipelineRun {
         let stream = self.submit(items);
         stream.into_run()
+    }
+
+    /// Streaming entry point for corpus pipelines: drain a
+    /// [`CaseSource`] directly. Generation (and probing, when the source
+    /// includes a `probe` stage) happens lazily on the feeder thread as the
+    /// bounded channels demand more work, so generation → compile → execute
+    /// → judge runs end-to-end in constant memory — the suite is never
+    /// materialized, whatever its size.
+    pub fn submit_source<S>(&self, source: S) -> RecordStream
+    where
+        S: CaseSource + Send + 'static,
+    {
+        self.submit(source.into_cases().map(WorkItem::from))
+    }
+
+    /// Drain a [`CaseSource`] to completion and return the records in
+    /// stream order plus aggregate statistics (the batch counterpart of
+    /// [`ValidationService::submit_source`]). The records are materialized,
+    /// so prefer `submit_source` for very large corpora.
+    pub fn run_source<S>(&self, source: S) -> PipelineRun
+    where
+        S: CaseSource + Send + 'static,
+    {
+        self.submit_source(source).into_run()
     }
 
     /// Streaming entry point: feed an iterator of work items, get an

@@ -16,15 +16,26 @@
 //!
 //! The ground-truth validity of a probed file follows the paper's
 //! system-of-verification: issues 0–4 are invalid, issue 5 is valid.
+//!
+//! # Streaming API
+//!
+//! Probing is an adapter in the corpus source pipeline: any
+//! [`CaseSource`] gains a
+//! [`probe`](source::ProbeExt::probe) combinator that mutates a
+//! deterministic fraction of the stream (see [`source::ProbedSource`]), and
+//! [`CorpusSpec`] builds complete generation→probing→sharding pipelines
+//! from one declarative description. The batch [`build_probed_suite`] is
+//! kept as a deprecated thin collector over the streaming path.
 
 pub mod mutate;
+pub mod source;
+pub mod spec;
 
 pub use mutate::{apply_mutation, MutationOutcome};
+pub use source::{ProbeExt, ProbedSource};
+pub use spec::CorpusSpec;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use vv_corpus::{TestCase, TestSuite};
+use vv_corpus::{CaseSource, GeneratedCase, TestCase, TestSuite};
 use vv_dclang::DirectiveModel;
 
 /// The negative-probing issue classes (issue IDs 0–5 in the paper).
@@ -81,6 +92,24 @@ impl IssueKind {
         IssueKind::ALL.get(id as usize).copied()
     }
 
+    /// The issue of a streamed [`GeneratedCase`]. Cases that never passed
+    /// through probing carry no issue id and are valid by construction, so
+    /// they map to [`IssueKind::NoIssue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case carries an issue id outside the paper's range
+    /// (0–5). `issue_id` is a public field, and an unknown id must not be
+    /// silently classified as anything — least of all as valid, which
+    /// would contradict `GeneratedCase::ground_truth_valid`.
+    pub fn of_case(case: &GeneratedCase) -> IssueKind {
+        match case.issue_id {
+            None => IssueKind::NoIssue,
+            Some(id) => IssueKind::from_id(id)
+                .unwrap_or_else(|| panic!("case {}: issue id {id} outside 0..=5", case.case.id)),
+        }
+    }
+
     /// Ground truth: is a file with this issue a valid compiler test?
     pub fn is_valid(&self) -> bool {
         matches!(self, IssueKind::NoIssue)
@@ -127,9 +156,25 @@ pub struct ProbedCase {
 }
 
 impl ProbedCase {
+    /// Adopt a case from the streaming source pipeline.
+    pub fn from_generated(generated: GeneratedCase) -> Self {
+        Self {
+            issue: IssueKind::of_case(&generated),
+            source: generated.source,
+            note: generated.note,
+            case: generated.case,
+        }
+    }
+
     /// Ground-truth validity per the paper's system-of-verification.
     pub fn ground_truth_valid(&self) -> bool {
         self.issue.is_valid()
+    }
+}
+
+impl From<GeneratedCase> for ProbedCase {
+    fn from(generated: GeneratedCase) -> Self {
+        ProbedCase::from_generated(generated)
     }
 }
 
@@ -138,7 +183,7 @@ impl ProbedCase {
 pub struct ProbedSuite {
     /// The programming model.
     pub model: DirectiveModel,
-    /// Probed cases (valid and mutated, shuffled).
+    /// Probed cases (valid and mutated, interleaved by the split law).
     pub cases: Vec<ProbedCase>,
 }
 
@@ -206,56 +251,38 @@ impl ProbeConfig {
     }
 }
 
-/// Split a generated suite per the paper's protocol and apply mutations.
+/// Split a generated suite per the paper's protocol and apply mutations
+/// (batch).
+///
+/// Thin collector over the streaming path: equivalent to
+/// `suite.cases` → [`ProbeExt::probe`] → collect. Mutated positions follow
+/// the pairwise split law of [`ProbedSource`] (every even-length prefix
+/// contains exactly `round(n * mutated_fraction)` mutated files, with a
+/// seeded coin picking the side within each pair), so valid and mutated
+/// files stay interleaved in the output.
+///
+/// **Compatibility:** same-seed output differs from the 0.2 implementation,
+/// which shuffled the suite before splitting; the streaming split law
+/// decides per index instead. Seeds recorded under 0.2 do not reproduce
+/// their old probed suites here (determinism per seed is unchanged).
+#[deprecated(
+    since = "0.3.0",
+    note = "use the streaming `probe(ProbeConfig)` source adapter (or `CorpusSpec`) and collect the cases you need"
+)]
 pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuite {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4E45_4741_5449_5645);
-    let mut indices: Vec<usize> = (0..suite.cases.len()).collect();
-    indices.shuffle(&mut rng);
-    let mutated_count = ((suite.cases.len() as f64) * config.mutated_fraction).round() as usize;
-
-    let mut cases = Vec::with_capacity(suite.cases.len());
-    for (rank, &index) in indices.iter().enumerate() {
-        let case = suite.cases[index].clone();
-        if rank < mutated_count {
-            let issue = pick_issue(&config.mutation_weights, &mut rng);
-            let outcome = apply_mutation(&case, issue, &mut rng);
-            cases.push(ProbedCase {
-                case,
-                issue: outcome.issue,
-                source: outcome.source,
-                note: outcome.note,
-            });
-        } else {
-            cases.push(ProbedCase {
-                source: case.source.clone(),
-                note: "unchanged".to_string(),
-                issue: IssueKind::NoIssue,
-                case,
-            });
-        }
-    }
-    // Shuffle once more so mutated/valid files are interleaved as they would
-    // be in a directory listing.
-    cases.shuffle(&mut rng);
+    let cases = vv_corpus::source::from_cases(suite.cases.clone())
+        .probe(config.clone())
+        .into_cases()
+        .map(ProbedCase::from_generated)
+        .collect();
     ProbedSuite {
         model: suite.model,
         cases,
     }
 }
 
-fn pick_issue(weights: &[f64; 5], rng: &mut StdRng) -> IssueKind {
-    let total: f64 = weights.iter().sum();
-    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
-    for (i, w) in weights.iter().enumerate() {
-        if draw < *w {
-            return IssueKind::MUTATIONS[i];
-        }
-        draw -= w;
-    }
-    IssueKind::MUTATIONS[4]
-}
-
 #[cfg(test)]
+#[allow(deprecated)] // the legacy collectors keep their contract for one release
 mod tests {
     use super::*;
     use vv_corpus::{generate_suite, SuiteConfig};

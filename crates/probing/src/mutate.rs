@@ -264,6 +264,7 @@ fn remove_last_bracketed_section(source: &str, issue: IssueKind) -> MutationOutc
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy batch collector
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::{CaseSource, TemplateSource};
 use vv_dclang::DirectiveModel;
 use vv_judge::{
     JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext, ToolRecord,
@@ -19,8 +19,12 @@ use vv_simcompiler::compiler_for;
 use vv_simexec::Executor;
 
 fn main() {
-    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 4, 2024));
-    let case = &suite.cases[0];
+    let case = TemplateSource::new(DirectiveModel::OpenMp, 2024)
+        .into_cases()
+        .next()
+        .expect("the template source is unbounded")
+        .case;
+    let case = &case;
     println!("=== original test ({}) ===\n{}\n", case.id, case.source);
 
     let compiler = compiler_for(DirectiveModel::OpenMp);

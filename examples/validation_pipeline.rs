@@ -1,37 +1,36 @@
 //! Validation-service throughput demo: run the same probed OpenACC suite
 //! through all three execution strategies of the `ValidationService`
 //! (early-exit and record-all), compare wall time, judge-stage savings and
-//! verdict agreement, then stream a suite through `submit` to show records
-//! arriving as they complete.
+//! verdict agreement, then stream a corpus source through `submit_source`
+//! to show records arriving as the suite is generated on the fly.
 //!
 //! ```text
 //! cargo run --release --example validation_pipeline
 //! ```
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::CaseSource;
 use vv_dclang::DirectiveModel;
 use vv_pipeline::{ExecutionStrategy, PipelineMode, ValidationService, WorkItem};
-use vv_probing::{build_probed_suite, ProbeConfig};
+use vv_probing::CorpusSpec;
+
+fn spec(size: usize) -> CorpusSpec {
+    CorpusSpec::new(DirectiveModel::OpenAcc)
+        .seed(7)
+        .probe_seed(8)
+        .size(size)
+}
 
 fn probed_items(size: usize) -> Vec<WorkItem> {
-    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, size, 7));
-    let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(8));
+    let items: Vec<WorkItem> = spec(size)
+        .source()
+        .into_cases()
+        .map(WorkItem::from)
+        .collect();
     println!(
-        "{} probed files ({} valid, {} mutated)\n",
-        probed.len(),
-        probed.valid_count(),
-        probed.len() - probed.valid_count()
+        "{} probed files materialized for the strategy comparison\n",
+        items.len()
     );
-    probed
-        .cases
-        .iter()
-        .map(|c| WorkItem {
-            id: c.case.id.clone(),
-            source: c.source.clone(),
-            lang: c.case.lang,
-            model: DirectiveModel::OpenAcc,
-        })
-        .collect()
+    items
 }
 
 fn main() {
@@ -88,11 +87,16 @@ fn main() {
         (1.0 - staged.stats.judged as f64 / staged_all.stats.judged.max(1) as f64) * 100.0
     );
 
-    // Streaming: `submit` accepts any iterator and yields records as they
-    // complete through the bounded channels — constant memory, no barrier.
-    println!("\nstreaming 40 files through submit() (first 5 completions):");
+    // Streaming: `submit_source` drains the corpus pipeline lazily through
+    // the bounded channels — generation, probing and validation overlap,
+    // and the suite is never materialized.
+    let streaming_spec = spec(40);
+    println!(
+        "\nstreaming through submit_source (first 5 completions)\n  source: {}",
+        streaming_spec.describe()
+    );
     let service = ValidationService::builder().channel_capacity(4).build();
-    let stream = service.submit(probed_items(40));
+    let stream = service.submit_source(streaming_spec.source());
     let mut completed = 0usize;
     for record in stream {
         if completed < 5 {

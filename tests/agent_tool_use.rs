@@ -5,7 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::{CaseSource, TemplateSource};
 use vv_dclang::DirectiveModel;
 use vv_judge::Verdict;
 use vv_pipeline::{PipelineMode, Stage, ValidationService, WorkItem};
@@ -22,15 +22,10 @@ fn early_exit() -> ValidationService {
 }
 
 fn items_from(model: DirectiveModel, size: usize, seed: u64) -> Vec<WorkItem> {
-    generate_suite(&SuiteConfig::new(model, size, seed))
-        .cases
-        .into_iter()
-        .map(|c| WorkItem {
-            id: c.id,
-            source: c.source,
-            lang: c.lang,
-            model,
-        })
+    TemplateSource::new(model, seed)
+        .take(size)
+        .into_cases()
+        .map(WorkItem::from)
         .collect()
 }
 
@@ -69,8 +64,11 @@ fn judge_prompts_embed_real_tool_outputs() {
 fn compile_failures_surface_in_the_prompt_and_drive_the_verdict() {
     // Mutate a valid file so that it cannot compile, then check the agent
     // judge is told about it and the pipeline rejects it at the right stage.
-    let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 3, 77));
-    let case = &suite.cases[0];
+    let case = &TemplateSource::new(DirectiveModel::OpenMp, 77)
+        .into_cases()
+        .next()
+        .expect("the template source is unbounded")
+        .case;
     let mut rng = StdRng::seed_from_u64(5);
     let mutated = apply_mutation(case, IssueKind::RemovedOpeningBracket, &mut rng);
 

@@ -3,14 +3,14 @@
 //! the invariant behind the paper's decision to cap OpenMP at 4.5 so that
 //! the toolchain is fully compliant for every feature used.
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::{CaseSource, TemplateSource};
 use vv_dclang::{parse_source, DirectiveModel};
 use vv_specs::{default_version, directive_spec, validate_directive, Version};
 
 fn suite_sources(model: DirectiveModel, size: usize, seed: u64) -> Vec<String> {
-    generate_suite(&SuiteConfig::new(model, size, seed))
-        .cases
-        .into_iter()
+    TemplateSource::new(model, seed)
+        .take(size)
+        .into_cases()
         .map(|c| c.source)
         .collect()
 }

@@ -7,26 +7,26 @@
 //! semantics, and it is asserted here over full record equality
 //! (`CaseRecord: PartialEq` covers every captured field).
 
-use vv_corpus::{generate_suite, SuiteConfig};
+use vv_corpus::CaseSource;
 use vv_dclang::DirectiveModel;
 use vv_pipeline::{
     CaseRecord, ExecutionStrategy, PipelineMode, ValidationService, ValidationServiceBuilder,
     WorkItem,
 };
-use vv_probing::{build_probed_suite, ProbeConfig};
+use vv_probing::CorpusSpec;
+
+fn probed_spec(model: DirectiveModel, size: usize, seed: u64) -> CorpusSpec {
+    CorpusSpec::new(model)
+        .seed(seed)
+        .probe_seed(seed ^ 0xA5A5)
+        .size(size)
+}
 
 fn probed_items(model: DirectiveModel, size: usize, seed: u64) -> Vec<WorkItem> {
-    let suite = generate_suite(&SuiteConfig::new(model, size, seed));
-    let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(seed ^ 0xA5A5));
-    probed
-        .cases
-        .iter()
-        .map(|c| WorkItem {
-            id: c.case.id.clone(),
-            source: c.source.clone(),
-            lang: c.case.lang,
-            model,
-        })
+    probed_spec(model, size, seed)
+        .source()
+        .into_cases()
+        .map(WorkItem::from)
         .collect()
 }
 
@@ -59,6 +59,31 @@ fn strategies_produce_byte_identical_records_in_both_modes() {
                     "{model} {mode:?}: {strategy:?} diverged from Staged"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn strategies_produce_byte_identical_records_through_submit_source() {
+    // Same contract as above, but with the corpus streamed straight into
+    // the service (generation → probing → validation, no materialized
+    // suite): every strategy must produce the same records, and they must
+    // equal the records of the materialized item path.
+    let spec = probed_spec(DirectiveModel::OpenAcc, 32, 9182);
+    for mode in [PipelineMode::EarlyExit, PipelineMode::RecordAll] {
+        let via_items = builder(mode, ExecutionStrategy::Staged)
+            .build()
+            .run(probed_items(DirectiveModel::OpenAcc, 32, 9182))
+            .records;
+        for strategy in ExecutionStrategy::ALL {
+            let streamed = builder(mode, strategy)
+                .build()
+                .run_source(spec.source())
+                .records;
+            assert_eq!(
+                via_items, streamed,
+                "{mode:?}: {strategy:?} via submit_source diverged"
+            );
         }
     }
 }
