@@ -1,0 +1,105 @@
+//! Metrics-layer benchmarks: the batch slice functions (`per_issue` +
+//! `overall` + `radar_series` over a materialized `Vec<EvaluationRecord>`)
+//! against the streaming accumulator fold (`MetricsSink::observe` per
+//! record, no slice), plus the sharded fold-then-merge path the campaign
+//! harness uses.
+//!
+//! The batch functions are thin wrappers over one-shot folds, so the
+//! interesting comparison is allocation/locality (three passes over a
+//! materialized slice vs one streaming pass), not asymptotics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use vv_corpus::CaseSource;
+use vv_dclang::DirectiveModel;
+use vv_judge::Verdict;
+use vv_metrics::{overall, per_issue, radar_series, Accumulator, EvaluationRecord, MetricsSink};
+use vv_probing::{CorpusSpec, IssueKind};
+
+const RECORDS: usize = 4_096;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+}
+
+/// Probed-corpus ground truth with a deterministic surrogate verdict (the
+/// benchmark measures the metrics fold, not the judge).
+fn sample_records() -> Vec<EvaluationRecord> {
+    CorpusSpec::new(DirectiveModel::OpenAcc)
+        .seed(404)
+        .probe_seed(405)
+        .size(RECORDS)
+        .source()
+        .into_cases()
+        .enumerate()
+        .map(|(i, case)| {
+            let verdict = if i % 3 == 0 {
+                Verdict::Valid
+            } else {
+                Verdict::Invalid
+            };
+            EvaluationRecord::new(
+                case.case.id.clone(),
+                IssueKind::of_case(&case),
+                Some(verdict),
+            )
+        })
+        .collect()
+}
+
+fn bench_batch_vs_streaming(c: &mut Criterion) {
+    let records = sample_records();
+    let mut group = c.benchmark_group("metrics_batch_vs_streaming");
+    configure(&mut group);
+    group.bench_function("batch_slice", |b| {
+        b.iter(|| {
+            let rows = per_issue(&records);
+            let stats = overall(&records);
+            let series = radar_series(&records);
+            criterion::black_box((rows, stats, series))
+        });
+    });
+    group.bench_function("streaming_sink", |b| {
+        b.iter(|| {
+            let mut sink = MetricsSink::default();
+            for record in &records {
+                sink.observe(record);
+            }
+            criterion::black_box((
+                sink.per_issue_rows(),
+                sink.overall_stats(),
+                sink.radar_series(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sharded_merge(c: &mut Criterion) {
+    let records = sample_records();
+    let mut group = c.benchmark_group("metrics_sharded_merge");
+    configure(&mut group);
+    for n in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut merged = MetricsSink::default();
+                for k in 0..n {
+                    let mut sink = MetricsSink::default();
+                    for record in records.iter().skip(k).step_by(n) {
+                        sink.observe(record);
+                    }
+                    merged.merge(&sink);
+                }
+                criterion::black_box(merged.overall_stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_streaming, bench_sharded_merge);
+criterion_main!(benches);

@@ -8,17 +8,21 @@
 //!
 //! The output mirrors the layout of Tables I–IX and the data series behind
 //! Figures 3–6; EXPERIMENTS.md records a paper-vs-measured comparison.
+//!
+//! Every experiment runs through the streaming drivers: records fold into
+//! mergeable accumulators as they complete, so the suites are never
+//! materialized and memory stays constant whatever the scale factor.
 
 use llm4vv::experiment::{
-    run_part_one, run_part_two, PartOneConfig, PartOneResults, PartTwoConfig, PartTwoResults,
+    stream_part_one, stream_part_two, PartOneConfig, PartOneMetrics, PartTwoConfig, PartTwoMetrics,
 };
 use llm4vv::reproduce;
 
 struct Experiments {
-    p1_acc: PartOneResults,
-    p1_omp: PartOneResults,
-    p2_acc: PartTwoResults,
-    p2_omp: PartTwoResults,
+    p1_acc: PartOneMetrics,
+    p1_omp: PartOneMetrics,
+    p2_acc: PartTwoMetrics,
+    p2_omp: PartTwoMetrics,
 }
 
 fn scaled(config_size: usize, scale: f64) -> usize {
@@ -40,10 +44,10 @@ fn run_experiments(scale: f64) -> Experiments {
         p1_acc_cfg.suite_size, p1_omp_cfg.suite_size, p2_acc_cfg.suite_size, p2_omp_cfg.suite_size
     );
     Experiments {
-        p1_acc: run_part_one(&p1_acc_cfg),
-        p1_omp: run_part_one(&p1_omp_cfg),
-        p2_acc: run_part_two(&p2_acc_cfg),
-        p2_omp: run_part_two(&p2_omp_cfg),
+        p1_acc: stream_part_one(&p1_acc_cfg),
+        p1_omp: stream_part_one(&p1_omp_cfg),
+        p2_acc: stream_part_two(&p2_acc_cfg),
+        p2_omp: stream_part_two(&p2_omp_cfg),
     }
 }
 

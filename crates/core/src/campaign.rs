@@ -1,0 +1,550 @@
+//! Scenario-matrix campaigns: sweep many judge/pipeline configurations in
+//! one run, each in constant memory.
+//!
+//! The paper evaluates one configuration at a time (one model, one prompt
+//! style, one pipeline). This module turns that into a **matrix**: a
+//! [`ScenarioMatrix`] enumerates scenarios over
+//!
+//! * directive model (OpenACC / OpenMP),
+//! * judge prompt style (plain / agent-direct / agent-indirect),
+//! * execution strategy (staged / sequential / per-file parallel),
+//! * negative-probing fraction, and
+//! * judge calibration profile,
+//!
+//! and [`run_campaign`] executes every scenario (rayon across scenarios).
+//! Each scenario streams its corpus through a record-all
+//! [`ValidationService`] as `shard(k, n)` sources — one independent,
+//! reproducible slice at a time — folding each shard into its own
+//! [`MetricsSink`]s and merging them. By the corpus layer's shard-union
+//! law and the accumulators' merge laws, the merged per-scenario metrics
+//! are byte-identical to an unsharded single-pass fold, which is itself
+//! byte-identical to the legacy batch computation over a materialized
+//! suite (asserted in `tests/campaign.rs`). No `Vec` of records ever
+//! exists on the path, so 100k+ cases per scenario run in the same memory
+//! as 100.
+//!
+//! ```no_run
+//! use llm4vv::campaign::{run_campaign, ScenarioMatrix};
+//! use llm4vv::pipeline::ExecutionStrategy;
+//! use llm4vv::dclang::DirectiveModel;
+//!
+//! let matrix = ScenarioMatrix::new(25_000)
+//!     .models(vec![DirectiveModel::OpenAcc, DirectiveModel::OpenMp])
+//!     .strategies(vec![ExecutionStrategy::Staged, ExecutionStrategy::RayonBatch])
+//!     .shards(4);
+//! let campaign = run_campaign(&matrix); // 4 scenarios x 25k cases
+//! println!("{}", campaign.comparison_table());
+//! ```
+
+use std::fmt::Write as _;
+
+use rayon::prelude::*;
+
+use vv_dclang::DirectiveModel;
+use vv_judge::{JudgeProfile, PromptStyle};
+use vv_metrics::{Accumulator as _, LatencyTokenSummary, MetricsSink};
+use vv_pipeline::{ExecutionStrategy, PipelineMode, PipelineStats, ValidationService};
+use vv_probing::{CorpusSpec, ProbeConfig};
+
+use crate::experiment::{fold_probed_source, observe_record_all_case};
+
+/// One fully-specified cell of a [`ScenarioMatrix`].
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Compact label used in the comparison table.
+    pub label: String,
+    /// Programming model under test.
+    pub model: DirectiveModel,
+    /// Prompt style of the judge stage.
+    pub prompt_style: PromptStyle,
+    /// Calibration profile of the judge stage.
+    pub judge_profile: JudgeProfile,
+    /// Scheduling strategy of the validation service.
+    pub strategy: ExecutionStrategy,
+    /// Fraction of the corpus mutated by negative probing.
+    pub probe_fraction: f64,
+    /// Unsharded corpus size.
+    pub suite_size: usize,
+    /// Number of independent corpus shards the scenario streams.
+    pub shards: usize,
+    /// Seed for corpus generation.
+    pub corpus_seed: u64,
+    /// Seed for probing (split and mutation draws).
+    pub probe_seed: u64,
+    /// Seed for the judge's decision layer.
+    pub judge_seed: u64,
+    /// Worker counts for the compile / execute / judge pools.
+    pub workers: (usize, usize, usize),
+    /// Capacity of the service's bounded inter-stage channels.
+    pub channel_capacity: usize,
+}
+
+impl Scenario {
+    /// The unsharded corpus pipeline this scenario evaluates.
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        let mut probe = ProbeConfig::with_seed(self.probe_seed);
+        probe.mutated_fraction = self.probe_fraction;
+        CorpusSpec::new(self.model)
+            .seed(self.corpus_seed)
+            .probe(probe)
+            .size(self.suite_size)
+    }
+
+    /// The spec of shard `k` of this scenario's corpus.
+    pub fn shard_spec(&self, k: usize) -> CorpusSpec {
+        self.corpus_spec().shard(k, self.shards)
+    }
+
+    /// The record-all validation service this scenario runs.
+    pub fn service(&self) -> ValidationService {
+        let (compile, exec, judge) = self.workers;
+        ValidationService::builder()
+            .mode(PipelineMode::RecordAll)
+            .strategy(self.strategy)
+            .workers(compile, exec, judge)
+            .channel_capacity(self.channel_capacity)
+            .judge_style(self.prompt_style)
+            .judge_profile(self.judge_profile.clone())
+            .judge_seed(self.judge_seed)
+            .build()
+    }
+}
+
+fn model_tag(model: DirectiveModel) -> &'static str {
+    match model {
+        DirectiveModel::OpenAcc => "acc",
+        DirectiveModel::OpenMp => "omp",
+    }
+}
+
+fn style_tag(style: PromptStyle) -> &'static str {
+    match style {
+        PromptStyle::Direct => "plain",
+        PromptStyle::AgentDirect => "agent-direct",
+        PromptStyle::AgentIndirect => "agent-indirect",
+    }
+}
+
+fn strategy_tag(strategy: ExecutionStrategy) -> &'static str {
+    match strategy {
+        ExecutionStrategy::Staged => "staged",
+        ExecutionStrategy::Sequential => "seq",
+        ExecutionStrategy::RayonBatch => "perfile",
+    }
+}
+
+fn profile_tag(profile: &JudgeProfile) -> &'static str {
+    if profile.name.contains("LLMJ 1") {
+        "llmj1"
+    } else if profile.name.contains("LLMJ 2") {
+        "llmj2"
+    } else if profile.name.contains("no tools") {
+        "plain"
+    } else {
+        profile.name
+    }
+}
+
+/// Builder enumerating scenarios over the cross product of its axes.
+///
+/// Every axis defaults to a single value (OpenACC, agent-direct prompting,
+/// the staged strategy, the paper's 50% probe split, the LLMJ 1 profile),
+/// so setting one axis sweeps exactly that dimension. Axis order in the
+/// generated list: model, prompt style, strategy, probe fraction, profile.
+#[derive(Clone, Debug)]
+pub struct ScenarioMatrix {
+    models: Vec<DirectiveModel>,
+    prompt_styles: Vec<PromptStyle>,
+    strategies: Vec<ExecutionStrategy>,
+    probe_fractions: Vec<f64>,
+    judge_profiles: Vec<JudgeProfile>,
+    suite_size: usize,
+    shards: usize,
+    corpus_seed: u64,
+    probe_seed: u64,
+    judge_seed: u64,
+    workers: (usize, usize, usize),
+    channel_capacity: usize,
+}
+
+impl ScenarioMatrix {
+    /// A single-scenario matrix over `suite_size` cases; grow it one axis
+    /// at a time.
+    pub fn new(suite_size: usize) -> Self {
+        Self {
+            models: vec![DirectiveModel::OpenAcc],
+            prompt_styles: vec![PromptStyle::AgentDirect],
+            strategies: vec![ExecutionStrategy::Staged],
+            probe_fractions: vec![0.5],
+            judge_profiles: vec![JudgeProfile::deepseek_agent_direct()],
+            suite_size,
+            shards: 1,
+            corpus_seed: 0xCA_3B_01,
+            probe_seed: 0xCA_3B_02,
+            judge_seed: 0xCA_3B_03,
+            workers: (4, 4, 2),
+            channel_capacity: 64,
+        }
+    }
+
+    /// Directive models to sweep.
+    pub fn models(mut self, models: Vec<DirectiveModel>) -> Self {
+        assert!(
+            !models.is_empty(),
+            "the model axis needs at least one entry"
+        );
+        self.models = models;
+        self
+    }
+
+    /// Judge prompt styles to sweep.
+    pub fn prompt_styles(mut self, styles: Vec<PromptStyle>) -> Self {
+        assert!(
+            !styles.is_empty(),
+            "the style axis needs at least one entry"
+        );
+        self.prompt_styles = styles;
+        self
+    }
+
+    /// Execution strategies to sweep.
+    pub fn strategies(mut self, strategies: Vec<ExecutionStrategy>) -> Self {
+        assert!(
+            !strategies.is_empty(),
+            "the strategy axis needs at least one entry"
+        );
+        self.strategies = strategies;
+        self
+    }
+
+    /// Negative-probing fractions to sweep (each in `[0, 1]`).
+    pub fn probe_fractions(mut self, fractions: Vec<f64>) -> Self {
+        assert!(
+            !fractions.is_empty(),
+            "the fraction axis needs at least one entry"
+        );
+        assert!(
+            fractions.iter().all(|f| (0.0..=1.0).contains(f)),
+            "probe fractions must lie in [0, 1]"
+        );
+        self.probe_fractions = fractions;
+        self
+    }
+
+    /// Judge calibration profiles to sweep.
+    pub fn judge_profiles(mut self, profiles: Vec<JudgeProfile>) -> Self {
+        assert!(
+            !profiles.is_empty(),
+            "the profile axis needs at least one entry"
+        );
+        self.judge_profiles = profiles;
+        self
+    }
+
+    /// Unsharded corpus size per scenario.
+    pub fn suite_size(mut self, size: usize) -> Self {
+        self.suite_size = size;
+        self
+    }
+
+    /// Stream each scenario's corpus as `n` independent shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a scenario needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Seeds shared by every scenario (corpus, probe, judge).
+    pub fn seeds(mut self, corpus: u64, probe: u64, judge: u64) -> Self {
+        self.corpus_seed = corpus;
+        self.probe_seed = probe;
+        self.judge_seed = judge;
+        self
+    }
+
+    /// Worker counts for each scenario's compile / execute / judge pools.
+    pub fn workers(mut self, compile: usize, exec: usize, judge: usize) -> Self {
+        self.workers = (compile, exec, judge);
+        self
+    }
+
+    /// Channel capacity of each scenario's service.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// Number of scenarios the matrix enumerates.
+    pub fn len(&self) -> usize {
+        self.models.len()
+            * self.prompt_styles.len()
+            * self.strategies.len()
+            * self.probe_fractions.len()
+            * self.judge_profiles.len()
+    }
+
+    /// True when no axis has entries (unreachable through the builder).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate the scenarios (cross product of every axis).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(self.len());
+        for &model in &self.models {
+            for &prompt_style in &self.prompt_styles {
+                for &strategy in &self.strategies {
+                    for &probe_fraction in &self.probe_fractions {
+                        for judge_profile in &self.judge_profiles {
+                            let label = format!(
+                                "{}/{}/{}/mut{:.0}%/{}",
+                                model_tag(model),
+                                style_tag(prompt_style),
+                                strategy_tag(strategy),
+                                probe_fraction * 100.0,
+                                profile_tag(judge_profile),
+                            );
+                            scenarios.push(Scenario {
+                                label,
+                                model,
+                                prompt_style,
+                                judge_profile: judge_profile.clone(),
+                                strategy,
+                                probe_fraction,
+                                suite_size: self.suite_size,
+                                shards: self.shards,
+                                corpus_seed: self.corpus_seed,
+                                probe_seed: self.probe_seed,
+                                judge_seed: self.judge_seed,
+                                workers: self.workers,
+                                channel_capacity: self.channel_capacity,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+/// Merged accumulators of one completed scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioMetrics {
+    /// The scenario that produced these metrics.
+    pub scenario: Scenario,
+    /// Metrics of the judge's own verdicts (stand-alone LLMJ).
+    pub judge: MetricsSink,
+    /// Metrics of the compile→execute→judge-gated pipeline verdicts.
+    pub pipeline: MetricsSink,
+    /// Token/latency summary of the judge stage.
+    pub judge_load: LatencyTokenSummary,
+    /// Service statistics merged across shards (latency quantiles are
+    /// exact under the merge).
+    pub stats: PipelineStats,
+    /// Highest number of in-flight ground-truth entries across all shard
+    /// folds — the constant-memory evidence (tracks the pipeline window,
+    /// not the corpus size).
+    pub max_in_flight: usize,
+}
+
+impl ScenarioMetrics {
+    fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            judge: MetricsSink::default(),
+            pipeline: MetricsSink::default(),
+            judge_load: LatencyTokenSummary::default(),
+            stats: PipelineStats::default(),
+            max_in_flight: 0,
+        }
+    }
+
+    /// Number of cases evaluated.
+    pub fn cases(&self) -> usize {
+        self.pipeline.total()
+    }
+}
+
+/// Run one scenario: stream each of its corpus shards through its service,
+/// folding per-shard accumulators and merging them (see the module docs
+/// for why the merged result is exact).
+pub fn run_scenario(scenario: &Scenario) -> ScenarioMetrics {
+    let service = scenario.service();
+    let mut merged = ScenarioMetrics::new(scenario.clone());
+    for k in 0..scenario.shards {
+        let mut judge = MetricsSink::default();
+        let mut pipeline = MetricsSink::default();
+        let mut judge_load = LatencyTokenSummary::default();
+        let fold = fold_probed_source(
+            &service,
+            scenario.shard_spec(k).source(),
+            |issue, record| {
+                observe_record_all_case(&mut judge, &mut pipeline, &mut judge_load, issue, record);
+            },
+        );
+        merged.judge.merge(&judge);
+        merged.pipeline.merge(&pipeline);
+        merged.judge_load.merge(&judge_load);
+        merged.stats.merge(&fold.stats);
+        merged.max_in_flight = merged.max_in_flight.max(fold.max_in_flight);
+    }
+    merged
+}
+
+/// Results of a whole campaign, scenario order matching
+/// [`ScenarioMatrix::scenarios`].
+#[derive(Clone, Debug)]
+pub struct CampaignResults {
+    /// Per-scenario merged metrics.
+    pub scenarios: Vec<ScenarioMetrics>,
+}
+
+impl CampaignResults {
+    /// Total cases evaluated across every scenario.
+    pub fn total_cases(&self) -> usize {
+        self.scenarios.iter().map(ScenarioMetrics::cases).sum()
+    }
+
+    /// Cross-scenario comparison table: one row per scenario with case
+    /// count, pipeline and stand-alone-judge accuracy, pipeline bias, and
+    /// the p50/p95/p99 simulated judge latency (exact across the shard
+    /// merges).
+    pub fn comparison_table(&self) -> String {
+        let label_width = self
+            .scenarios
+            .iter()
+            .map(|s| s.scenario.label.len())
+            .max()
+            .unwrap_or(8)
+            .max("Scenario".len());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "CAMPAIGN: {} scenarios, {} cases",
+            self.scenarios.len(),
+            self.total_cases()
+        );
+        let header = format!(
+            "{:<label_width$} {:>8} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8}",
+            "Scenario", "Cases", "Pipe acc", "Judge acc", "Bias", "p50 ms", "p95 ms", "p99 ms"
+        );
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for metrics in &self.scenarios {
+            let pipeline = metrics.pipeline.overall_stats();
+            let judge = metrics.judge.overall_stats();
+            let quantile = |q: Option<f64>| match q {
+                Some(ms) => format!("{ms:.0}"),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<label_width$} {:>8} {:>9.1}% {:>9.1}% {:>+7.3} {:>8} {:>8} {:>8}",
+                metrics.scenario.label,
+                metrics.cases(),
+                pipeline.accuracy * 100.0,
+                judge.accuracy * 100.0,
+                pipeline.bias,
+                quantile(metrics.stats.judge_latency_p50()),
+                quantile(metrics.stats.judge_latency_p95()),
+                quantile(metrics.stats.judge_latency_p99()),
+            );
+        }
+        out
+    }
+}
+
+/// Run every scenario of the matrix, rayon-parallel across scenarios
+/// (each scenario's shards stream sequentially through its own service,
+/// which already runs its stage pools in parallel).
+pub fn run_campaign(matrix: &ScenarioMatrix) -> CampaignResults {
+    let scenarios = matrix.scenarios();
+    let scenarios: Vec<ScenarioMetrics> = scenarios.par_iter().map(run_scenario).collect();
+    CampaignResults { scenarios }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_corpus::CaseSource;
+
+    #[test]
+    fn matrix_enumerates_the_cross_product_in_axis_order() {
+        let matrix = ScenarioMatrix::new(100)
+            .models(vec![DirectiveModel::OpenAcc, DirectiveModel::OpenMp])
+            .prompt_styles(vec![PromptStyle::AgentDirect, PromptStyle::AgentIndirect])
+            .probe_fractions(vec![0.25, 0.5, 0.75]);
+        assert_eq!(matrix.len(), 12);
+        assert!(!matrix.is_empty());
+        let scenarios = matrix.scenarios();
+        assert_eq!(scenarios.len(), 12);
+        // Model is the outermost axis.
+        assert!(scenarios[..6]
+            .iter()
+            .all(|s| s.model == DirectiveModel::OpenAcc));
+        assert!(scenarios[6..]
+            .iter()
+            .all(|s| s.model == DirectiveModel::OpenMp));
+        // Labels are unique.
+        let mut labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn probe_fraction_reaches_the_corpus_spec() {
+        let matrix = ScenarioMatrix::new(40).probe_fractions(vec![0.25]);
+        let scenario = &matrix.scenarios()[0];
+        let mutated = scenario
+            .corpus_spec()
+            .source()
+            .into_cases()
+            .filter(|case| !case.ground_truth_valid())
+            .count();
+        assert_eq!(mutated, 10, "25% of 40 cases mutated");
+    }
+
+    #[test]
+    fn sharded_scenario_covers_the_whole_corpus_exactly_once() {
+        let matrix = ScenarioMatrix::new(60).shards(3);
+        let metrics = run_scenario(&matrix.scenarios()[0]);
+        assert_eq!(metrics.cases(), 60);
+        assert_eq!(metrics.stats.submitted, 60);
+        assert_eq!(metrics.stats.judged, 60, "record-all judges every file");
+        assert_eq!(metrics.judge.total(), 60);
+        assert!(metrics.max_in_flight <= 60);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_scenario_metrics() {
+        let unsharded = run_scenario(&ScenarioMatrix::new(48).scenarios()[0]);
+        let sharded = run_scenario(&ScenarioMatrix::new(48).shards(4).scenarios()[0]);
+        assert_eq!(unsharded.judge, sharded.judge);
+        assert_eq!(unsharded.pipeline, sharded.pipeline);
+        assert_eq!(unsharded.judge_load, sharded.judge_load);
+        assert_eq!(
+            unsharded.stats.judge_latency, sharded.stats.judge_latency,
+            "latency histograms are exact under the shard merge"
+        );
+    }
+
+    #[test]
+    fn comparison_table_has_one_row_per_scenario() {
+        let matrix = ScenarioMatrix::new(30).strategies(vec![
+            ExecutionStrategy::Staged,
+            ExecutionStrategy::Sequential,
+        ]);
+        let campaign = run_campaign(&matrix);
+        assert_eq!(campaign.scenarios.len(), 2);
+        assert_eq!(campaign.total_cases(), 60);
+        let table = campaign.comparison_table();
+        assert!(table.contains("CAMPAIGN: 2 scenarios, 60 cases"), "{table}");
+        assert!(table.contains("staged"), "{table}");
+        assert!(table.contains("seq"), "{table}");
+        assert!(table.contains("p99 ms"), "{table}");
+        // Header + separator + campaign line + one row per scenario.
+        assert_eq!(table.lines().count(), 3 + campaign.scenarios.len());
+    }
+}

@@ -1,5 +1,24 @@
 //! Experiment drivers for the paper's Part One and Part Two.
+//!
+//! Each part has two shapes:
+//!
+//! * a **batch** driver ([`run_part_one`] / [`run_part_two`]) that
+//!   materializes every per-file record — what the paper-scale `repro`
+//!   tables were originally built from, kept for consumers that need the
+//!   raw records;
+//! * a **streaming** driver ([`stream_part_one`] / [`stream_part_two`])
+//!   that folds the same records into mergeable
+//!   [`vv_metrics::accumulate`] accumulators *as they complete*, so the
+//!   metrics of an arbitrarily large suite are computed in constant
+//!   memory — no `Vec<EvaluationRecord>` (or record `Vec` of any kind)
+//!   exists anywhere on the path.
+//!
+//! Both shapes produce byte-identical metrics for the same configuration
+//! (asserted in `tests/campaign.rs`): the accumulators' counters are
+//! integers and every derived float is computed once, at read time.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
@@ -8,9 +27,10 @@ use vv_corpus::{CaseSource, GeneratedCase};
 use vv_dclang::DirectiveModel;
 use vv_judge::{JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, Verdict};
 use vv_metrics::{
-    overall, per_issue, radar_series, EvaluationRecord, OverallStats, PerIssueRow, RadarPoint,
+    Accumulator as _, EvaluationRecord, LatencyTokenSummary, MetricsSink, OverallStats,
+    PerIssueRow, RadarPoint,
 };
-use vv_pipeline::{PipelineMode, ValidationService};
+use vv_pipeline::{CaseRecord, PipelineMode, PipelineStats, ValidationService};
 use vv_probing::{CorpusSpec, IssueKind, ProbeConfig};
 
 // ---------------------------------------------------------------------------
@@ -113,48 +133,150 @@ impl PartOneResults {
             .collect()
     }
 
+    /// One-shot fold of the materialized records into the streaming
+    /// accumulators (byte-identical to [`stream_part_one`] for the same
+    /// configuration).
+    pub fn metrics(&self) -> PartOneMetrics {
+        let mut metrics = PartOneMetrics::new(self.model);
+        for record in &self.records {
+            metrics.observe(record);
+        }
+        metrics
+    }
+
+    /// Single-pass sink fold backing the per-table accessors (cheaper than
+    /// the full [`PartOneResults::metrics`] fold, which also summarizes the
+    /// judge load).
+    fn fold_sink(&self) -> MetricsSink {
+        let mut sink = MetricsSink::default();
+        for record in &self.records {
+            sink.observe_case(record.issue, record.outcome.verdict);
+        }
+        sink
+    }
+
     /// Per-issue accuracy rows (Table I / II).
     pub fn per_issue(&self) -> Vec<PerIssueRow> {
-        per_issue(&self.evaluation_records())
+        self.fold_sink().per_issue_rows()
     }
 
     /// Overall accuracy and bias (Table III).
     pub fn overall(&self) -> OverallStats {
-        overall(&self.evaluation_records())
+        self.fold_sink().overall_stats()
     }
 
     /// Radar series for the plain judge (part of Figures 5 / 6).
     pub fn radar(&self) -> Vec<RadarPoint> {
-        radar_series(&self.evaluation_records())
+        self.fold_sink().radar_series()
     }
 }
 
-/// Run Part One: judge every probed file with the plain direct-analysis
-/// prompt (no compilation, no execution, no tool information).
-pub fn run_part_one(config: &PartOneConfig) -> PartOneResults {
-    // The judge pass wants rayon's data parallelism, so the streamed cases
-    // are materialized here; use the spec's source directly for workloads
-    // that must stay constant-memory.
-    let cases: Vec<GeneratedCase> = config.corpus_spec().source().into_cases().collect();
+/// Streaming Part One results: the plain judge's metrics, folded into
+/// constant-memory accumulators without ever materializing the records.
+#[derive(Clone, Debug)]
+pub struct PartOneMetrics {
+    /// Programming model.
+    pub model: DirectiveModel,
+    /// Accuracy/bias/radar accumulators over every judged file.
+    pub sink: MetricsSink,
+    /// Token and latency summary of the judge pass.
+    pub judge_load: LatencyTokenSummary,
+}
+
+impl PartOneMetrics {
+    fn new(model: DirectiveModel) -> Self {
+        Self {
+            model,
+            sink: MetricsSink::default(),
+            judge_load: LatencyTokenSummary::default(),
+        }
+    }
+
+    /// Fold one judged file into the accumulators.
+    pub fn observe(&mut self, record: &PartOneRecord) {
+        self.sink.observe_case(record.issue, record.outcome.verdict);
+        self.judge_load.observe(&record.outcome);
+    }
+
+    /// Absorb another shard's accumulators (see the merge laws in
+    /// [`vv_metrics::accumulate`]).
+    pub fn merge(&mut self, other: &PartOneMetrics) {
+        assert_eq!(self.model, other.model, "cannot merge across models");
+        self.sink.merge(&other.sink);
+        self.judge_load.merge(&other.judge_load);
+    }
+
+    /// Per-issue accuracy rows (Table I / II).
+    pub fn per_issue(&self) -> Vec<PerIssueRow> {
+        self.sink.per_issue_rows()
+    }
+
+    /// Overall accuracy and bias (Table III).
+    pub fn overall(&self) -> OverallStats {
+        self.sink.overall_stats()
+    }
+
+    /// Radar series for the plain judge (part of Figures 5 / 6).
+    pub fn radar(&self) -> Vec<RadarPoint> {
+        self.sink.radar_series()
+    }
+}
+
+/// Judge-pass chunk size for the Part One fold: bounds peak memory (at most
+/// one chunk of generated cases exists at a time) while keeping rayon's
+/// data parallelism within each chunk.
+const JUDGE_CHUNK: usize = 256;
+
+/// Drive the Part One judge pass, delivering records in submission order.
+/// Cases stream out of the corpus spec one chunk at a time, so memory is
+/// bounded by the chunk size, not the suite size.
+fn for_each_part_one_record(config: &PartOneConfig, mut f: impl FnMut(PartOneRecord)) {
     let session = JudgeSession::new(
         SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), config.judge_seed),
         PromptStyle::Direct,
     );
-    let records: Vec<PartOneRecord> = cases
-        .par_iter()
-        .map(|case| {
-            let outcome = session.evaluate(&case.source, config.model, None);
-            PartOneRecord {
-                case_id: case.case.id.clone(),
-                issue: IssueKind::of_case(case),
-                outcome,
-            }
-        })
-        .collect();
+    let mut cases = config.corpus_spec().source().into_cases();
+    loop {
+        let chunk: Vec<GeneratedCase> = cases.by_ref().take(JUDGE_CHUNK).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        // Each judgement is a pure function of (case, seed), so chunked
+        // parallel evaluation matches the old whole-suite pass exactly.
+        let records: Vec<PartOneRecord> = chunk
+            .par_iter()
+            .map(|case| {
+                let outcome = session.evaluate(&case.source, config.model, None);
+                PartOneRecord {
+                    case_id: case.case.id.clone(),
+                    issue: IssueKind::of_case(case),
+                    outcome,
+                }
+            })
+            .collect();
+        records.into_iter().for_each(&mut f);
+    }
+}
+
+/// Run Part One: judge every probed file with the plain direct-analysis
+/// prompt (no compilation, no execution, no tool information). Batch
+/// wrapper over the streaming fold; use [`stream_part_one`] when only the
+/// metrics are needed.
+pub fn run_part_one(config: &PartOneConfig) -> PartOneResults {
+    let mut records = Vec::new();
+    for_each_part_one_record(config, |record| records.push(record));
     PartOneResults {
         model: config.model,
         records,
     }
+}
+
+/// Run Part One and fold every record straight into accumulators: the
+/// constant-memory path — no record is retained after it is observed.
+pub fn stream_part_one(config: &PartOneConfig) -> PartOneMetrics {
+    let mut metrics = PartOneMetrics::new(config.model);
+    for_each_part_one_record(config, |record| metrics.observe(&record));
+    metrics
 }
 
 // ---------------------------------------------------------------------------
@@ -307,6 +429,16 @@ impl Evaluator {
             Evaluator::Pipeline2 => "Pipeline 2",
         }
     }
+
+    /// Position in [`Evaluator::ALL`] (the sink index in `PartTwoMetrics`).
+    fn slot(&self) -> usize {
+        match self {
+            Evaluator::Llmj1 => 0,
+            Evaluator::Llmj2 => 1,
+            Evaluator::Pipeline1 => 2,
+            Evaluator::Pipeline2 => 3,
+        }
+    }
 }
 
 /// Results of a Part Two run.
@@ -327,20 +459,272 @@ impl PartTwoResults {
             .collect()
     }
 
+    /// One-shot fold of the materialized records into the streaming
+    /// accumulators, all four evaluators at once (byte-identical to
+    /// [`stream_part_two`] for the same configuration; the service
+    /// statistics are left at their defaults because a materialized result
+    /// set no longer knows them).
+    pub fn metrics(&self) -> PartTwoMetrics {
+        let mut metrics = PartTwoMetrics::new(self.model);
+        for record in &self.records {
+            for which in Evaluator::ALL {
+                metrics.sinks[which.slot()].observe_case(record.issue, Some(record.verdict(which)));
+            }
+            metrics.llmj1_load.observe(&record.llmj1);
+            metrics.llmj2_load.observe(&record.llmj2);
+        }
+        metrics
+    }
+
+    /// Single-pass sink fold for one evaluator, backing the per-table
+    /// accessors (cheaper than the all-evaluator
+    /// [`PartTwoResults::metrics`] fold).
+    fn fold_sink(&self, which: Evaluator) -> MetricsSink {
+        let mut sink = MetricsSink::default();
+        for record in &self.records {
+            sink.observe_case(record.issue, Some(record.verdict(which)));
+        }
+        sink
+    }
+
     /// Per-issue accuracy rows for one evaluator.
     pub fn per_issue(&self, which: Evaluator) -> Vec<PerIssueRow> {
-        per_issue(&self.evaluation_records(which))
+        self.fold_sink(which).per_issue_rows()
     }
 
     /// Overall accuracy and bias for one evaluator.
     pub fn overall(&self, which: Evaluator) -> OverallStats {
-        overall(&self.evaluation_records(which))
+        self.fold_sink(which).overall_stats()
     }
 
     /// Radar series for one evaluator (Figures 3–6).
     pub fn radar(&self, which: Evaluator) -> Vec<RadarPoint> {
-        radar_series(&self.evaluation_records(which))
+        self.fold_sink(which).radar_series()
     }
+}
+
+/// Streaming Part Two results: one [`MetricsSink`] per evaluator, folded
+/// off the validation service's record streams in constant memory.
+#[derive(Clone, Debug)]
+pub struct PartTwoMetrics {
+    /// Programming model.
+    pub model: DirectiveModel,
+    /// One sink per [`Evaluator`], in [`Evaluator::ALL`] order.
+    sinks: [MetricsSink; 4],
+    /// Token/latency summary of the direct-analysis judge (LLMJ 1).
+    pub llmj1_load: LatencyTokenSummary,
+    /// Token/latency summary of the indirect-analysis judge (LLMJ 2).
+    pub llmj2_load: LatencyTokenSummary,
+    /// Service statistics of the direct-judge run.
+    pub direct_stats: PipelineStats,
+    /// Service statistics of the indirect-judge run.
+    pub indirect_stats: PipelineStats,
+}
+
+impl PartTwoMetrics {
+    fn new(model: DirectiveModel) -> Self {
+        Self {
+            model,
+            sinks: Default::default(),
+            llmj1_load: LatencyTokenSummary::default(),
+            llmj2_load: LatencyTokenSummary::default(),
+            direct_stats: PipelineStats::default(),
+            indirect_stats: PipelineStats::default(),
+        }
+    }
+
+    /// The accumulator behind one evaluator's metrics.
+    pub fn sink(&self, which: Evaluator) -> &MetricsSink {
+        &self.sinks[which.slot()]
+    }
+
+    /// Per-issue accuracy rows for one evaluator.
+    pub fn per_issue(&self, which: Evaluator) -> Vec<PerIssueRow> {
+        self.sink(which).per_issue_rows()
+    }
+
+    /// Overall accuracy and bias for one evaluator.
+    pub fn overall(&self, which: Evaluator) -> OverallStats {
+        self.sink(which).overall_stats()
+    }
+
+    /// Radar series for one evaluator (Figures 3–6).
+    pub fn radar(&self, which: Evaluator) -> Vec<RadarPoint> {
+        self.sink(which).radar_series()
+    }
+
+    /// Absorb another shard's accumulators (see the merge laws in
+    /// [`vv_metrics::accumulate`]).
+    pub fn merge(&mut self, other: &PartTwoMetrics) {
+        assert_eq!(self.model, other.model, "cannot merge across models");
+        for (sink, theirs) in self.sinks.iter_mut().zip(&other.sinks) {
+            sink.merge(theirs);
+        }
+        self.llmj1_load.merge(&other.llmj1_load);
+        self.llmj2_load.merge(&other.llmj2_load);
+        self.direct_stats.merge(&other.direct_stats);
+        self.indirect_stats.merge(&other.indirect_stats);
+    }
+
+    /// Fold one completed record of a record-all run into the sinks of the
+    /// judge evaluator (the judge's own verdict) and the pipeline evaluator
+    /// (the compile/execute/judge-gated verdict).
+    fn observe_record(
+        &mut self,
+        judge: Evaluator,
+        pipeline: Evaluator,
+        issue: IssueKind,
+        record: &CaseRecord,
+    ) {
+        let judge_load = match judge {
+            Evaluator::Llmj1 => &mut self.llmj1_load,
+            _ => &mut self.llmj2_load,
+        };
+        // Judge sinks occupy slots 0–1, pipeline sinks 2–3.
+        let (judge_sinks, pipeline_sinks) = self.sinks.split_at_mut(2);
+        observe_record_all_case(
+            &mut judge_sinks[judge.slot()],
+            &mut pipeline_sinks[pipeline.slot() - 2],
+            judge_load,
+            issue,
+            record,
+        );
+    }
+}
+
+/// Fold one completed record of a record-all run into a judge sink (the
+/// judge's own verdict), a pipeline sink (the compile/execute/judge-gated
+/// verdict) and a judge-load summary. The single definition of how a
+/// [`CaseRecord`] maps onto evaluation metrics, shared by
+/// [`stream_part_two`] and the campaign harness so the two paths cannot
+/// silently diverge.
+///
+/// # Panics
+///
+/// Panics if the record carries no judgement (i.e. the run was not in
+/// record-all mode).
+pub fn observe_record_all_case(
+    judge: &mut MetricsSink,
+    pipeline: &mut MetricsSink,
+    judge_load: &mut LatencyTokenSummary,
+    issue: IssueKind,
+    record: &CaseRecord,
+) {
+    let judgement = record
+        .judgement
+        .as_ref()
+        .expect("record-all mode judges every file");
+    judge.observe_case(issue, Some(judgement.verdict_or_invalid()));
+    pipeline.observe_case(issue, Some(record.pipeline_verdict()));
+    judge_load.observe(judgement);
+}
+
+/// Outcome of [`fold_probed_source`]: the run's final service statistics
+/// plus the high-water mark of the ground-truth side table — the
+/// constant-memory evidence, since the table tracks the pipeline's
+/// in-flight window (bounded by the channel capacity and worker counts),
+/// never the corpus size.
+#[derive(Clone, Debug)]
+pub struct FoldStats {
+    /// Aggregate statistics of the completed run.
+    pub stats: PipelineStats,
+    /// Most ground-truth entries ever parked at once.
+    pub max_in_flight: usize,
+}
+
+/// Stream a probed [`CaseSource`] through a [`ValidationService`] and hand
+/// each completed record — joined back to its ground-truth issue — to `f`.
+///
+/// The issue of every in-flight case is parked in a side table as the
+/// service's feeder pulls it off the stream and removed when its record
+/// completes, so the table's size follows the pipeline's in-flight window
+/// and the whole fold runs in constant memory: no suite, record `Vec` or
+/// `Vec<EvaluationRecord>` is ever materialized.
+///
+/// The join is by case id, FIFO per id: a source that yields duplicate ids
+/// (e.g. two same-seed streams interleaved) still folds every record, with
+/// same-id issues handed out in submission order. Since records complete
+/// out of order, a precise per-record join under duplicate ids is not
+/// possible — aggregate metrics remain exact whenever duplicate-id cases
+/// are byte-identical (the only way the built-in sources produce them).
+pub fn fold_probed_source<S, F>(service: &ValidationService, source: S, mut f: F) -> FoldStats
+where
+    S: CaseSource + Send + 'static,
+    F: FnMut(IssueKind, &CaseRecord),
+{
+    let truth: Arc<Mutex<HashMap<String, VecDeque<IssueKind>>>> = Arc::default();
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let high_water = Arc::new(AtomicUsize::new(0));
+    let capture = Arc::clone(&truth);
+    let pending = Arc::clone(&in_flight);
+    let watermark = Arc::clone(&high_water);
+    let tapped = source.inspect(move |case| {
+        capture
+            .lock()
+            .expect("ground-truth table poisoned")
+            .entry(case.case.id.clone())
+            .or_default()
+            .push_back(IssueKind::of_case(case));
+        let parked = pending.fetch_add(1, Ordering::Relaxed) + 1;
+        watermark.fetch_max(parked, Ordering::Relaxed);
+    });
+    let mut stream = service.submit_source(tapped);
+    for record in &mut stream {
+        let issue = {
+            let mut table = truth.lock().expect("ground-truth table poisoned");
+            let queue = table
+                .get_mut(&record.id)
+                .expect("every completed record was tapped on submission");
+            let issue = queue
+                .pop_front()
+                .expect("as many completions per id as submissions");
+            if queue.is_empty() {
+                table.remove(&record.id);
+            }
+            issue
+        };
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        f(issue, &record);
+    }
+    FoldStats {
+        stats: stream.stats(),
+        max_in_flight: high_water.load(Ordering::Relaxed),
+    }
+}
+
+/// Run Part Two and fold every record straight into per-evaluator
+/// accumulators: the constant-memory path. Both judge passes stream their
+/// records through [`fold_probed_source`]; the direct run feeds the LLMJ 1
+/// and Pipeline 1 sinks, the indirect run LLMJ 2 and Pipeline 2. Because
+/// the compile and execute substrates are deterministic, the pipeline
+/// verdicts derived from each run's own stage results are byte-identical
+/// to the batch [`run_part_two`] computation, which reuses the direct
+/// run's stage results for both pipelines.
+pub fn stream_part_two(config: &PartTwoConfig) -> PartTwoMetrics {
+    let base = ValidationService::builder()
+        .mode(PipelineMode::RecordAll)
+        .workers(
+            config.compile_workers,
+            config.exec_workers,
+            config.judge_workers,
+        )
+        .judge_seed(config.judge_seed);
+    let spec = config.corpus_spec();
+    let mut metrics = PartTwoMetrics::new(config.model);
+
+    let direct = base.clone().build();
+    let fold = fold_probed_source(&direct, spec.source(), |issue, record| {
+        metrics.observe_record(Evaluator::Llmj1, Evaluator::Pipeline1, issue, record);
+    });
+    metrics.direct_stats = fold.stats;
+
+    let indirect = base.indirect_judge().build();
+    let fold = fold_probed_source(&indirect, spec.source(), |issue, record| {
+        metrics.observe_record(Evaluator::Llmj2, Evaluator::Pipeline2, issue, record);
+    });
+    metrics.indirect_stats = fold.stats;
+
+    metrics
 }
 
 /// Run Part Two: every probed file is compiled, executed where possible and

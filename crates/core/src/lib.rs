@@ -3,15 +3,26 @@
 //! This crate ties the substrates together into the experiments the paper
 //! reports:
 //!
-//! * **Part One** ([`experiment::run_part_one`]): negative probing of the
-//!   plain (non-agent) judge with the direct-analysis prompt — Tables I–III;
-//! * **Part Two** ([`experiment::run_part_two`]): the record-all validation
-//!   pipeline with both agent-based judges (LLMJ 1 / LLMJ 2), from which the
+//! * **Part One** ([`experiment::run_part_one`] /
+//!   [`experiment::stream_part_one`]): negative probing of the plain
+//!   (non-agent) judge with the direct-analysis prompt — Tables I–III;
+//! * **Part Two** ([`experiment::run_part_two`] /
+//!   [`experiment::stream_part_two`]): the record-all validation pipeline
+//!   with both agent-based judges (LLMJ 1 / LLMJ 2), from which the
 //!   stand-alone agent-judge results (Tables VII–IX) and the pipeline
 //!   results (Tables IV–VI) are both derived, plus the radar figures
 //!   (Figures 3–6);
+//! * [`campaign`]: the scenario-matrix harness — sweep directive model ×
+//!   prompt style × execution strategy × probe fraction × judge profile in
+//!   one run, every scenario folded into mergeable constant-memory
+//!   accumulators over sharded corpus sources;
 //! * [`reproduce`]: one function per table and figure that renders the
-//!   corresponding output in the paper's layout.
+//!   corresponding output in the paper's layout, from accumulator state.
+//!
+//! The `stream_*` drivers and every campaign scenario compute their
+//! metrics without materializing a single record `Vec`: records fold into
+//! `vv_metrics::accumulate` sinks as they complete, and sharded folds
+//! merge byte-identically to unsharded ones.
 //!
 //! # Quickstart
 //!
@@ -26,12 +37,15 @@
 //! assert!(overall.accuracy >= 0.0 && overall.accuracy <= 1.0);
 //! ```
 
+pub mod campaign;
 pub mod experiment;
 pub mod reproduce;
 
+pub use campaign::{run_campaign, CampaignResults, Scenario, ScenarioMatrix, ScenarioMetrics};
 pub use experiment::{
-    run_part_one, run_part_two, Evaluator, PartOneConfig, PartOneRecord, PartOneResults,
-    PartTwoConfig, PartTwoRecord, PartTwoResults,
+    run_part_one, run_part_two, stream_part_one, stream_part_two, Evaluator, PartOneConfig,
+    PartOneMetrics, PartOneRecord, PartOneResults, PartTwoConfig, PartTwoMetrics, PartTwoRecord,
+    PartTwoResults,
 };
 
 // Re-export the substrate crates so downstream users need only one

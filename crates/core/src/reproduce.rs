@@ -1,15 +1,23 @@
 //! One function per table and figure of the paper's evaluation section.
 //!
-//! Each function takes the experiment results it needs and renders a
-//! plain-text artifact in the same layout as the paper, so the `repro`
-//! binary (and EXPERIMENTS.md) can compare the reproduction side by side
-//! with the published numbers.
+//! Each function renders a plain-text artifact in the same layout as the
+//! paper, so the `repro` binary (and EXPERIMENTS.md) can compare the
+//! reproduction side by side with the published numbers.
+//!
+//! The renderers consume the **streaming metrics** types
+//! ([`PartOneMetrics`] / [`PartTwoMetrics`]) — accumulator state, a few
+//! hundred bytes per evaluator — rather than materialized record sets, so
+//! paper-scale (or far larger) tables render from a constant-memory
+//! [`crate::experiment::stream_part_one`] /
+//! [`crate::experiment::stream_part_two`] run. Batch results convert via
+//! `PartOneResults::metrics()` / `PartTwoResults::metrics()`, a one-shot
+//! fold that yields byte-identical tables.
 
-use crate::experiment::{Evaluator, PartOneResults, PartTwoResults};
+use crate::experiment::{Evaluator, PartOneMetrics, PartTwoMetrics};
 use vv_metrics::{render_overall_table, render_per_issue_table, render_radar_table};
 
 /// Table I — plain LLMJ negative probing, per-issue accuracy, OpenACC.
-pub fn table_1(acc: &PartOneResults) -> String {
+pub fn table_1(acc: &PartOneMetrics) -> String {
     render_per_issue_table(
         "TABLE I: LLMJ Negative Probing Results for OpenACC",
         acc.model,
@@ -18,7 +26,7 @@ pub fn table_1(acc: &PartOneResults) -> String {
 }
 
 /// Table II — plain LLMJ negative probing, per-issue accuracy, OpenMP.
-pub fn table_2(omp: &PartOneResults) -> String {
+pub fn table_2(omp: &PartOneMetrics) -> String {
     render_per_issue_table(
         "TABLE II: LLMJ Negative Probing Results for OpenMP",
         omp.model,
@@ -27,7 +35,7 @@ pub fn table_2(omp: &PartOneResults) -> String {
 }
 
 /// Table III — plain LLMJ overall accuracy and bias.
-pub fn table_3(acc: &PartOneResults, omp: &PartOneResults) -> String {
+pub fn table_3(acc: &PartOneMetrics, omp: &PartOneMetrics) -> String {
     render_overall_table(
         "TABLE III: LLMJ Overall Negative Probing Results",
         &[("OpenACC", acc.overall()), ("OpenMP", omp.overall())],
@@ -35,7 +43,7 @@ pub fn table_3(acc: &PartOneResults, omp: &PartOneResults) -> String {
 }
 
 /// Table IV — validation pipeline per-issue accuracy, OpenACC.
-pub fn table_4(acc: &PartTwoResults) -> String {
+pub fn table_4(acc: &PartTwoMetrics) -> String {
     render_per_issue_table(
         "TABLE IV: Validation Pipeline Results for OpenACC",
         acc.model,
@@ -47,7 +55,7 @@ pub fn table_4(acc: &PartTwoResults) -> String {
 }
 
 /// Table V — validation pipeline per-issue accuracy, OpenMP.
-pub fn table_5(omp: &PartTwoResults) -> String {
+pub fn table_5(omp: &PartTwoMetrics) -> String {
     render_per_issue_table(
         "TABLE V: Validation Pipeline Results for OpenMP",
         omp.model,
@@ -59,7 +67,7 @@ pub fn table_5(omp: &PartTwoResults) -> String {
 }
 
 /// Table VI — overall validation pipeline accuracy and bias.
-pub fn table_6(acc: &PartTwoResults, omp: &PartTwoResults) -> String {
+pub fn table_6(acc: &PartTwoMetrics, omp: &PartTwoMetrics) -> String {
     render_overall_table(
         "TABLE VI: Overall Validation Pipeline Results",
         &[
@@ -72,7 +80,7 @@ pub fn table_6(acc: &PartTwoResults, omp: &PartTwoResults) -> String {
 }
 
 /// Table VII — agent-based LLMJ per-issue accuracy, OpenACC.
-pub fn table_7(acc: &PartTwoResults) -> String {
+pub fn table_7(acc: &PartTwoMetrics) -> String {
     render_per_issue_table(
         "TABLE VII: Agent-Based LLMJ Results for OpenACC",
         acc.model,
@@ -84,7 +92,7 @@ pub fn table_7(acc: &PartTwoResults) -> String {
 }
 
 /// Table VIII — agent-based LLMJ per-issue accuracy, OpenMP.
-pub fn table_8(omp: &PartTwoResults) -> String {
+pub fn table_8(omp: &PartTwoMetrics) -> String {
     render_per_issue_table(
         "TABLE VIII: Agent-Based LLMJ Results for OpenMP",
         omp.model,
@@ -96,7 +104,7 @@ pub fn table_8(omp: &PartTwoResults) -> String {
 }
 
 /// Table IX — overall agent-based LLMJ accuracy and bias.
-pub fn table_9(acc: &PartTwoResults, omp: &PartTwoResults) -> String {
+pub fn table_9(acc: &PartTwoMetrics, omp: &PartTwoMetrics) -> String {
     render_overall_table(
         "TABLE IX: Overall Agent-Based LLMJ Results",
         &[
@@ -109,7 +117,7 @@ pub fn table_9(acc: &PartTwoResults, omp: &PartTwoResults) -> String {
 }
 
 /// Figure 3 — radar data: pipeline accuracy by error category, OpenACC.
-pub fn figure_3(acc: &PartTwoResults) -> String {
+pub fn figure_3(acc: &PartTwoMetrics) -> String {
     render_radar_table(
         "FIGURE 3 (data): Validation Pipeline Results for OpenACC",
         &[
@@ -120,7 +128,7 @@ pub fn figure_3(acc: &PartTwoResults) -> String {
 }
 
 /// Figure 4 — radar data: pipeline accuracy by error category, OpenMP.
-pub fn figure_4(omp: &PartTwoResults) -> String {
+pub fn figure_4(omp: &PartTwoMetrics) -> String {
     render_radar_table(
         "FIGURE 4 (data): Validation Pipeline Results for OpenMP",
         &[
@@ -131,7 +139,7 @@ pub fn figure_4(omp: &PartTwoResults) -> String {
 }
 
 /// Figure 5 — radar data: all three LLM judges by category, OpenACC.
-pub fn figure_5(part_one_acc: &PartOneResults, part_two_acc: &PartTwoResults) -> String {
+pub fn figure_5(part_one_acc: &PartOneMetrics, part_two_acc: &PartTwoMetrics) -> String {
     render_radar_table(
         "FIGURE 5 (data): LLMJ Results for OpenACC",
         &[
@@ -143,7 +151,7 @@ pub fn figure_5(part_one_acc: &PartOneResults, part_two_acc: &PartTwoResults) ->
 }
 
 /// Figure 6 — radar data: all three LLM judges by category, OpenMP.
-pub fn figure_6(part_one_omp: &PartOneResults, part_two_omp: &PartTwoResults) -> String {
+pub fn figure_6(part_one_omp: &PartOneMetrics, part_two_omp: &PartTwoMetrics) -> String {
     render_radar_table(
         "FIGURE 6 (data): LLMJ Results for OpenMP",
         &[
@@ -157,15 +165,17 @@ pub fn figure_6(part_one_omp: &PartOneResults, part_two_omp: &PartTwoResults) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_part_one, run_part_two, PartOneConfig, PartTwoConfig};
+    use crate::experiment::{
+        run_part_one, run_part_two, stream_part_one, stream_part_two, PartOneConfig, PartTwoConfig,
+    };
     use vv_dclang::DirectiveModel;
 
     #[test]
     fn every_table_and_figure_renders_nonempty_output() {
-        let p1_acc = run_part_one(&PartOneConfig::quick(DirectiveModel::OpenAcc, 18));
-        let p1_omp = run_part_one(&PartOneConfig::quick(DirectiveModel::OpenMp, 18));
-        let p2_acc = run_part_two(&PartTwoConfig::quick(DirectiveModel::OpenAcc, 18));
-        let p2_omp = run_part_two(&PartTwoConfig::quick(DirectiveModel::OpenMp, 18));
+        let p1_acc = stream_part_one(&PartOneConfig::quick(DirectiveModel::OpenAcc, 18));
+        let p1_omp = stream_part_one(&PartOneConfig::quick(DirectiveModel::OpenMp, 18));
+        let p2_acc = stream_part_two(&PartTwoConfig::quick(DirectiveModel::OpenAcc, 18));
+        let p2_omp = stream_part_two(&PartTwoConfig::quick(DirectiveModel::OpenMp, 18));
 
         let artifacts = [
             table_1(&p1_acc),
@@ -194,5 +204,20 @@ mod tests {
         }
         assert!(artifacts[0].contains("TABLE I"));
         assert!(artifacts[12].contains("FIGURE 6"));
+    }
+
+    #[test]
+    fn batch_results_fold_to_the_same_tables_as_the_streaming_run() {
+        let p1_config = PartOneConfig::quick(DirectiveModel::OpenAcc, 16);
+        assert_eq!(
+            table_1(&stream_part_one(&p1_config)),
+            table_1(&run_part_one(&p1_config).metrics())
+        );
+        let p2_config = PartTwoConfig::quick(DirectiveModel::OpenMp, 16);
+        let streamed = stream_part_two(&p2_config);
+        let folded = run_part_two(&p2_config).metrics();
+        assert_eq!(table_5(&streamed), table_5(&folded));
+        assert_eq!(table_8(&streamed), table_8(&folded));
+        assert_eq!(figure_4(&streamed), figure_4(&folded));
     }
 }

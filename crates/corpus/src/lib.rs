@@ -60,8 +60,9 @@
 //! assert_eq!(total, 10);
 //! ```
 //!
-//! The batch entry point [`generate_suite`] is kept as a deprecated thin
-//! collector over [`TemplateSource`] for one release.
+//! (The deprecated batch collector `generate_suite`, a thin wrapper over
+//! [`TemplateSource`], was removed in 0.4.0 after its one-release grace
+//! period; collect from the source directly.)
 
 pub mod features;
 pub mod random_code;
@@ -167,31 +168,6 @@ impl SuiteConfig {
     }
 }
 
-/// Generate a testsuite (batch).
-///
-/// Thin collector over the streaming [`TemplateSource`]; the suite is
-/// byte-identical to `TemplateSource::from_config(config).take(config.size)`.
-///
-/// **Compatibility:** same-seed output differs from the 0.2 implementation,
-/// which threaded one RNG through the whole suite; the source layer derives
-/// each case from `(seed, index)` instead. Seeds recorded under 0.2 do not
-/// reproduce their old suites here (determinism per seed is unchanged).
-#[deprecated(
-    since = "0.3.0",
-    note = "use the streaming `TemplateSource` (or `CorpusSpec` in vv-probing) and collect the cases you need"
-)]
-pub fn generate_suite(config: &SuiteConfig) -> TestSuite {
-    let cases = TemplateSource::from_config(config)
-        .take(config.size)
-        .into_cases()
-        .map(|generated| generated.case)
-        .collect();
-    TestSuite {
-        model: config.model,
-        cases,
-    }
-}
-
 pub(crate) fn model_prefix(model: DirectiveModel) -> &'static str {
     match model {
         DirectiveModel::OpenAcc => "acc",
@@ -200,15 +176,27 @@ pub(crate) fn model_prefix(model: DirectiveModel) -> &'static str {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy collector keeps its contract for one release
 mod tests {
     use super::*;
+
+    /// Collect a suite from the streaming source (what the removed
+    /// `generate_suite` collector used to wrap).
+    fn collect_suite(config: &SuiteConfig) -> TestSuite {
+        TestSuite {
+            model: config.model,
+            cases: TemplateSource::from_config(config)
+                .take(config.size)
+                .into_cases()
+                .map(|generated| generated.case)
+                .collect(),
+        }
+    }
 
     #[test]
     fn generation_is_deterministic() {
         let config = SuiteConfig::new(DirectiveModel::OpenAcc, 20, 42);
-        let a = generate_suite(&config);
-        let b = generate_suite(&config);
+        let a = collect_suite(&config);
+        let b = collect_suite(&config);
         assert_eq!(a.len(), 20);
         for (x, y) in a.cases.iter().zip(b.cases.iter()) {
             assert_eq!(x.source, y.source);
@@ -217,21 +205,9 @@ mod tests {
     }
 
     #[test]
-    fn legacy_collector_matches_the_streaming_source() {
-        let config = SuiteConfig::new(DirectiveModel::OpenMp, 18, 314).c_only();
-        let suite = generate_suite(&config);
-        let streamed: Vec<TestCase> = TemplateSource::from_config(&config)
-            .take(config.size)
-            .into_cases()
-            .map(|c| c.case)
-            .collect();
-        assert_eq!(suite.cases, streamed);
-    }
-
-    #[test]
     fn different_seeds_differ() {
-        let a = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 1));
-        let b = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 2));
+        let a = collect_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 1));
+        let b = collect_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 10, 2));
         assert!(a
             .cases
             .iter()
@@ -241,7 +217,7 @@ mod tests {
 
     #[test]
     fn all_features_are_covered_in_a_large_suite() {
-        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 64, 7));
+        let suite = collect_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 64, 7));
         let histogram = suite.feature_histogram();
         assert_eq!(
             histogram.len(),
@@ -254,7 +230,7 @@ mod tests {
     fn feature_histogram_has_stable_rows_even_for_tiny_suites() {
         // A suite smaller than the feature catalog must still report every
         // feature, with explicit zero counts, in the same order.
-        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 3, 5));
+        let suite = collect_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 3, 5));
         let histogram = suite.feature_histogram();
         let all = Feature::all_for(DirectiveModel::OpenMp);
         assert_eq!(histogram.len(), all.len());
@@ -276,15 +252,15 @@ mod tests {
 
     #[test]
     fn c_only_restriction_is_respected() {
-        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 30, 3).c_only());
+        let suite = collect_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 30, 3).c_only());
         assert!(suite.cases.iter().all(|c| c.lang == Lang::C));
     }
 
     #[test]
     fn sources_mention_their_model() {
-        let acc = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 16, 9));
+        let acc = collect_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 16, 9));
         assert!(acc.cases.iter().all(|c| c.source.contains("#pragma acc")));
-        let omp = generate_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 16, 9));
+        let omp = collect_suite(&SuiteConfig::new(DirectiveModel::OpenMp, 16, 9));
         assert!(omp.cases.iter().all(|c| c.source.contains("#pragma omp")));
     }
 }

@@ -10,10 +10,26 @@
 //!
 //! The module also provides the radar-plot category grouping used by
 //! Figures 3–6 and plain-text / CSV renderers for every table.
+//!
+//! # Batch vs streaming
+//!
+//! The batch functions here ([`per_issue`], [`overall`], [`radar_series`])
+//! take a materialized `&[EvaluationRecord]` slice and are thin wrappers
+//! over the streaming [`accumulate`] module: a family of mergeable,
+//! constant-memory [`accumulate::Accumulator`]s whose sharded folds merge
+//! byte-identically to the unsharded fold. Prefer the accumulators when
+//! records arrive as a stream (e.g. from
+//! `ValidationService::submit_source`) — the batch functions exist for
+//! suites that are already in memory.
 
+pub mod accumulate;
 pub mod radar;
 pub mod tables;
 
+pub use accumulate::{
+    Accumulator, LatencyHistogram, LatencyTokenSummary, MetricsSink, OverallAccumulator,
+    PerIssueAccumulator, RadarAccumulator,
+};
 pub use radar::{radar_series, RadarCategory, RadarPoint};
 pub use tables::{render_csv, render_overall_table, render_per_issue_table, render_radar_table};
 
@@ -70,8 +86,9 @@ pub struct PerIssueRow {
     pub correct: usize,
     /// Number of incorrect evaluations.
     pub incorrect: usize,
-    /// `correct / count` (0 when the count is 0).
-    pub accuracy: f64,
+    /// `correct / count`; `None` when the group has no records, so an empty
+    /// matrix cell is distinguishable from a 0%-accurate one.
+    pub accuracy: Option<f64>,
 }
 
 /// Aggregate statistics (Tables III, VI, IX).
@@ -88,65 +105,19 @@ pub struct OverallStats {
 }
 
 /// Compute the per-issue accuracy table, in paper issue-ID order.
+///
+/// Thin wrapper over a one-shot [`PerIssueAccumulator`] fold; streaming
+/// consumers should fold the accumulator directly.
 pub fn per_issue(records: &[EvaluationRecord]) -> Vec<PerIssueRow> {
-    IssueKind::ALL
-        .iter()
-        .map(|issue| {
-            let group: Vec<&EvaluationRecord> =
-                records.iter().filter(|r| r.issue == *issue).collect();
-            let count = group.len();
-            let correct = group.iter().filter(|r| r.is_correct()).count();
-            let incorrect = count - correct;
-            let accuracy = if count == 0 {
-                0.0
-            } else {
-                correct as f64 / count as f64
-            };
-            PerIssueRow {
-                issue: *issue,
-                count,
-                correct,
-                incorrect,
-                accuracy,
-            }
-        })
-        .collect()
+    PerIssueAccumulator::fold(records).rows()
 }
 
 /// Compute the overall accuracy and bias.
+///
+/// Thin wrapper over a one-shot [`OverallAccumulator`] fold; streaming
+/// consumers should fold the accumulator directly.
 pub fn overall(records: &[EvaluationRecord]) -> OverallStats {
-    let total = records.len();
-    let mut mistakes = 0usize;
-    let mut bias_total = 0i64;
-    for record in records {
-        if record.is_correct() {
-            continue;
-        }
-        mistakes += 1;
-        if record.ground_truth_valid() {
-            // failed a valid file -> restrictive mistake
-            bias_total -= 1;
-        } else {
-            // passed an invalid file -> permissive mistake
-            bias_total += 1;
-        }
-    }
-    let accuracy = if total == 0 {
-        0.0
-    } else {
-        (total - mistakes) as f64 / total as f64
-    };
-    let bias = if mistakes == 0 {
-        0.0
-    } else {
-        bias_total as f64 / mistakes as f64
-    };
-    OverallStats {
-        total,
-        mistakes,
-        accuracy,
-        bias,
-    }
+    OverallAccumulator::fold(records).stats()
 }
 
 #[cfg(test)]
@@ -185,13 +156,27 @@ mod tests {
         assert_eq!(no_issue.count, 2);
         assert_eq!(no_issue.correct, 1);
         assert_eq!(no_issue.incorrect, 1);
-        assert!((no_issue.accuracy - 0.5).abs() < 1e-12);
+        assert!((no_issue.accuracy.unwrap() - 0.5).abs() < 1e-12);
         let bracket = rows
             .iter()
             .find(|r| r.issue == IssueKind::RemovedOpeningBracket)
             .unwrap();
         assert_eq!(bracket.count, 1);
-        assert!((bracket.accuracy - 1.0).abs() < 1e-12);
+        assert!((bracket.accuracy.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_issue_groups_have_no_accuracy() {
+        // One record: every other issue row is an empty cell, which must be
+        // distinguishable from a 0%-accurate one.
+        let rows = per_issue(&[record(IssueKind::NoIssue, Verdict::Invalid)]);
+        for row in &rows {
+            if row.issue == IssueKind::NoIssue {
+                assert_eq!(row.accuracy, Some(0.0), "0% accurate, not empty");
+            } else {
+                assert_eq!(row.accuracy, None, "{:?} is empty", row.issue);
+            }
+        }
     }
 
     #[test]
@@ -229,6 +214,8 @@ mod tests {
         assert_eq!(stats.total, 0);
         assert_eq!(stats.accuracy, 0.0);
         assert_eq!(stats.bias, 0.0);
-        assert!(per_issue(&[]).iter().all(|row| row.count == 0));
+        assert!(per_issue(&[])
+            .iter()
+            .all(|row| row.count == 0 && row.accuracy.is_none()));
     }
 }

@@ -72,33 +72,18 @@ pub struct RadarPoint {
     pub category: RadarCategory,
     /// Number of records on this axis.
     pub count: usize,
-    /// Accuracy on this axis in `[0, 1]` (0 when empty).
-    pub accuracy: f64,
+    /// Accuracy on this axis in `[0, 1]`; `None` when the axis has no
+    /// records, so an empty axis is distinguishable from a 0%-accurate one.
+    pub accuracy: Option<f64>,
 }
 
 /// Compute the radar series (per-category accuracy) for a set of records.
+///
+/// Thin wrapper over a one-shot [`crate::accumulate::RadarAccumulator`]
+/// fold; streaming consumers should fold the accumulator directly.
 pub fn radar_series(records: &[EvaluationRecord]) -> Vec<RadarPoint> {
-    RadarCategory::ALL
-        .iter()
-        .map(|category| {
-            let group: Vec<&EvaluationRecord> = records
-                .iter()
-                .filter(|r| RadarCategory::of_issue(r.issue) == *category)
-                .collect();
-            let count = group.len();
-            let correct = group.iter().filter(|r| r.is_correct()).count();
-            let accuracy = if count == 0 {
-                0.0
-            } else {
-                correct as f64 / count as f64
-            };
-            RadarPoint {
-                category: *category,
-                count,
-                accuracy,
-            }
-        })
-        .collect()
+    use crate::accumulate::{Accumulator, RadarAccumulator};
+    RadarAccumulator::fold(records).series()
 }
 
 #[cfg(test)]
@@ -143,7 +128,14 @@ mod tests {
             .find(|p| p.category == RadarCategory::ImproperSyntax)
             .unwrap();
         assert_eq!(syntax.count, 2);
-        assert!((syntax.accuracy - 0.5).abs() < 1e-12);
+        assert!((syntax.accuracy.unwrap() - 0.5).abs() < 1e-12);
+        // The test-logic axis saw no records: an empty cell, not 0%.
+        let logic = series
+            .iter()
+            .find(|p| p.category == RadarCategory::TestLogic)
+            .unwrap();
+        assert_eq!(logic.count, 0);
+        assert_eq!(logic.accuracy, None);
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn render_per_issue_table(
         for (_, rows) in columns {
             let cell = &rows[index];
             line.push_str(&format!(" {:>12}", cell.correct));
-            line.push_str(&format!(" {:>9.0}%", cell.accuracy * 100.0));
+            match cell.accuracy {
+                Some(accuracy) => line.push_str(&format!(" {:>9.0}%", accuracy * 100.0)),
+                // An empty matrix cell, not a 0%-accurate one.
+                None => line.push_str(&format!(" {:>10}", "n/a")),
+            }
         }
         let _ = writeln!(out, "{line}");
     }
@@ -99,7 +103,11 @@ pub fn render_radar_table(title: &str, columns: &[(&str, &[RadarPoint])]) -> Str
     for (index, point) in reference.iter().enumerate() {
         let mut line = format!("{:<28}", point.category.label());
         for (_, points) in columns {
-            line.push_str(&format!(" {:>23.0}%", points[index].accuracy * 100.0));
+            match points[index].accuracy {
+                Some(accuracy) => line.push_str(&format!(" {:>23.0}%", accuracy * 100.0)),
+                // An empty axis, not a 0%-accurate one.
+                None => line.push_str(&format!(" {:>24}", "n/a")),
+            }
         }
         let _ = writeln!(out, "{line}");
     }
@@ -107,18 +115,22 @@ pub fn render_radar_table(title: &str, columns: &[(&str, &[RadarPoint])]) -> Str
 }
 
 /// Render per-issue rows as CSV (one line per issue, plus a header).
+///
+/// Issue groups with no records emit an empty `accuracy` field: a blank
+/// cell, distinguishable from an explicit `0.0000`.
 pub fn render_csv(model: DirectiveModel, rows: &[PerIssueRow]) -> String {
     let mut out = String::from("issue_id,issue,count,correct,incorrect,accuracy\n");
     for row in rows {
+        let accuracy = row.accuracy.map(|a| format!("{a:.4}")).unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.4}",
+            "{},{},{},{},{},{}",
             row.issue.id(),
             row.issue.table_label(model).replace(',', ";"),
             row.count,
             row.correct,
             row.incorrect,
-            row.accuracy
+            accuracy
         );
     }
     out
@@ -203,5 +215,28 @@ mod tests {
         let csv = render_csv(DirectiveModel::OpenAcc, &rows);
         assert_eq!(csv.lines().count(), 1 + rows.len());
         assert!(csv.starts_with("issue_id,"));
+    }
+
+    #[test]
+    fn empty_issue_cells_render_as_na_not_zero_percent() {
+        // The sample records cover issues 1, 3 and 5 only; 0, 2 and 4 are
+        // empty cells and must not masquerade as 0%-accurate rows.
+        let rows = per_issue(&sample_records());
+        let table = render_per_issue_table("TABLE", DirectiveModel::OpenAcc, &[("LLMJ", &rows)]);
+        // Issues 0, 2 and 4 are empty: three "n/a" cells. Issue 3 (one
+        // incorrect record) is a genuine 0%.
+        assert_eq!(table.matches("n/a").count(), 3, "{table}");
+        assert!(table.contains("0%"), "{table}");
+        let csv = render_csv(DirectiveModel::OpenAcc, &rows);
+        let empty_row = csv
+            .lines()
+            .find(|line| line.starts_with("4,"))
+            .expect("issue 4 row");
+        assert!(empty_row.ends_with(','), "blank accuracy cell: {empty_row}");
+        let full_row = csv
+            .lines()
+            .find(|line| line.starts_with("5,"))
+            .expect("issue 5 row");
+        assert!(full_row.ends_with("0.5000"), "{full_row}");
     }
 }

@@ -463,7 +463,7 @@ impl ValidationService {
                     {
                         let mut s = stats.lock();
                         s.judged += 1;
-                        s.simulated_judge_latency_ms += judgement.latency_ms;
+                        s.observe_judge_latency_ms(judgement.latency_ms);
                         if !judgement.verdict_or_invalid().is_valid() {
                             s.judge_rejections += 1;
                         }
@@ -577,7 +577,7 @@ impl ValidationService {
         {
             let mut s = stats.lock();
             s.judged += 1;
-            s.simulated_judge_latency_ms += judgement.latency_ms;
+            s.observe_judge_latency_ms(judgement.latency_ms);
             if !judgement.verdict_or_invalid().is_valid() {
                 s.judge_rejections += 1;
             }

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use vv_metrics::LatencyHistogram;
+
 /// Aggregate statistics for one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineStats {
@@ -23,6 +25,10 @@ pub struct PipelineStats {
     /// milliseconds (what the judge stage would have cost on the paper's
     /// hardware; the surrogate itself runs in microseconds).
     pub simulated_judge_latency_ms: f64,
+    /// Distribution of per-judgement simulated latencies: a fixed-bucket
+    /// streaming histogram, exact under [`PipelineStats::merge`], backing
+    /// the p50/p95/p99 accessors.
+    pub judge_latency: LatencyHistogram,
     /// Wall-clock duration of the run.
     pub wall_time: Duration,
 }
@@ -46,7 +52,25 @@ impl PipelineStats {
         self.submitted as f64 / secs
     }
 
-    /// Merge per-worker partial statistics (wall time takes the maximum).
+    /// Median simulated judge latency, in milliseconds (`None` before any
+    /// file was judged).
+    pub fn judge_latency_p50(&self) -> Option<f64> {
+        self.judge_latency.p50()
+    }
+
+    /// 95th-percentile simulated judge latency, in milliseconds.
+    pub fn judge_latency_p95(&self) -> Option<f64> {
+        self.judge_latency.p95()
+    }
+
+    /// 99th-percentile simulated judge latency, in milliseconds.
+    pub fn judge_latency_p99(&self) -> Option<f64> {
+        self.judge_latency.p99()
+    }
+
+    /// Merge per-worker or per-shard partial statistics (wall time takes
+    /// the maximum; the latency histogram merge is exact, so quantiles over
+    /// merged shards equal the single-run quantiles).
     pub fn merge(&mut self, other: &PipelineStats) {
         self.submitted += other.submitted;
         self.compiled += other.compiled;
@@ -56,7 +80,15 @@ impl PipelineStats {
         self.judged += other.judged;
         self.judge_rejections += other.judge_rejections;
         self.simulated_judge_latency_ms += other.simulated_judge_latency_ms;
+        self.judge_latency.merge(&other.judge_latency);
         self.wall_time = self.wall_time.max(other.wall_time);
+    }
+
+    /// Record one judgement's simulated latency (called by the judge
+    /// stage; also useful for custom backends that bypass the service).
+    pub fn observe_judge_latency_ms(&mut self, latency_ms: f64) {
+        self.simulated_judge_latency_ms += latency_ms;
+        self.judge_latency.observe_ms(latency_ms);
     }
 }
 
@@ -100,5 +132,41 @@ mod tests {
         assert_eq!(a.submitted, 5);
         assert_eq!(a.judged, 3);
         assert_eq!(a.wall_time, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn latency_histogram_is_exact_under_merge() {
+        // Feeding every observation into one stats object, or splitting
+        // them across shard stats and merging, must give bit-identical
+        // histograms — and therefore identical quantiles.
+        let latencies: Vec<f64> = (0..200).map(|i| 120.0 + 28.0 * (i % 40) as f64).collect();
+        let mut whole = PipelineStats::default();
+        for &ms in &latencies {
+            whole.observe_judge_latency_ms(ms);
+        }
+        let mut merged = PipelineStats::default();
+        for k in 0..4 {
+            let mut shard = PipelineStats::default();
+            for &ms in latencies.iter().skip(k).step_by(4) {
+                shard.observe_judge_latency_ms(ms);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.judge_latency, whole.judge_latency);
+        assert_eq!(merged.judge_latency_p50(), whole.judge_latency_p50());
+        assert_eq!(merged.judge_latency_p95(), whole.judge_latency_p95());
+        assert_eq!(merged.judge_latency_p99(), whole.judge_latency_p99());
+        assert_eq!(
+            merged.simulated_judge_latency_ms,
+            whole.simulated_judge_latency_ms
+        );
+        assert!(whole.judge_latency_p50() <= whole.judge_latency_p99());
+    }
+
+    #[test]
+    fn empty_stats_report_no_latency_quantiles() {
+        let stats = PipelineStats::default();
+        assert_eq!(stats.judge_latency_p50(), None);
+        assert_eq!(stats.judge_latency_p99(), None);
     }
 }

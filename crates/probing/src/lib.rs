@@ -20,12 +20,13 @@
 //! # Streaming API
 //!
 //! Probing is an adapter in the corpus source pipeline: any
-//! [`CaseSource`] gains a
+//! [`CaseSource`](vv_corpus::CaseSource) gains a
 //! [`probe`](source::ProbeExt::probe) combinator that mutates a
 //! deterministic fraction of the stream (see [`source::ProbedSource`]), and
 //! [`CorpusSpec`] builds complete generation→probing→sharding pipelines
-//! from one declarative description. The batch [`build_probed_suite`] is
-//! kept as a deprecated thin collector over the streaming path.
+//! from one declarative description. (The deprecated batch collector
+//! `build_probed_suite` was removed in 0.4.0 after its one-release grace
+//! period; probe a source and collect the cases you need.)
 
 pub mod mutate;
 pub mod source;
@@ -35,7 +36,9 @@ pub use mutate::{apply_mutation, MutationOutcome};
 pub use source::{ProbeExt, ProbedSource};
 pub use spec::CorpusSpec;
 
-use vv_corpus::{CaseSource, GeneratedCase, TestCase, TestSuite};
+#[cfg(test)]
+use vv_corpus::TestSuite;
+use vv_corpus::{GeneratedCase, TestCase};
 use vv_dclang::DirectiveModel;
 
 /// The negative-probing issue classes (issue IDs 0–5 in the paper).
@@ -251,44 +254,33 @@ impl ProbeConfig {
     }
 }
 
-/// Split a generated suite per the paper's protocol and apply mutations
-/// (batch).
-///
-/// Thin collector over the streaming path: equivalent to
-/// `suite.cases` → [`ProbeExt::probe`] → collect. Mutated positions follow
-/// the pairwise split law of [`ProbedSource`] (every even-length prefix
-/// contains exactly `round(n * mutated_fraction)` mutated files, with a
-/// seeded coin picking the side within each pair), so valid and mutated
-/// files stay interleaved in the output.
-///
-/// **Compatibility:** same-seed output differs from the 0.2 implementation,
-/// which shuffled the suite before splitting; the streaming split law
-/// decides per index instead. Seeds recorded under 0.2 do not reproduce
-/// their old probed suites here (determinism per seed is unchanged).
-#[deprecated(
-    since = "0.3.0",
-    note = "use the streaming `probe(ProbeConfig)` source adapter (or `CorpusSpec`) and collect the cases you need"
-)]
-pub fn build_probed_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuite {
-    let cases = vv_corpus::source::from_cases(suite.cases.clone())
-        .probe(config.clone())
-        .into_cases()
-        .map(ProbedCase::from_generated)
-        .collect();
-    ProbedSuite {
-        model: suite.model,
-        cases,
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy collectors keep their contract for one release
 mod tests {
     use super::*;
-    use vv_corpus::{generate_suite, SuiteConfig};
+    use vv_corpus::{CaseSource, TemplateSource};
 
     fn sample_suite(model: DirectiveModel, size: usize) -> TestSuite {
-        generate_suite(&SuiteConfig::new(model, size, 77))
+        TestSuite {
+            model,
+            cases: TemplateSource::new(model, 77)
+                .take(size)
+                .into_cases()
+                .map(|generated| generated.case)
+                .collect(),
+        }
+    }
+
+    /// Probe a materialized suite through the streaming adapter (what the
+    /// removed `build_probed_suite` collector used to wrap).
+    fn probe_suite(suite: &TestSuite, config: &ProbeConfig) -> ProbedSuite {
+        ProbedSuite {
+            model: suite.model,
+            cases: vv_corpus::source::from_cases(suite.cases.clone())
+                .probe(config.clone())
+                .into_cases()
+                .map(ProbedCase::from_generated)
+                .collect(),
+        }
     }
 
     #[test]
@@ -310,7 +302,7 @@ mod tests {
     #[test]
     fn split_is_half_and_half() {
         let suite = sample_suite(DirectiveModel::OpenAcc, 60);
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(1));
+        let probed = probe_suite(&suite, &ProbeConfig::with_seed(1));
         assert_eq!(probed.len(), 60);
         assert_eq!(probed.valid_count(), 30);
     }
@@ -318,8 +310,8 @@ mod tests {
     #[test]
     fn probing_is_deterministic() {
         let suite = sample_suite(DirectiveModel::OpenMp, 40);
-        let a = build_probed_suite(&suite, &ProbeConfig::with_seed(5));
-        let b = build_probed_suite(&suite, &ProbeConfig::with_seed(5));
+        let a = probe_suite(&suite, &ProbeConfig::with_seed(5));
+        let b = probe_suite(&suite, &ProbeConfig::with_seed(5));
         for (x, y) in a.cases.iter().zip(b.cases.iter()) {
             assert_eq!(x.issue, y.issue);
             assert_eq!(x.source, y.source);
@@ -329,7 +321,7 @@ mod tests {
     #[test]
     fn all_mutation_classes_appear_in_a_large_suite() {
         let suite = sample_suite(DirectiveModel::OpenAcc, 300);
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(3));
+        let probed = probe_suite(&suite, &ProbeConfig::with_seed(3));
         for issue in IssueKind::MUTATIONS {
             let count = probed.cases.iter().filter(|c| c.issue == issue).count();
             assert!(count > 0, "issue {issue:?} never generated");
@@ -339,7 +331,7 @@ mod tests {
     #[test]
     fn mutated_sources_differ_from_originals() {
         let suite = sample_suite(DirectiveModel::OpenMp, 50);
-        let probed = build_probed_suite(&suite, &ProbeConfig::with_seed(11));
+        let probed = probe_suite(&suite, &ProbeConfig::with_seed(11));
         for case in &probed.cases {
             if case.issue != IssueKind::NoIssue {
                 assert_ne!(
@@ -367,7 +359,7 @@ mod tests {
     #[test]
     fn issue_counts_sum_to_len() {
         let suite = sample_suite(DirectiveModel::OpenAcc, 80);
-        let probed = build_probed_suite(&suite, &ProbeConfig::default());
+        let probed = probe_suite(&suite, &ProbeConfig::default());
         let total: usize = probed.issue_counts().iter().map(|(_, n)| n).sum();
         assert_eq!(total, probed.len());
     }

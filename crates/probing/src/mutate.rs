@@ -264,18 +264,19 @@ fn remove_last_bracketed_section(source: &str, issue: IssueKind) -> MutationOutc
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy batch collector
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use vv_corpus::{generate_suite, SuiteConfig};
+    use vv_corpus::{CaseSource, TemplateSource};
     use vv_simcompiler::compiler_for;
 
     fn sample_case(model: DirectiveModel, seed: u64) -> TestCase {
-        generate_suite(&SuiteConfig::new(model, 8, seed))
-            .cases
-            .remove(0)
+        TemplateSource::new(model, seed)
+            .into_cases()
+            .next()
+            .expect("the template source is unbounded")
+            .case
     }
 
     #[test]
@@ -327,9 +328,13 @@ mod tests {
         // Over a sample of templates, the "removed last bracketed section"
         // mutation should usually leave a compilable file (that is exactly
         // why the paper's pipeline struggles with this issue class).
-        let suite = generate_suite(&SuiteConfig::new(DirectiveModel::OpenAcc, 30, 99));
+        let total = 30usize;
         let mut still_compiles = 0usize;
-        for case in &suite.cases {
+        for generated in TemplateSource::new(DirectiveModel::OpenAcc, 99)
+            .take(total)
+            .into_cases()
+        {
+            let case = generated.case;
             let mutated =
                 remove_last_bracketed_section(&case.source, IssueKind::RemovedLastBracketedSection);
             let outcome = compiler_for(case.model).compile(&mutated.source, case.lang);
@@ -338,9 +343,8 @@ mod tests {
             }
         }
         assert!(
-            still_compiles * 2 > suite.cases.len(),
-            "only {still_compiles}/{} truncated files still compile",
-            suite.cases.len()
+            still_compiles * 2 > total,
+            "only {still_compiles}/{total} truncated files still compile"
         );
     }
 

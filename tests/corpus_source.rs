@@ -1,7 +1,7 @@
 //! Determinism contracts of the streaming corpus API.
 //!
-//! * the legacy batch collectors (`generate_suite`, `build_probed_suite`)
-//!   are byte-identical to the `CaseSource` pipelines they now wrap;
+//! * `CorpusSpec::from_configs` mirrors the legacy `SuiteConfig` +
+//!   `ProbeConfig` pair onto the explicit builder;
 //! * `shard(k, n)` is reproducible per shard and its union across any shard
 //!   count n ∈ {1, 2, 4} is byte-identical to the unsharded stream;
 //! * a large generated+probed corpus streams through `submit_source`
@@ -23,68 +23,31 @@ fn probed_spec(model: DirectiveModel, size: usize, seed: u64) -> CorpusSpec {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_generate_suite_is_byte_identical_to_the_source_path() {
-    use vv_corpus::{generate_suite, SuiteConfig};
-    for model in MODELS {
-        for (size, seed) in [(17usize, 3u64), (40, 911)] {
-            let config = SuiteConfig::new(model, size, seed);
-            let legacy = generate_suite(&config);
-            let streamed: Vec<_> = TemplateSource::from_config(&config)
-                .take(size)
-                .into_cases()
-                .map(|c| c.case)
-                .collect();
-            assert_eq!(legacy.cases, streamed, "{model:?} size {size} seed {seed}");
-        }
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn legacy_build_probed_suite_is_byte_identical_to_the_probe_adapter() {
-    use vv_corpus::{generate_suite, SuiteConfig};
-    use vv_probing::build_probed_suite;
-    for model in MODELS {
-        let config = SuiteConfig::new(model, 30, 62);
-        let probe = ProbeConfig::with_seed(63);
-        let suite = generate_suite(&config);
-        let legacy = build_probed_suite(&suite, &probe);
-        let streamed: Vec<GeneratedCase> = suite
-            .clone()
-            .into_source()
-            .probe(probe)
-            .into_cases()
-            .collect();
-        assert_eq!(legacy.len(), streamed.len());
-        for (a, b) in legacy.cases.iter().zip(&streamed) {
-            assert_eq!(a.case, b.case);
-            assert_eq!(a.source, b.source);
-            assert_eq!(a.issue.id(), b.issue_id.expect("probe tags every case"));
-            assert_eq!(a.note, b.note);
-        }
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn corpus_spec_from_configs_matches_the_legacy_pair() {
-    use vv_corpus::{generate_suite, SuiteConfig};
-    use vv_probing::build_probed_suite;
+fn corpus_spec_from_configs_matches_the_explicit_builder() {
+    use vv_corpus::SuiteConfig;
     let suite_config = SuiteConfig::new(DirectiveModel::OpenMp, 26, 404).c_only();
     let probe_config = ProbeConfig::with_seed(405);
-    let legacy = build_probed_suite(&generate_suite(&suite_config), &probe_config);
     let migrated: Vec<GeneratedCase> = CorpusSpec::from_configs(&suite_config, Some(&probe_config))
         .source()
         .into_cases()
         .collect();
-    assert_eq!(legacy.len(), migrated.len());
-    for (a, b) in legacy.cases.iter().zip(&migrated) {
-        assert_eq!(a.case, b.case);
-        assert_eq!(a.source, b.source);
-        assert_eq!(Some(a.issue.id()), b.issue_id);
-        assert_eq!(a.note, b.note);
-    }
+    let explicit: Vec<GeneratedCase> = CorpusSpec::new(DirectiveModel::OpenMp)
+        .seed(404)
+        .c_only()
+        .probe(probe_config.clone())
+        .size(26)
+        .source()
+        .into_cases()
+        .collect();
+    assert_eq!(migrated, explicit);
+    // The config pair is also byte-identical to probing the raw template
+    // stream by hand.
+    let by_hand: Vec<GeneratedCase> = TemplateSource::from_config(&suite_config)
+        .probe(probe_config)
+        .take(26)
+        .into_cases()
+        .collect();
+    assert_eq!(migrated, by_hand);
 }
 
 #[test]

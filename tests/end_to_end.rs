@@ -35,8 +35,8 @@ fn omp_part_two() -> llm4vv::PartTwoResults {
 fn accuracy_for(rows: &[vv_metrics::PerIssueRow], issue: IssueKind) -> f64 {
     rows.iter()
         .find(|r| r.issue == issue)
-        .map(|r| r.accuracy)
-        .unwrap_or(0.0)
+        .and_then(|r| r.accuracy)
+        .expect("issue group populated at these suite sizes")
 }
 
 #[test]

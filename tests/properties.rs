@@ -63,7 +63,12 @@ fn metrics_invariants_hold_for_arbitrary_records() {
         assert_eq!(total, records.len());
         for row in &rows {
             assert_eq!(row.correct + row.incorrect, row.count);
-            assert!((0.0..=1.0).contains(&row.accuracy));
+            // An empty group reports no accuracy; a populated one reports
+            // a fraction in the unit interval.
+            assert_eq!(row.accuracy.is_none(), row.count == 0);
+            if let Some(accuracy) = row.accuracy {
+                assert!((0.0..=1.0).contains(&accuracy));
+            }
         }
 
         let radar = radar_series(&records);
