@@ -66,13 +66,13 @@ fn bench_stages(c: &mut Criterion) {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: 0,
-                stdout: String::new(),
-                stderr: String::new(),
+                stdout: "".into(),
+                stderr: "".into(),
             }),
             run: Some(ToolRecord {
                 return_code: 0,
                 stdout: "Test passed\n".into(),
-                stderr: String::new(),
+                stderr: "".into(),
             }),
         };
         b.iter(|| {

@@ -1,0 +1,124 @@
+//! String interning.
+//!
+//! The execution substrate's lowering pass resolves every identifier and
+//! string literal to a dense [`Symbol`] exactly once per compilation, so the
+//! hot interpreter loop never hashes or compares strings. The table lives
+//! here — next to the AST that produces the names — so every layer
+//! (semantic analysis, lowering, diagnostics) can share one numbering.
+//!
+//! Interning is append-only: a [`Symbol`] stays valid for the lifetime of
+//! the [`Interner`] that produced it, and interning the same text twice
+//! returns the same symbol.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string: a dense `u32` index into an [`Interner`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol (0-based insertion order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interning table.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `text`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(text) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = text.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.lookup.get(text).copied()
+    }
+
+    /// The text behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` came from a different interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(symbol, text)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = Interner::new();
+        let a = table.intern("alpha");
+        let b = table.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(table.intern("alpha"), a);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut table = Interner::new();
+        let sym = table.intern("copyin");
+        assert_eq!(table.resolve(sym), "copyin");
+        assert_eq!(table.get("copyin"), Some(sym));
+        assert_eq!(table.get("copyout"), None);
+    }
+
+    #[test]
+    fn symbols_are_dense_insertion_order() {
+        let mut table = Interner::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| table.intern(s)).collect();
+        assert_eq!(
+            syms.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        let listed: Vec<&str> = table.iter().map(|(_, s)| s).collect();
+        assert_eq!(listed, ["a", "b", "c"]);
+    }
+}

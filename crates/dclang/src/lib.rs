@@ -14,7 +14,9 @@
 //! * a recursive-descent [`parser`] producing a [`ast::TranslationUnit`];
 //! * a [`printer`] that renders an AST back to compilable source text;
 //! * [`diag`]nostics with line/column information, shared with the simulated
-//!   compilers in `vv-simcompiler`.
+//!   compilers in `vv-simcompiler`;
+//! * an [`intern`]ing table mapping identifiers and string literals to dense
+//!   [`Symbol`]s, used by the execution substrate's bytecode lowering.
 //!
 //! The language is deliberately a *subset*: it is rich enough to express the
 //! synthetic OpenACC/OpenMP validation tests produced by `vv-corpus` (and the
@@ -24,6 +26,7 @@
 pub mod ast;
 pub mod diag;
 pub mod directive;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -36,6 +39,7 @@ pub use ast::{
 };
 pub use diag::{Diagnostic, Severity};
 pub use directive::{Clause, Directive, DirectiveModel};
+pub use intern::{Interner, Symbol};
 pub use lexer::{LexOutput, Lexer};
 pub use parser::{ParseOutput, Parser};
 pub use span::Span;

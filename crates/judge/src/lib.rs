@@ -144,13 +144,13 @@ int main() {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: 0,
-                stdout: String::new(),
-                stderr: String::new(),
+                stdout: "".into(),
+                stderr: "".into(),
             }),
             run: Some(ToolRecord {
                 return_code: 0,
                 stdout: "Test passed\n".into(),
-                stderr: String::new(),
+                stderr: "".into(),
             }),
         };
         let outcome = session.evaluate(VALID_ACC, DirectiveModel::OpenAcc, Some(&tools));

@@ -542,12 +542,12 @@ int main() {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: 2,
-                stdout: String::new(),
+                stdout: "".into(),
                 stderr: "NVC++-S-0155-bad (test.c: 9)".into(),
             }),
             run: Some(ToolRecord {
                 return_code: 139,
-                stdout: String::new(),
+                stdout: "".into(),
                 stderr: "Segmentation fault".into(),
             }),
         };
@@ -568,13 +568,13 @@ int main() {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: 0,
-                stdout: String::new(),
-                stderr: String::new(),
+                stdout: "".into(),
+                stderr: "".into(),
             }),
             run: Some(ToolRecord {
                 return_code: 0,
                 stdout: "Test passed".into(),
-                stderr: String::new(),
+                stderr: "".into(),
             }),
         };
         let prompt = build_prompt(

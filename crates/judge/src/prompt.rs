@@ -11,6 +11,7 @@
 //!   first asks for a description of the program (Listing 4) → LLMJ 2.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use vv_dclang::DirectiveModel;
 
 /// Which prompt template to use.
@@ -43,14 +44,18 @@ impl PromptStyle {
 }
 
 /// Captured output of one external tool invocation (compiler or program).
+///
+/// The capture text is shared (`Arc<str>`) rather than owned: the pipeline
+/// records keep the same captures, so building a judge context is two
+/// reference-count bumps instead of two string copies per tool.
 #[derive(Clone, Debug, Default)]
 pub struct ToolRecord {
     /// Process exit code.
     pub return_code: i32,
     /// Captured standard output.
-    pub stdout: String,
+    pub stdout: Arc<str>,
     /// Captured standard error.
-    pub stderr: String,
+    pub stderr: Arc<str>,
 }
 
 /// The tool information available to an agent-based judge.
@@ -77,8 +82,9 @@ pub fn criteria_block(model: DirectiveModel) -> String {
 
 fn tool_section(model: DirectiveModel, tools: Option<&ToolContext>) -> String {
     let name = model.display_name();
-    let compile = tools.and_then(|t| t.compile.clone()).unwrap_or_default();
-    let run = tools.and_then(|t| t.run.clone()).unwrap_or_default();
+    let empty = ToolRecord::default();
+    let compile = tools.and_then(|t| t.compile.as_ref()).unwrap_or(&empty);
+    let run = tools.and_then(|t| t.run.as_ref()).unwrap_or(&empty);
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -179,13 +185,13 @@ mod tests {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: 2,
-                stdout: String::new(),
+                stdout: "".into(),
                 stderr: "NVC++-S-0155-bad".into(),
             }),
             run: Some(ToolRecord {
                 return_code: 0,
                 stdout: "Test passed".into(),
-                stderr: String::new(),
+                stderr: "".into(),
             }),
         };
         for style in [PromptStyle::AgentDirect, PromptStyle::AgentIndirect] {

@@ -16,6 +16,8 @@
 //! [`SimExecBackend`] (vv-simexec) and [`SurrogateJudgeBackend`]
 //! (vv-judge's calibrated surrogate model).
 
+use std::sync::Arc;
+
 use crate::{CompileSummary, ExecSummary, WorkItem};
 use vv_judge::{
     JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext,
@@ -89,12 +91,15 @@ impl CompileBackend for SimCompileBackend {
     fn compile(&self, item: &WorkItem) -> CompileOutput {
         let compiler = compiler_for(item.model);
         let outcome = compiler.compile(&item.source, item.lang);
+        // Move the captured text out of the outcome (no clone); the
+        // summary's Arc<str> is then shared with the judge stage.
+        let succeeded = outcome.succeeded();
         CompileOutput {
             summary: CompileSummary {
                 return_code: outcome.return_code,
-                stdout: outcome.stdout.clone(),
-                stderr: outcome.stderr.clone(),
-                succeeded: outcome.succeeded(),
+                stdout: outcome.stdout.into(),
+                stderr: outcome.stderr.into(),
+                succeeded,
             },
             artifact: outcome.artifact,
         }
@@ -125,8 +130,8 @@ impl ExecBackend for SimExecBackend {
         let outcome = self.executor.run(program);
         ExecSummary {
             return_code: outcome.return_code,
-            stdout: outcome.stdout,
-            stderr: outcome.stderr,
+            stdout: outcome.stdout.into(),
+            stderr: outcome.stderr.into(),
             passed: outcome.return_code == 0,
         }
     }
@@ -171,16 +176,19 @@ impl JudgeBackend for SurrogateJudgeBackend {
         compile: &CompileSummary,
         exec: Option<&ExecSummary>,
     ) -> JudgeOutcome {
+        // `Arc<str>` captures: building the tool context is reference-count
+        // bumps, not string copies — the judge reads the very same buffers
+        // the record keeps.
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: compile.return_code,
-                stdout: compile.stdout.clone(),
-                stderr: compile.stderr.clone(),
+                stdout: Arc::clone(&compile.stdout),
+                stderr: Arc::clone(&compile.stderr),
             }),
             run: exec.map(|e| ToolRecord {
                 return_code: e.return_code,
-                stdout: e.stdout.clone(),
-                stderr: e.stderr.clone(),
+                stdout: Arc::clone(&e.stdout),
+                stderr: Arc::clone(&e.stderr),
             }),
         };
         self.session

@@ -119,27 +119,33 @@ impl From<vv_corpus::GeneratedCase> for WorkItem {
 
 /// Compiler stage result kept in the record (the full artifact is dropped
 /// once the later stages have used it).
+///
+/// Captures are `Arc<str>` so the record, the judge's tool context and any
+/// metrics consumers share one buffer; equality is still by content, so the
+/// byte-identity laws are unchanged.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompileSummary {
     /// Compiler exit code.
     pub return_code: i32,
     /// Captured stdout.
-    pub stdout: String,
+    pub stdout: std::sync::Arc<str>,
     /// Captured stderr.
-    pub stderr: String,
+    pub stderr: std::sync::Arc<str>,
     /// True if an artifact was produced.
     pub succeeded: bool,
 }
 
 /// Execution stage result kept in the record.
+///
+/// Captures are shared `Arc<str>`s, like [`CompileSummary`]'s.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecSummary {
     /// Program exit code.
     pub return_code: i32,
     /// Captured stdout.
-    pub stdout: String,
+    pub stdout: std::sync::Arc<str>,
     /// Captured stderr.
-    pub stderr: String,
+    pub stderr: std::sync::Arc<str>,
     /// True if the program exited with code 0.
     pub passed: bool,
 }
@@ -285,8 +291,8 @@ mod tests {
     fn compile_ok() -> CompileSummary {
         CompileSummary {
             return_code: 0,
-            stdout: String::new(),
-            stderr: String::new(),
+            stdout: "".into(),
+            stderr: "".into(),
             succeeded: true,
         }
     }
@@ -295,7 +301,7 @@ mod tests {
         ExecSummary {
             return_code: 0,
             stdout: "Test passed\n".into(),
-            stderr: String::new(),
+            stderr: "".into(),
             passed: true,
         }
     }
@@ -335,7 +341,7 @@ mod tests {
             compile: CompileSummary {
                 return_code: 2,
                 succeeded: false,
-                stdout: String::new(),
+                stdout: "".into(),
                 stderr: "error".into(),
             },
             exec: None,
@@ -350,8 +356,8 @@ mod tests {
             compile: compile_ok(),
             exec: Some(ExecSummary {
                 return_code: 1,
-                stdout: String::new(),
-                stderr: String::new(),
+                stdout: "".into(),
+                stderr: "".into(),
                 passed: false,
             }),
             judgement: None,

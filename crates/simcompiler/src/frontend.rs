@@ -1,5 +1,9 @@
 //! Compiler frontend trait and shared outcome types.
 
+use std::any::Any;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
 use vv_dclang::{Diagnostic, DirectiveModel, TranslationUnit};
 
 /// Source language flavor of a test file.
@@ -31,8 +35,36 @@ impl Lang {
     }
 }
 
+/// A shareable, type-erased cache slot for a lowered execution artifact.
+///
+/// The execution substrate lowers a [`Program`] to register bytecode exactly
+/// once; the result is stashed here so that every subsequent run of the same
+/// program (clones included — the slot is shared through an `Arc`) reuses
+/// it. The slot is type-erased because the lowered IR type lives in
+/// `vv-simexec`, which depends on this crate; a concrete field here would
+/// create a dependency cycle.
+#[derive(Clone, Default)]
+pub struct ArtifactCache(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.0.get().is_some() {
+            "lowered"
+        } else {
+            "empty"
+        };
+        write!(f, "ArtifactCache({state})")
+    }
+}
+
 /// The checked artifact produced by a successful compilation; the execution
 /// substrate (`vv-simexec`) interprets this directly.
+///
+/// **Invariant:** a `Program` is immutable once executed. The lowered-form
+/// cache ([`Program::lowered_artifact`]) is filled on first execution and
+/// never invalidated, so mutating `unit` or `model` afterwards would leave
+/// stale bytecode behind — construct a fresh `Program` (e.g. via
+/// [`Program::new`]) instead of editing one in place.
 #[derive(Clone, Debug)]
 pub struct Program {
     /// The parsed and semantically checked translation unit.
@@ -41,6 +73,54 @@ pub struct Program {
     pub model: DirectiveModel,
     /// The source language flavor.
     pub lang: Lang,
+    /// Compile-once/execute-many slot for the lowered form (see
+    /// [`Program::lowered_artifact`]).
+    cache: ArtifactCache,
+}
+
+impl Program {
+    /// Wrap a checked translation unit as an executable artifact.
+    pub fn new(unit: TranslationUnit, model: DirectiveModel, lang: Lang) -> Self {
+        Self {
+            unit,
+            model,
+            lang,
+            cache: ArtifactCache::default(),
+        }
+    }
+
+    /// Return the cached lowered artifact, building it with `lower` on the
+    /// first call. Clones of this program share the slot, so the probing and
+    /// benchmark layers that execute one base program many times pay the
+    /// lowering cost once.
+    ///
+    /// The slot holds a single type: if a second caller asks for a different
+    /// `T` than the one cached (which no current caller does), the value is
+    /// rebuilt without being cached.
+    ///
+    /// The cache is never invalidated — see the type-level invariant: do
+    /// not mutate `unit`/`model` after the first execution.
+    pub fn lowered_artifact<T>(&self, lower: impl FnOnce() -> T) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+    {
+        if let Some(existing) = self.cache.0.get() {
+            if let Ok(artifact) = Arc::clone(existing).downcast::<T>() {
+                return artifact;
+            }
+            // Slot already holds a different artifact type; serve an
+            // uncached build rather than poisoning the existing entry.
+            return Arc::new(lower());
+        }
+        let artifact = Arc::new(lower());
+        // If another thread won the publish race our build is still a valid
+        // (deterministic) answer for this caller, so ignore the error.
+        let _ = self
+            .cache
+            .0
+            .set(Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
+        artifact
+    }
 }
 
 /// The result of invoking a compiler frontend on one source file.
@@ -100,11 +180,11 @@ mod tests {
             return_code: 0,
             stdout: String::new(),
             stderr: String::new(),
-            artifact: Some(Program {
-                unit: TranslationUnit::default(),
-                model: DirectiveModel::OpenAcc,
-                lang: Lang::C,
-            }),
+            artifact: Some(Program::new(
+                TranslationUnit::default(),
+                DirectiveModel::OpenAcc,
+                Lang::C,
+            )),
             diagnostics: vec![],
         };
         assert!(ok.succeeded());

@@ -223,11 +223,7 @@ fn compile_with(
                     return_code: 0,
                     stdout: String::new(),
                     stderr,
-                    artifact: Some(Program {
-                        unit: parsed.unit,
-                        model,
-                        lang,
-                    }),
+                    artifact: Some(Program::new(parsed.unit, model, lang)),
                     diagnostics: diags,
                 }
             }

@@ -1,0 +1,770 @@
+//! The register VM: a tight dispatch loop over the lowered instruction
+//! stream.
+//!
+//! All per-operation semantics route through `crate::rt`, shared with the
+//! tree-walk oracle. The frame model is two growable stacks — a register
+//! stack and a slot stack — windows of which are handed to each call frame,
+//! so after warm-up the per-call cost is a `resize`/`truncate` pair with no
+//! fresh allocation, and the per-instruction path allocates nothing.
+
+use std::fmt::Write as _;
+
+use super::{BuiltinOp, CompiledProgram, FuncCode, Instr, VarRef};
+use crate::interp::ExecConfig;
+use crate::memory::{DeviceSpace, HostSpace};
+use crate::outcome::{ExecOutcome, RuntimeFault};
+use crate::rt::{self, EResult, LimitedWriter, Stop};
+use crate::value::Value;
+use vv_dclang::BinOp;
+
+/// Execute a lowered program under the given limits.
+pub(crate) fn run_lowered(prog: &CompiledProgram, config: &ExecConfig) -> ExecOutcome {
+    Vm::new(config).run(prog)
+}
+
+/// A local slot's runtime state.
+#[derive(Clone, Debug)]
+enum Slot {
+    /// Never bound: rvalue reads segfault, place reads give garbage.
+    Unbound,
+    /// A parameter left unbound by a missing call argument, aliasing the
+    /// same-named global (the oracle's dynamic lookup falls through to it).
+    Alias(u16),
+    /// A bound value (`Uninit` counts as bound).
+    Bound(Value),
+}
+
+struct Vm<'c> {
+    config: &'c ExecConfig,
+    host: HostSpace,
+    device: DeviceSpace,
+    globals: Vec<Option<Value>>,
+    regs: Vec<Value>,
+    slots: Vec<Slot>,
+    /// Open compute/offload regions (directive indices), for fault/exit
+    /// unwinding — the oracle applies a compute region's exit clauses even
+    /// when the body stops early.
+    compute_regions: Vec<u32>,
+    stdout: String,
+    stderr: String,
+    steps: u64,
+    call_depth: usize,
+    offload_depth: usize,
+    rng_state: u64,
+}
+
+impl<'c> Vm<'c> {
+    fn new(config: &'c ExecConfig) -> Self {
+        Self {
+            config,
+            host: HostSpace::new(),
+            device: DeviceSpace::new(),
+            globals: Vec::new(),
+            regs: Vec::new(),
+            slots: Vec::new(),
+            compute_regions: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            steps: 0,
+            call_depth: 0,
+            offload_depth: 0,
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    fn run(mut self, prog: &CompiledProgram) -> ExecOutcome {
+        let result = self.run_inner(prog);
+        let (return_code, fault) = match result {
+            Ok(code) => (code, None),
+            Err(Stop::Exit(code)) => (code, None),
+            Err(Stop::Fault(fault)) => {
+                // Fault banners bypass the capture limit, like the shell's.
+                self.stderr.push_str(fault.message());
+                self.stderr.push('\n');
+                (fault.exit_code(), Some(fault))
+            }
+        };
+        ExecOutcome {
+            return_code,
+            stdout: std::mem::take(&mut self.stdout),
+            stderr: std::mem::take(&mut self.stderr),
+            fault,
+            steps: self.steps,
+        }
+    }
+
+    fn run_inner(&mut self, prog: &CompiledProgram) -> EResult<i32> {
+        self.globals = vec![None; prog.global_meta.len()];
+        self.exec_toplevel(prog)?;
+        let Some(main) = prog.main else {
+            return Err(Stop::Fault(RuntimeFault::Unsupported));
+        };
+        let result = self.call(prog, main as usize, 0, 0, 0)?;
+        Ok((result.as_i64() & 0xFF) as i32)
+    }
+
+    /// Run the global-initializer code (not a call: no depth accounting).
+    fn exec_toplevel(&mut self, prog: &CompiledProgram) -> EResult<()> {
+        let f = &prog.global_init;
+        let (rb, sb) = self.push_frame(f);
+        let result = self.exec(prog, f, rb, sb);
+        self.pop_frame(rb, sb);
+        result.map(|_| ())
+    }
+
+    fn push_frame(&mut self, f: &FuncCode) -> (usize, usize) {
+        let sb = self.slots.len();
+        self.slots
+            .resize_with(sb + f.slots as usize, || Slot::Unbound);
+        let rb = self.regs.len();
+        self.regs.resize(rb + f.regs as usize, Value::Int(0));
+        (rb, sb)
+    }
+
+    fn pop_frame(&mut self, rb: usize, sb: usize) {
+        self.regs.truncate(rb);
+        self.slots.truncate(sb);
+    }
+
+    fn call(
+        &mut self,
+        prog: &CompiledProgram,
+        fidx: usize,
+        caller_rb: usize,
+        args: usize,
+        argc: usize,
+    ) -> EResult<Value> {
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(Stop::Fault(RuntimeFault::StackOverflow));
+        }
+        self.call_depth += 1;
+        let f = &prog.funcs[fidx];
+        let sb = self.slots.len();
+        self.slots
+            .resize_with(sb + f.slots as usize, || Slot::Unbound);
+        for (i, param) in f.params.iter().enumerate() {
+            self.slots[sb + param.slot as usize] = if i < argc {
+                let v = self.regs[caller_rb + args + i].clone();
+                Slot::Bound(match param.coerce {
+                    Some(kind) => rt::apply_coerce(kind, v),
+                    None => v,
+                })
+            } else if let Some(g) = param.global_fallback {
+                // The oracle never binds a missing argument's parameter, so
+                // its dynamic lookup reaches the same-named global.
+                Slot::Alias(g)
+            } else {
+                Slot::Unbound
+            };
+        }
+        let rb = self.regs.len();
+        self.regs.resize(rb + f.regs as usize, Value::Int(0));
+        let result = self.exec(prog, f, rb, sb);
+        self.pop_frame(rb, sb);
+        self.call_depth -= 1;
+        result
+    }
+
+    /// Execute one frame; on early termination, unwind any compute regions
+    /// this frame opened (offload depth + exit clauses), letting an exit
+    /// fault replace the original stop — exactly the oracle's `Flow`
+    /// propagation through `exec_directive`.
+    fn exec(
+        &mut self,
+        prog: &CompiledProgram,
+        f: &FuncCode,
+        rb: usize,
+        sb: usize,
+    ) -> EResult<Value> {
+        let region_base = self.compute_regions.len();
+        let mut result = self.exec_inner(prog, f, rb, sb);
+        if result.is_err() {
+            while self.compute_regions.len() > region_base {
+                let dir = self.compute_regions.pop().expect("open region");
+                self.offload_depth -= 1;
+                if let Err(err) = self.apply_exit_clauses(prog, sb, dir) {
+                    result = Err(err);
+                }
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inner(
+        &mut self,
+        prog: &CompiledProgram,
+        f: &FuncCode,
+        rb: usize,
+        sb: usize,
+    ) -> EResult<Value> {
+        let code = &f.code;
+        let mut pc = 0usize;
+        loop {
+            let instr = code[pc];
+            pc += 1;
+            match instr {
+                Instr::Step(n) => {
+                    self.steps += n as u64;
+                    if self.steps > self.config.step_limit {
+                        // The oracle charges one step at a time and stops
+                        // the instant the limit is exceeded; clamp the
+                        // coalesced charge to the same observable count.
+                        self.steps = self.config.step_limit + 1;
+                        return Err(Stop::Fault(RuntimeFault::StepLimit));
+                    }
+                }
+                Instr::Const { dst, idx } => {
+                    self.regs[rb + dst as usize] = prog.consts[idx as usize].clone();
+                }
+                Instr::LoadVar { dst, var } => {
+                    let v = self.load_var(prog, f, sb, var)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::ReadVarPlace { dst, var } => {
+                    let v = self.read_var_place(prog, f, sb, var);
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::StoreVar { var, src } => {
+                    let v = self.regs[rb + src as usize].clone();
+                    self.store_var(sb, var, v);
+                }
+                Instr::BindUninit { var } => {
+                    self.store_var(sb, var, Value::Uninit);
+                }
+                Instr::IncVar { var, delta } => {
+                    // Fast path for the dominant loop-counter shape; the
+                    // general path mirrors place-read + add + store exactly.
+                    if let VarRef::Local(s) = var {
+                        if let Slot::Bound(Value::Int(i)) = &mut self.slots[sb + s as usize] {
+                            *i = i.wrapping_add(delta);
+                            continue;
+                        }
+                    }
+                    let old = self.read_var_place(prog, f, sb, var);
+                    let new =
+                        rt::apply_binop(BinOp::Add, old, Value::Int(delta)).map_err(Stop::Fault)?;
+                    self.store_var(sb, var, new);
+                }
+                Instr::AccumVar { op, var, src } => {
+                    let old = self.read_var_place(prog, f, sb, var);
+                    let new = rt::apply_binop_ref(op, &old, &self.regs[rb + src as usize])
+                        .map_err(Stop::Fault)?;
+                    self.store_var(sb, var, new);
+                }
+                Instr::Coerce { reg, kind } => {
+                    let i = rb + reg as usize;
+                    let v = std::mem::replace(&mut self.regs[i], Value::Int(0));
+                    self.regs[i] = rt::apply_coerce(kind, v);
+                }
+                Instr::Neg { dst, src } => {
+                    let i = rb + src as usize;
+                    let v = std::mem::replace(&mut self.regs[i], Value::Int(0));
+                    self.regs[rb + dst as usize] = rt::unary_neg(v);
+                }
+                Instr::Not { dst, src } => {
+                    self.regs[rb + dst as usize] = rt::unary_not(&self.regs[rb + src as usize]);
+                }
+                Instr::BitNot { dst, src } => {
+                    self.regs[rb + dst as usize] = rt::unary_bitnot(&self.regs[rb + src as usize]);
+                }
+                Instr::Truthy { dst, src } => {
+                    let t = self.regs[rb + src as usize].truthy();
+                    self.regs[rb + dst as usize] = Value::Int(if t { 1 } else { 0 });
+                }
+                Instr::Bin { op, dst, lhs, rhs } => {
+                    let v = rt::apply_binop_ref(
+                        op,
+                        &self.regs[rb + lhs as usize],
+                        &self.regs[rb + rhs as usize],
+                    )
+                    .map_err(Stop::Fault)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::BinVC { op, dst, var, idx } => {
+                    let l = self.load_var(prog, f, sb, var)?;
+                    let v = rt::apply_binop_ref(op, &l, &prog.consts[idx as usize])
+                        .map_err(Stop::Fault)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::BinVV { op, dst, lhs, rhs } => {
+                    let l = self.load_var(prog, f, sb, lhs)?;
+                    let r = self.load_var(prog, f, sb, rhs)?;
+                    let v = rt::apply_binop_ref(op, &l, &r).map_err(Stop::Fault)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::BinRC { op, dst, lhs, idx } => {
+                    let v = rt::apply_binop_ref(
+                        op,
+                        &self.regs[rb + lhs as usize],
+                        &prog.consts[idx as usize],
+                    )
+                    .map_err(Stop::Fault)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::AddrOf { dst, src } => {
+                    let v = self.regs[rb + src as usize].clone();
+                    let alloc = self.host.alloc_init(1, v);
+                    self.regs[rb + dst as usize] = Value::Ptr { alloc, offset: 0 };
+                }
+                Instr::IndexRead { dst, base, idx } => {
+                    let index = self.regs[rb + idx as usize].as_i64();
+                    let Value::Ptr { alloc, offset } = self.regs[rb + base as usize] else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = rt::read_mem(
+                        &self.host,
+                        &self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset + index,
+                    )?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::IndexWrite { base, idx, src } => {
+                    let index = self.regs[rb + idx as usize].as_i64();
+                    let Value::Ptr { alloc, offset } = self.regs[rb + base as usize] else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = self.regs[rb + src as usize].clone();
+                    rt::write_mem(
+                        &mut self.host,
+                        &mut self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset + index,
+                        v,
+                    )?;
+                }
+                Instr::IndexReadVV { dst, base, idx } => {
+                    // Mirrors the oracle's `resolve_place`: base evaluated
+                    // first, index coerced to i64, then the pointer check.
+                    let base_v = self.load_var(prog, f, sb, base)?;
+                    let index = self.load_var(prog, f, sb, idx)?.as_i64();
+                    let Value::Ptr { alloc, offset } = base_v else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = rt::read_mem(
+                        &self.host,
+                        &self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset + index,
+                    )?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::IndexWriteVV { base, idx, src } => {
+                    let base_v = self.load_var(prog, f, sb, base)?;
+                    let index = self.load_var(prog, f, sb, idx)?.as_i64();
+                    let Value::Ptr { alloc, offset } = base_v else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = self.regs[rb + src as usize].clone();
+                    rt::write_mem(
+                        &mut self.host,
+                        &mut self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset + index,
+                        v,
+                    )?;
+                }
+                Instr::DerefRead { dst, ptr } => {
+                    let Value::Ptr { alloc, offset } = self.regs[rb + ptr as usize] else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = rt::read_mem(
+                        &self.host,
+                        &self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset,
+                    )?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::DerefWrite { ptr, src } => {
+                    let Value::Ptr { alloc, offset } = self.regs[rb + ptr as usize] else {
+                        return Err(Stop::Fault(RuntimeFault::Segfault));
+                    };
+                    let v = self.regs[rb + src as usize].clone();
+                    rt::write_mem(
+                        &mut self.host,
+                        &mut self.device,
+                        self.offload_depth > 0,
+                        alloc,
+                        offset,
+                        v,
+                    )?;
+                }
+                Instr::ArrayAlloc { dst, dims, ndims } => {
+                    let mut total: i64 = 1;
+                    for k in 0..ndims as usize {
+                        let v = self.regs[rb + dims as usize + k].as_i64();
+                        total = total.saturating_mul(v.max(0));
+                    }
+                    let total = total.clamp(0, 4_000_000) as usize;
+                    let alloc = self.host.alloc(total);
+                    self.regs[rb + dst as usize] = Value::Ptr { alloc, offset: 0 };
+                }
+                Instr::Jump { target } => pc = target as usize,
+                Instr::JumpIfFalse { cond, target } => {
+                    if !self.regs[rb + cond as usize].truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Instr::JumpIfTrue { cond, target } => {
+                    if self.regs[rb + cond as usize].truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Instr::Call {
+                    dst,
+                    func,
+                    args,
+                    argc,
+                } => {
+                    let v = self.call(prog, func as usize, rb, args as usize, argc as usize)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::Builtin {
+                    dst,
+                    op,
+                    args,
+                    argc,
+                } => {
+                    let v = self.builtin(rb, op, args as usize, argc as usize)?;
+                    self.regs[rb + dst as usize] = v;
+                }
+                Instr::EnterData { dir } => self.apply_enter_clauses(prog, sb, dir)?,
+                Instr::ExitData { dir } => self.apply_exit_clauses(prog, sb, dir)?,
+                Instr::UpdateData { dir } => self.apply_update_clauses(prog, sb, dir)?,
+                Instr::EnterCompute { dir } => {
+                    // Enter-clause faults propagate without the region ever
+                    // opening (no offload raise, no exit on unwind) — the
+                    // oracle's `apply_data_clauses(Enter)?`.
+                    self.apply_enter_clauses(prog, sb, dir)?;
+                    self.offload_depth += 1;
+                    self.compute_regions.push(dir);
+                }
+                Instr::ExitCompute { dir } => {
+                    let opened = self.compute_regions.pop();
+                    debug_assert_eq!(opened, Some(dir), "balanced compute regions");
+                    self.offload_depth -= 1;
+                    self.apply_exit_clauses(prog, sb, dir)?;
+                }
+                Instr::Ret { src } => return Ok(self.regs[rb + src as usize].clone()),
+                Instr::Trap { fault } => return Err(Stop::Fault(fault)),
+            }
+        }
+    }
+
+    #[inline]
+    fn load_global(&self, prog: &CompiledProgram, g: u16) -> EResult<Value> {
+        match &self.globals[g as usize] {
+            None => Err(Stop::Fault(RuntimeFault::Segfault)),
+            Some(Value::Uninit) => Ok(rt::garbage(prog.global_meta[g as usize].eval_salt)),
+            Some(v) => Ok(v.clone()),
+        }
+    }
+
+    #[inline]
+    fn load_var(
+        &self,
+        prog: &CompiledProgram,
+        f: &FuncCode,
+        sb: usize,
+        var: VarRef,
+    ) -> EResult<Value> {
+        match var {
+            VarRef::Local(s) => match &self.slots[sb + s as usize] {
+                Slot::Unbound => Err(Stop::Fault(RuntimeFault::Segfault)),
+                Slot::Alias(g) => self.load_global(prog, *g),
+                Slot::Bound(Value::Uninit) => Ok(rt::garbage(f.slot_meta[s as usize].eval_salt)),
+                Slot::Bound(v) => Ok(v.clone()),
+            },
+            VarRef::Global(g) => self.load_global(prog, g),
+        }
+    }
+
+    #[inline]
+    fn read_global_place(&self, prog: &CompiledProgram, g: u16) -> Value {
+        match &self.globals[g as usize] {
+            None | Some(Value::Uninit) => rt::garbage(prog.global_meta[g as usize].place_salt),
+            Some(v) => v.clone(),
+        }
+    }
+
+    #[inline]
+    fn read_var_place(
+        &self,
+        prog: &CompiledProgram,
+        f: &FuncCode,
+        sb: usize,
+        var: VarRef,
+    ) -> Value {
+        match var {
+            VarRef::Local(s) => match &self.slots[sb + s as usize] {
+                Slot::Unbound => rt::garbage(f.slot_meta[s as usize].place_salt),
+                Slot::Alias(g) => self.read_global_place(prog, *g),
+                Slot::Bound(Value::Uninit) => rt::garbage(f.slot_meta[s as usize].place_salt),
+                Slot::Bound(v) => v.clone(),
+            },
+            VarRef::Global(g) => self.read_global_place(prog, g),
+        }
+    }
+
+    #[inline]
+    fn store_var(&mut self, sb: usize, var: VarRef, value: Value) {
+        match var {
+            VarRef::Local(s) => {
+                let slot = &mut self.slots[sb + s as usize];
+                if let Slot::Alias(g) = slot {
+                    // Assigning through an unbound parameter writes the
+                    // same-named global, as the oracle's scope walk does.
+                    self.globals[*g as usize] = Some(value);
+                } else {
+                    *slot = Slot::Bound(value);
+                }
+            }
+            VarRef::Global(g) => self.globals[g as usize] = Some(value),
+        }
+    }
+
+    /// A directive clause variable's current allocation, if its value is a
+    /// pointer (anything else is firstprivate: nothing to map).
+    #[inline]
+    fn var_alloc(&self, sb: usize, var: VarRef) -> Option<usize> {
+        let global = |g: u16| match &self.globals[g as usize] {
+            Some(Value::Ptr { alloc, .. }) => Some(*alloc),
+            _ => None,
+        };
+        match var {
+            VarRef::Local(s) => match &self.slots[sb + s as usize] {
+                Slot::Bound(Value::Ptr { alloc, .. }) => Some(*alloc),
+                Slot::Alias(g) => global(*g),
+                _ => None,
+            },
+            VarRef::Global(g) => global(g),
+        }
+    }
+
+    fn apply_enter_clauses(&mut self, prog: &CompiledProgram, sb: usize, dir: u32) -> EResult<()> {
+        let ops = &prog.directives[dir as usize];
+        for (var, kind) in &ops.enter {
+            if let Some(alloc) = self.var_alloc(sb, *var) {
+                self.device
+                    .enter(&self.host, alloc, *kind)
+                    .map_err(rt::fault_from)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_exit_clauses(&mut self, prog: &CompiledProgram, sb: usize, dir: u32) -> EResult<()> {
+        let ops = &prog.directives[dir as usize];
+        for var in &ops.exit {
+            if let Some(alloc) = self.var_alloc(sb, *var) {
+                self.device
+                    .exit(&mut self.host, alloc)
+                    .map_err(rt::fault_from)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_update_clauses(&mut self, prog: &CompiledProgram, sb: usize, dir: u32) -> EResult<()> {
+        let ops = &prog.directives[dir as usize];
+        for (var, to_host) in &ops.update {
+            if let Some(alloc) = self.var_alloc(sb, *var) {
+                if *to_host {
+                    self.device
+                        .update_host(&mut self.host, alloc)
+                        .map_err(rt::fault_from)?;
+                } else {
+                    self.device
+                        .update_device(&self.host, alloc)
+                        .map_err(rt::fault_from)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn builtin(&mut self, rb: usize, op: BuiltinOp, args: usize, argc: usize) -> EResult<Value> {
+        let a0 = rb + args;
+        match op {
+            BuiltinOp::AllocCount => {
+                let count = if argc > 0 {
+                    self.regs[a0].as_i64().clamp(0, 4_000_000) as usize
+                } else {
+                    0
+                };
+                let alloc = self.host.alloc(count);
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            BuiltinOp::AllocBytes => {
+                let bytes = if argc > 0 {
+                    self.regs[a0].as_i64().clamp(0, 32_000_000)
+                } else {
+                    0
+                };
+                let alloc = self.host.alloc(((bytes + 7) / 8) as usize);
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            BuiltinOp::CallocCount => {
+                let count = if argc > 0 {
+                    self.regs[a0].as_i64().clamp(0, 4_000_000) as usize
+                } else {
+                    0
+                };
+                let alloc = self.host.alloc_init(count, Value::Int(0));
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            BuiltinOp::Free => {
+                if argc > 0 {
+                    if let Value::Ptr { alloc, .. } = self.regs[a0] {
+                        self.host.free(alloc).map_err(rt::fault_from)?;
+                    }
+                }
+                Ok(Value::Int(0))
+            }
+            BuiltinOp::Printf => {
+                let values = &self.regs[a0..a0 + argc];
+                let total =
+                    rt::write_formatted(&mut self.stdout, self.config.capture_limit, values);
+                Ok(Value::Int(total as i64))
+            }
+            BuiltinOp::Fprintf => {
+                let values = &self.regs[a0..a0 + argc];
+                let total =
+                    rt::write_formatted(&mut self.stderr, self.config.capture_limit, values);
+                Ok(Value::Int(total as i64))
+            }
+            BuiltinOp::Puts => {
+                let mut w = LimitedWriter::new(&mut self.stdout, self.config.capture_limit);
+                if argc > 0 {
+                    let _ = rt::write_value_text(&mut w, &self.regs[a0]);
+                }
+                let _ = w.write_char('\n');
+                let total = w.total();
+                Ok(Value::Int(total as i64))
+            }
+            BuiltinOp::Putchar => {
+                let c = if argc > 0 { self.regs[a0].as_i64() } else { 0 };
+                let ch = char::from_u32(c as u32).unwrap_or('?');
+                let mut w = LimitedWriter::new(&mut self.stdout, self.config.capture_limit);
+                let _ = w.write_char(ch);
+                let total = w.total();
+                Ok(Value::Int(total as i64))
+            }
+            BuiltinOp::Exit => {
+                let code = if argc > 0 {
+                    self.regs[a0].as_i64() as i32
+                } else {
+                    0
+                };
+                Err(Stop::Exit(code))
+            }
+            BuiltinOp::Abort => Err(Stop::Exit(134)),
+            BuiltinOp::Math(m) => {
+                let v = if argc > 0 {
+                    self.regs[a0].as_f64()
+                } else {
+                    0.0
+                };
+                Ok(Value::Float(m.apply(v)))
+            }
+            BuiltinOp::Pow => {
+                let a = if argc > 0 {
+                    self.regs[a0].as_f64()
+                } else {
+                    0.0
+                };
+                let b = if argc > 1 {
+                    self.regs[a0 + 1].as_f64()
+                } else {
+                    0.0
+                };
+                Ok(Value::Float(a.powf(b)))
+            }
+            BuiltinOp::Abs => {
+                let v = if argc > 0 { self.regs[a0].as_i64() } else { 0 };
+                Ok(Value::Int(rt::int_abs(v)))
+            }
+            BuiltinOp::Rand => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                Ok(Value::Int((self.rng_state % 2147483647) as i64))
+            }
+            BuiltinOp::Srand => {
+                if argc > 0 {
+                    let seed = self.regs[a0].as_i64() as u64;
+                    self.rng_state = seed | 1;
+                }
+                Ok(Value::Int(0))
+            }
+            BuiltinOp::Memset => {
+                let ptr = self.regs[a0].clone();
+                let fill = self.regs[a0 + 1].clone();
+                if let Value::Ptr { alloc, offset } = ptr {
+                    let len = self.host.len(alloc).map_err(rt::fault_from)?;
+                    for i in (offset.max(0) as usize)..len {
+                        self.host
+                            .write(alloc, i as i64, fill.clone())
+                            .map_err(rt::fault_from)?;
+                    }
+                    Ok(Value::Ptr { alloc, offset })
+                } else {
+                    Ok(Value::Int(0))
+                }
+            }
+            BuiltinOp::Memcpy => {
+                let dst = self.regs[a0].clone();
+                let src = self.regs[a0 + 1].clone();
+                if let (Value::Ptr { alloc: da, .. }, Value::Ptr { alloc: sa, .. }) =
+                    (dst.clone(), src)
+                {
+                    let data = self.host.snapshot(sa).map_err(rt::fault_from)?;
+                    self.host.restore(da, data).map_err(rt::fault_from)?;
+                }
+                Ok(dst)
+            }
+            BuiltinOp::Strlen => {
+                if argc == 0 {
+                    return Ok(Value::Int(0));
+                }
+                Ok(Value::Int(match &self.regs[a0] {
+                    Value::Str(s) => s.len() as i64,
+                    _ => 0,
+                }))
+            }
+            BuiltinOp::Strcmp => {
+                let a = if argc > 0 {
+                    rt::value_text(&self.regs[a0])
+                } else {
+                    String::new()
+                };
+                let b = if argc > 1 {
+                    rt::value_text(&self.regs[a0 + 1])
+                } else {
+                    String::new()
+                };
+                Ok(Value::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            BuiltinOp::RtOne => Ok(Value::Int(1)),
+            BuiltinOp::RtZero => Ok(Value::Int(0)),
+            BuiltinOp::NumThreads => Ok(Value::Int(if self.offload_depth > 0 { 8 } else { 1 })),
+            BuiltinOp::NumTeams => Ok(Value::Int(if self.offload_depth > 0 { 4 } else { 1 })),
+            BuiltinOp::IsInitialDevice => {
+                Ok(Value::Int(if self.offload_depth > 0 { 0 } else { 1 }))
+            }
+            BuiltinOp::Wtime => Ok(Value::Float(self.steps as f64 * 1.0e-9)),
+        }
+    }
+}

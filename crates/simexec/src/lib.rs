@@ -19,15 +19,35 @@
 //!   harness is reproducible bit-for-bit.
 //!
 //! The outcome type mirrors exactly what the judge's agent prompt consumes.
+//!
+//! # Execution engines
+//!
+//! Programs execute through the register-bytecode VM in [`bytecode`]: the
+//! checked AST is lowered once (interned symbols, frame-slot variable
+//! resolution, pre-resolved function and clause references) and the artifact
+//! is cached on the [`vv_simcompiler::Program`], so repeated execution pays
+//! only the dispatch loop. The original tree-walking interpreter is retained
+//! behind the `treewalk-reference` feature as a differential oracle: both
+//! engines share per-operation semantics and must produce byte-identical
+//! [`ExecOutcome`]s (asserted over the streaming corpus by
+//! `tests/exec_parity.rs`).
 
+pub mod bytecode;
 pub mod interp;
 pub mod memory;
 pub mod outcome;
+pub(crate) mod rt;
+#[cfg(feature = "treewalk-reference")]
+pub mod treewalk;
 pub mod value;
 
+pub use bytecode::{lower, lower_cached, CompiledProgram};
 pub use interp::{ExecConfig, Executor};
 pub use memory::{DeviceSpace, HostSpace, MemoryError};
 pub use outcome::{ExecOutcome, RuntimeFault};
+pub use rt::format_c_string;
+#[cfg(feature = "treewalk-reference")]
+pub use treewalk::TreeWalkExecutor;
 pub use value::Value;
 
 #[cfg(test)]

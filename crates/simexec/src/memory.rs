@@ -8,7 +8,6 @@
 //! without transfer, and structured regions reference-count their entries.
 
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Errors raised by memory accesses; the interpreter converts these to
 /// [`crate::RuntimeFault`]s.
@@ -83,7 +82,11 @@ impl HostSpace {
         self.allocations.len()
     }
 
-    fn check(&self, alloc: usize, offset: i64) -> Result<usize, MemoryError> {
+    /// Checked access to one cell, shared by the read/write fast paths:
+    /// resolves the allocation exactly once (no re-indexing after the
+    /// bounds check, which is what the old `check`-then-index pair did).
+    #[inline]
+    fn cell(&self, alloc: usize, offset: i64) -> Result<&Value, MemoryError> {
         let a = self
             .allocations
             .get(alloc)
@@ -91,27 +94,54 @@ impl HostSpace {
         if a.freed {
             return Err(MemoryError::UseAfterFree { alloc });
         }
-        if offset < 0 || offset as usize >= a.data.len() {
+        if offset < 0 {
             return Err(MemoryError::OutOfBounds {
                 alloc,
                 offset,
                 len: a.data.len(),
             });
         }
-        Ok(offset as usize)
+        a.data.get(offset as usize).ok_or(MemoryError::OutOfBounds {
+            alloc,
+            offset,
+            len: a.data.len(),
+        })
+    }
+
+    /// Borrow a cell without cloning (the interpreter hot path clones only
+    /// after the uninit-garbage check).
+    #[inline]
+    pub fn read_ref(&self, alloc: usize, offset: i64) -> Result<&Value, MemoryError> {
+        self.cell(alloc, offset)
     }
 
     /// Read a cell.
+    #[inline]
     pub fn read(&self, alloc: usize, offset: i64) -> Result<Value, MemoryError> {
-        let idx = self.check(alloc, offset)?;
-        Ok(self.allocations[alloc].data[idx].clone())
+        self.cell(alloc, offset).cloned()
     }
 
     /// Write a cell.
+    #[inline]
     pub fn write(&mut self, alloc: usize, offset: i64, value: Value) -> Result<(), MemoryError> {
-        let idx = self.check(alloc, offset)?;
-        self.allocations[alloc].data[idx] = value;
-        Ok(())
+        let a = self
+            .allocations
+            .get_mut(alloc)
+            .ok_or(MemoryError::InvalidAllocation)?;
+        if a.freed {
+            return Err(MemoryError::UseAfterFree { alloc });
+        }
+        let len = a.data.len();
+        if offset < 0 {
+            return Err(MemoryError::OutOfBounds { alloc, offset, len });
+        }
+        match a.data.get_mut(offset as usize) {
+            Some(cell) => {
+                *cell = value;
+                Ok(())
+            }
+            None => Err(MemoryError::OutOfBounds { alloc, offset, len }),
+        }
     }
 
     /// Free an allocation.
@@ -176,9 +206,14 @@ struct DeviceEntry {
 }
 
 /// The device memory space (present table).
+///
+/// Host allocation ids are dense (indices into the host space), so the
+/// present table is a plain vector rather than a hash map: the
+/// present-check on every offloaded memory access is an index plus an
+/// `is_some`, not a hash.
 #[derive(Clone, Debug, Default)]
 pub struct DeviceSpace {
-    present: HashMap<usize, DeviceEntry>,
+    present: Vec<Option<DeviceEntry>>,
 }
 
 impl DeviceSpace {
@@ -187,14 +222,25 @@ impl DeviceSpace {
         Self::default()
     }
 
+    #[inline]
+    fn entry(&self, alloc: usize) -> Option<&DeviceEntry> {
+        self.present.get(alloc).and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, alloc: usize) -> Option<&mut DeviceEntry> {
+        self.present.get_mut(alloc).and_then(Option::as_mut)
+    }
+
     /// True if a host allocation is present on the device.
+    #[inline]
     pub fn is_present(&self, alloc: usize) -> bool {
-        self.present.contains_key(&alloc)
+        self.entry(alloc).is_some()
     }
 
     /// Number of present entries.
     pub fn present_count(&self) -> usize {
-        self.present.len()
+        self.present.iter().filter(|e| e.is_some()).count()
     }
 
     /// Enter a data region for one allocation. If already present the
@@ -205,7 +251,7 @@ impl DeviceSpace {
         alloc: usize,
         kind: MapKind,
     ) -> Result<(), MemoryError> {
-        if let Some(entry) = self.present.get_mut(&alloc) {
+        if let Some(entry) = self.entry_mut(alloc) {
             entry.refcount += 1;
             return Ok(());
         }
@@ -215,28 +261,28 @@ impl DeviceSpace {
                 vec![Value::Uninit; host.len(alloc)?]
             }
         };
-        self.present.insert(
-            alloc,
-            DeviceEntry {
-                data,
-                kind,
-                refcount: 1,
-            },
-        );
+        if self.present.len() <= alloc {
+            self.present.resize_with(alloc + 1, || None);
+        }
+        self.present[alloc] = Some(DeviceEntry {
+            data,
+            kind,
+            refcount: 1,
+        });
         Ok(())
     }
 
     /// Exit a data region for one allocation, copying back if the mapping
     /// requires it and the reference count drops to zero.
     pub fn exit(&mut self, host: &mut HostSpace, alloc: usize) -> Result<(), MemoryError> {
-        let Some(entry) = self.present.get_mut(&alloc) else {
+        let Some(entry) = self.entry_mut(alloc) else {
             return Ok(()); // exiting a region for data never entered is a no-op
         };
         if entry.refcount > 1 {
             entry.refcount -= 1;
             return Ok(());
         }
-        let entry = self.present.remove(&alloc).expect("entry exists");
+        let entry = self.present[alloc].take().expect("entry exists");
         if matches!(entry.kind, MapKind::FromDevice | MapKind::Both) {
             host.restore(alloc, entry.data)?;
         }
@@ -245,7 +291,7 @@ impl DeviceSpace {
 
     /// Explicit device→host update (`update host(...)` / `target update from(...)`).
     pub fn update_host(&self, host: &mut HostSpace, alloc: usize) -> Result<(), MemoryError> {
-        if let Some(entry) = self.present.get(&alloc) {
+        if let Some(entry) = self.entry(alloc) {
             host.restore(alloc, entry.data.clone())?;
         }
         Ok(())
@@ -253,43 +299,76 @@ impl DeviceSpace {
 
     /// Explicit host→device update (`update device(...)` / `target update to(...)`).
     pub fn update_device(&mut self, host: &HostSpace, alloc: usize) -> Result<(), MemoryError> {
-        if let Some(entry) = self.present.get_mut(&alloc) {
+        if let Some(entry) = self.entry_mut(alloc) {
             entry.data = host.snapshot(alloc)?;
         }
         Ok(())
     }
 
-    /// Read a cell from the device copy (caller checked presence).
-    pub fn read(&self, alloc: usize, offset: i64) -> Result<Value, MemoryError> {
-        let entry = self
-            .present
-            .get(&alloc)
-            .ok_or(MemoryError::InvalidAllocation)?;
-        if offset < 0 || offset as usize >= entry.data.len() {
-            return Err(MemoryError::OutOfBounds {
+    /// Borrow a cell from the device copy if the allocation is present:
+    /// the fused presence-check + access the interpreter hot path uses
+    /// (one table lookup instead of `is_present` followed by `read`).
+    #[inline]
+    pub fn try_read_ref(&self, alloc: usize, offset: i64) -> Option<Result<&Value, MemoryError>> {
+        let entry = self.entry(alloc)?;
+        if offset < 0 {
+            return Some(Err(MemoryError::OutOfBounds {
                 alloc,
                 offset,
                 len: entry.data.len(),
-            });
+            }));
         }
-        Ok(entry.data[offset as usize].clone())
+        Some(
+            entry
+                .data
+                .get(offset as usize)
+                .ok_or(MemoryError::OutOfBounds {
+                    alloc,
+                    offset,
+                    len: entry.data.len(),
+                }),
+        )
+    }
+
+    /// Write a cell on the device copy if present (fused check + access).
+    #[inline]
+    pub fn try_write(
+        &mut self,
+        alloc: usize,
+        offset: i64,
+        value: Value,
+    ) -> Option<Result<(), MemoryError>> {
+        let entry = self.entry_mut(alloc)?;
+        let len = entry.data.len();
+        if offset < 0 {
+            return Some(Err(MemoryError::OutOfBounds { alloc, offset, len }));
+        }
+        match entry.data.get_mut(offset as usize) {
+            Some(cell) => {
+                *cell = value;
+                Some(Ok(()))
+            }
+            None => Some(Err(MemoryError::OutOfBounds { alloc, offset, len })),
+        }
+    }
+
+    /// Borrow a cell from the device copy without cloning.
+    #[inline]
+    pub fn read_ref(&self, alloc: usize, offset: i64) -> Result<&Value, MemoryError> {
+        self.try_read_ref(alloc, offset)
+            .unwrap_or(Err(MemoryError::InvalidAllocation))
+    }
+
+    /// Read a cell from the device copy (caller checked presence).
+    #[inline]
+    pub fn read(&self, alloc: usize, offset: i64) -> Result<Value, MemoryError> {
+        self.read_ref(alloc, offset).cloned()
     }
 
     /// Write a cell on the device copy (caller checked presence).
     pub fn write(&mut self, alloc: usize, offset: i64, value: Value) -> Result<(), MemoryError> {
-        let entry = self
-            .present
-            .get_mut(&alloc)
-            .ok_or(MemoryError::InvalidAllocation)?;
-        if offset < 0 || offset as usize >= entry.data.len() {
-            return Err(MemoryError::OutOfBounds {
-                alloc,
-                offset,
-                len: entry.data.len(),
-            });
-        }
-        entry.data[offset as usize] = value;
-        Ok(())
+        self.try_write(alloc, offset, value)
+            .unwrap_or(Err(MemoryError::InvalidAllocation))
     }
 }
 

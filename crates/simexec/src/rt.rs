@@ -1,0 +1,644 @@
+//! Shared runtime semantics.
+//!
+//! Everything in here is *the* definition of what an operation means at
+//! runtime: binary/unary operator application, type coercion, deterministic
+//! garbage for uninitialized reads, host/device memory access with the
+//! present-table rules, and C `printf` formatting with capture limits.
+//!
+//! Both execution engines — the register-bytecode VM in [`crate::bytecode`]
+//! and the tree-walking reference interpreter behind the
+//! `treewalk-reference` feature — call these functions, so the differential
+//! law "bytecode VM ≡ tree-walk oracle, byte for byte" holds by
+//! construction for every per-operation semantic and can only be broken by
+//! control-flow or step-accounting differences (which `tests/exec_parity.rs`
+//! covers at corpus scale).
+
+use std::fmt;
+
+use crate::memory::{DeviceSpace, HostSpace, MapKind, MemoryError};
+use crate::outcome::RuntimeFault;
+use crate::value::Value;
+use vv_dclang::{BinOp, Type};
+
+/// Early termination of an interpreted program.
+pub(crate) enum Stop {
+    /// `exit(code)` / `abort()`.
+    Exit(i32),
+    /// A runtime fault (segfault, divide-by-zero, step limit, ...).
+    Fault(RuntimeFault),
+}
+
+pub(crate) type EResult<T> = Result<T, Stop>;
+
+/// Convert a memory error into the fault the shell would report.
+pub(crate) fn fault_from(err: MemoryError) -> Stop {
+    let _ = &err;
+    Stop::Fault(RuntimeFault::Segfault)
+}
+
+/// Deterministic "garbage" for uninitialized reads: large, odd values that
+/// will never match a correctly computed result.
+#[inline]
+pub(crate) fn garbage(salt: u64) -> Value {
+    let mixed = salt
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .rotate_left(31)
+        .wrapping_add(0xDEADBEEF);
+    Value::Float(((mixed % 100_000) as f64) * 1.0e9 + 0.731)
+}
+
+/// The garbage salt for reading an uninitialized variable as an rvalue.
+pub(crate) fn eval_salt(name: &str) -> u64 {
+    name.bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+}
+
+/// The garbage salt for reading a variable through a place (compound
+/// assignment, increment/decrement).
+pub(crate) fn place_salt(name: &str) -> u64 {
+    name.bytes()
+        .fold(7u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+}
+
+/// The garbage salt for reading an uninitialized memory cell.
+pub(crate) fn mem_salt(alloc: usize, offset: i64) -> u64 {
+    ((alloc as u64) << 20) | (offset as u64 & 0xFFFFF)
+}
+
+/// Unary negation (`-x`).
+pub(crate) fn unary_neg(v: Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i.wrapping_neg()),
+        other => Value::Float(-other.as_f64()),
+    }
+}
+
+/// Logical not (`!x`).
+pub(crate) fn unary_not(v: &Value) -> Value {
+    Value::Int(if v.truthy() { 0 } else { 1 })
+}
+
+/// Bitwise not (`~x`).
+pub(crate) fn unary_bitnot(v: &Value) -> Value {
+    Value::Int(!v.as_i64())
+}
+
+/// `|x|` for the `abs`/`labs` builtins.
+pub(crate) fn int_abs(v: i64) -> i64 {
+    v.wrapping_abs()
+}
+
+pub(crate) fn int_bitop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+        _ => unreachable!(),
+    }
+}
+
+/// [`apply_binop`] over borrowed operands: the numeric fast paths (the hot
+/// loop bodies — counters, comparisons, accumulators) avoid cloning the
+/// operands out of the VM's register file; everything else defers to the
+/// owned implementation. Semantically identical to [`apply_binop`].
+#[inline]
+pub(crate) fn apply_binop_ref(op: BinOp, l: &Value, r: &Value) -> Result<Value, RuntimeFault> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a, *b);
+            if op.is_comparison() {
+                let result = match op {
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    BinOp::Lt => a < b,
+                    BinOp::Gt => a > b,
+                    BinOp::Le => a <= b,
+                    BinOp::Ge => a >= b,
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Int(result as i64));
+            }
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(RuntimeFault::DivideByZero);
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Err(RuntimeFault::DivideByZero);
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::And | BinOp::Or => unreachable!("short-circuit handled earlier"),
+                BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                    int_bitop(op, a, b)
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(v))
+        }
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            // Mixed numeric operands promote to float, exactly as the
+            // owned implementation's float mode.
+            let (a, b) = (l.as_f64(), r.as_f64());
+            if op.is_comparison() {
+                let result = match op {
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    BinOp::Lt => a < b,
+                    BinOp::Gt => a > b,
+                    BinOp::Le => a <= b,
+                    BinOp::Ge => a >= b,
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Int(result as i64));
+            }
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+                BinOp::And | BinOp::Or => unreachable!("short-circuit handled earlier"),
+                BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                    return Ok(Value::Int(int_bitop(op, a as i64, b as i64)))
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+        _ => apply_binop(op, l.clone(), r.clone()),
+    }
+}
+
+/// Apply a (non-short-circuit) binary operator per the simulated C
+/// semantics: pointer arithmetic, float promotion, wrapping integers,
+/// divide-by-zero faults.
+pub(crate) fn apply_binop(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeFault> {
+    // Pointer arithmetic.
+    if let Value::Ptr { alloc, offset } = &l {
+        match op {
+            BinOp::Add => {
+                return Ok(Value::Ptr {
+                    alloc: *alloc,
+                    offset: offset.wrapping_add(r.as_i64()),
+                })
+            }
+            BinOp::Sub => {
+                if let Value::Ptr {
+                    alloc: ra,
+                    offset: ro,
+                } = &r
+                {
+                    if ra == alloc {
+                        return Ok(Value::Int(offset.wrapping_sub(*ro)));
+                    }
+                }
+                return Ok(Value::Ptr {
+                    alloc: *alloc,
+                    offset: offset.wrapping_sub(r.as_i64()),
+                });
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let equal = matches!(&r, Value::Ptr { alloc: ra, offset: ro } if ra == alloc && ro == offset);
+                let result = if op == BinOp::Eq { equal } else { !equal };
+                return Ok(Value::Int(result as i64));
+            }
+            _ => {}
+        }
+    }
+    if let (Value::Ptr { alloc, offset }, BinOp::Add) = (&r, op) {
+        return Ok(Value::Ptr {
+            alloc: *alloc,
+            offset: offset.wrapping_add(l.as_i64()),
+        });
+    }
+
+    let float_mode = l.is_float() || r.is_float() || l.is_uninit() || r.is_uninit();
+    if op.is_comparison() {
+        let result = if float_mode {
+            let (a, b) = (l.as_f64(), r.as_f64());
+            match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Gt => a > b,
+                BinOp::Le => a <= b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            }
+        } else {
+            let (a, b) = (l.as_i64(), r.as_i64());
+            match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Gt => a > b,
+                BinOp::Le => a <= b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            }
+        };
+        return Ok(Value::Int(result as i64));
+    }
+
+    if float_mode {
+        let (a, b) = (l.as_f64(), r.as_f64());
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Rem => a % b,
+            BinOp::And | BinOp::Or => unreachable!("short-circuit handled earlier"),
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                return Ok(Value::Int(int_bitop(op, a as i64, b as i64)))
+            }
+            _ => unreachable!(),
+        };
+        Ok(Value::Float(v))
+    } else {
+        let (a, b) = (l.as_i64(), r.as_i64());
+        let v = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(RuntimeFault::DivideByZero);
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(RuntimeFault::DivideByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And | BinOp::Or => unreachable!("short-circuit handled earlier"),
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                int_bitop(op, a, b)
+            }
+            _ => unreachable!(),
+        };
+        Ok(Value::Int(v))
+    }
+}
+
+/// How a declared type coerces an assigned value. `None` means the value is
+/// kept as-is (pointers, `void`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoerceKind {
+    /// Widen to `f64`.
+    ToFloat,
+    /// Narrow to the integer lattice (`Uninit` and pointers pass through).
+    ToInt,
+}
+
+/// The coercion a declared type applies, resolvable at lowering time.
+pub(crate) fn coerce_kind(ty: &Type) -> Option<CoerceKind> {
+    use vv_dclang::BaseType;
+    if ty.is_pointer() {
+        return None;
+    }
+    match ty.base {
+        BaseType::Float | BaseType::Double => Some(CoerceKind::ToFloat),
+        BaseType::Int | BaseType::Long | BaseType::Char => Some(CoerceKind::ToInt),
+        BaseType::Void => None,
+    }
+}
+
+/// Apply a coercion to a value.
+pub(crate) fn apply_coerce(kind: CoerceKind, value: Value) -> Value {
+    match kind {
+        CoerceKind::ToFloat => Value::Float(value.as_f64()),
+        CoerceKind::ToInt => match value {
+            Value::Uninit => Value::Uninit,
+            Value::Ptr { .. } => value,
+            other => Value::Int(other.as_i64()),
+        },
+    }
+}
+
+/// Coerce a value to a declared type (used by the tree-walk oracle; the VM
+/// pre-resolves the coercion at lowering time via [`coerce_kind`]).
+#[cfg(feature = "treewalk-reference")]
+pub(crate) fn coerce(ty: &Type, value: Value) -> Value {
+    match coerce_kind(ty) {
+        Some(kind) => apply_coerce(kind, value),
+        None => value,
+    }
+}
+
+/// The device mapping implied by a `map(...)` clause argument prefix.
+pub(crate) fn map_kind_for(args: &str) -> MapKind {
+    let prefix = args.split(':').next().unwrap_or("").trim();
+    match prefix {
+        "to" | "always to" => MapKind::ToDevice,
+        "from" | "always from" => MapKind::FromDevice,
+        "tofrom" | "always tofrom" => MapKind::Both,
+        "alloc" => MapKind::AllocOnly,
+        _ => MapKind::Both,
+    }
+}
+
+/// Read one memory cell, consulting the device copy while inside an offload
+/// region, and converting uninitialized cells to deterministic garbage.
+#[inline]
+pub(crate) fn read_mem(
+    host: &HostSpace,
+    device: &DeviceSpace,
+    offloaded: bool,
+    alloc: usize,
+    offset: i64,
+) -> EResult<Value> {
+    let value = if offloaded {
+        match device.try_read_ref(alloc, offset) {
+            Some(result) => result.map_err(fault_from)?,
+            None => host.read_ref(alloc, offset).map_err(fault_from)?,
+        }
+    } else {
+        host.read_ref(alloc, offset).map_err(fault_from)?
+    };
+    if value.is_uninit() {
+        Ok(garbage(mem_salt(alloc, offset)))
+    } else {
+        Ok(value.clone())
+    }
+}
+
+/// Write one memory cell, honouring the present table while offloaded.
+#[inline]
+pub(crate) fn write_mem(
+    host: &mut HostSpace,
+    device: &mut DeviceSpace,
+    offloaded: bool,
+    alloc: usize,
+    offset: i64,
+    value: Value,
+) -> EResult<()> {
+    // `is_present` is a dense-vector index, so the check-then-write pair
+    // costs one extra bounds check, not a second hash lookup.
+    if offloaded && device.is_present(alloc) {
+        device.write(alloc, offset, value).map_err(fault_from)
+    } else {
+        host.write(alloc, offset, value).map_err(fault_from)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// capture buffers and printf formatting
+// ---------------------------------------------------------------------------
+
+/// A `fmt::Write` sink that appends to a capture buffer, enforcing the
+/// capture limit *during* formatting (never materializing text past the
+/// limit) while still counting the total bytes the program "wrote" — which
+/// is what `printf`'s return value reports.
+pub(crate) struct LimitedWriter<'a> {
+    buf: &'a mut String,
+    limit: usize,
+    total: usize,
+}
+
+impl<'a> LimitedWriter<'a> {
+    pub(crate) fn new(buf: &'a mut String, limit: usize) -> Self {
+        Self {
+            buf,
+            limit,
+            total: 0,
+        }
+    }
+
+    /// Bytes written by the program (including any dropped past the limit).
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+}
+
+impl fmt::Write for LimitedWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.total += s.len();
+        if self.buf.len() < self.limit {
+            let room = self.limit - self.buf.len();
+            if s.len() <= room {
+                self.buf.push_str(s);
+            } else {
+                let mut end = room;
+                while !s.is_char_boundary(end) {
+                    end -= 1;
+                }
+                self.buf.push_str(&s[..end]);
+            }
+        }
+        Ok(())
+    }
+}
+
+const PRINTF_DEFAULT: Value = Value::Int(0);
+
+/// Minimal C `printf` formatting, written directly into `w` — no
+/// per-conversion `String` allocations. Width and flags are accepted but
+/// ignored (as the corpus expects); precision applies to `%f`.
+pub(crate) fn write_c_format<W: fmt::Write>(w: &mut W, fmt: &str, values: &[Value]) -> fmt::Result {
+    let mut chars = fmt.char_indices().peekable();
+    let mut arg_index = 0usize;
+    while let Some((_, c)) = chars.next() {
+        if c != '%' {
+            w.write_char(c)?;
+            continue;
+        }
+        // Collect flags / width / precision / length modifiers, tracking
+        // only the precision (the digits after the first '.').
+        let spec_start = chars.peek().map(|&(i, _)| i).unwrap_or(fmt.len());
+        let mut spec_end = spec_start;
+        let mut conversion = None;
+        let mut seen_dot = false;
+        let mut collecting_precision = false;
+        let mut precision: Option<usize> = None;
+        while let Some(&(i, next)) = chars.peek() {
+            if next.is_ascii_digit()
+                || matches!(next, '-' | '+' | ' ' | '.' | '#' | '*' | 'l' | 'h' | 'z')
+            {
+                if next == '.' {
+                    if !seen_dot {
+                        seen_dot = true;
+                        collecting_precision = true;
+                    } else {
+                        collecting_precision = false;
+                    }
+                } else if collecting_precision {
+                    if let Some(d) = next.to_digit(10) {
+                        precision = Some(precision.unwrap_or(0) * 10 + d as usize);
+                    } else {
+                        collecting_precision = false;
+                    }
+                }
+                spec_end = i + next.len_utf8();
+                chars.next();
+            } else {
+                conversion = Some(next);
+                chars.next();
+                break;
+            }
+        }
+        let Some(conv) = conversion else {
+            w.write_char('%')?;
+            w.write_str(&fmt[spec_start..spec_end])?;
+            break;
+        };
+        if conv == '%' {
+            w.write_char('%')?;
+            continue;
+        }
+        let value = values.get(arg_index).unwrap_or(&PRINTF_DEFAULT);
+        arg_index += 1;
+        match conv {
+            'd' | 'i' | 'u' => write!(w, "{}", value.as_i64())?,
+            'x' => write!(w, "{:x}", value.as_i64())?,
+            'c' => w.write_char(char::from_u32(value.as_i64() as u32).unwrap_or('?'))?,
+            'f' | 'F' => write!(w, "{:.*}", precision.unwrap_or(6), value.as_f64())?,
+            'e' | 'E' => write!(w, "{:e}", value.as_f64())?,
+            'g' | 'G' => write!(w, "{}", value.as_f64())?,
+            's' | 'p' => write!(w, "{value}")?,
+            other => {
+                w.write_char('%')?;
+                w.write_char(other)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimal C `printf` formatting into a fresh `String` (no capture limit).
+///
+/// Kept as the allocation-friendly entry point for tests and callers that
+/// want the full text; the interpreters format straight into their capped
+/// capture buffers through `write_c_format`.
+pub fn format_c_string(fmt: &str, values: &[Value]) -> String {
+    let mut out = String::with_capacity(fmt.len() + 16);
+    let _ = write_c_format(&mut out, fmt, values);
+    out
+}
+
+/// Write a value the way `puts`/`strcmp` see it: string contents for
+/// strings, `Display` for everything else.
+pub(crate) fn write_value_text<W: fmt::Write>(w: &mut W, value: &Value) -> fmt::Result {
+    match value {
+        Value::Str(s) => w.write_str(s),
+        other => write!(w, "{other}"),
+    }
+}
+
+/// The textual form a value takes as a string argument (`strcmp`).
+pub(crate) fn value_text(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// `printf` semantics over already-evaluated values: format `values[1..]`
+/// against the format string in `values[0]`, writing straight into the
+/// capped capture buffer. Returns the total byte count the program
+/// "printed" — the `printf` return value, limit or not.
+pub(crate) fn write_formatted(buf: &mut String, limit: usize, values: &[Value]) -> usize {
+    let Some(first) = values.first() else {
+        return 0;
+    };
+    let owned;
+    let fmt: &str = match first {
+        Value::Str(s) => s,
+        other => {
+            owned = other.to_string();
+            &owned
+        }
+    };
+    let mut w = LimitedWriter::new(buf, limit);
+    let _ = write_c_format(&mut w, fmt, &values[1..]);
+    w.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn format_c_string_specifiers() {
+        assert_eq!(
+            format_c_string(
+                "i=%d f=%.2f s=%s %%",
+                &[Value::Int(3), Value::Float(1.5), Value::Str("ok".into())]
+            ),
+            "i=3 f=1.50 s=ok %"
+        );
+        assert_eq!(format_c_string("%ld", &[Value::Int(-9)]), "-9");
+        assert_eq!(format_c_string("no args %d", &[]), "no args 0");
+        assert_eq!(format_c_string("hex %x", &[Value::Int(255)]), "hex ff");
+        assert_eq!(format_c_string("trailing %", &[]), "trailing %");
+        assert_eq!(format_c_string("%q", &[Value::Int(1)]), "%q");
+    }
+
+    #[test]
+    fn limited_writer_respects_capture_limit_but_counts_total() {
+        let mut buf = String::new();
+        let mut w = LimitedWriter::new(&mut buf, 8);
+        w.write_str("0123456").unwrap();
+        w.write_str("789abc").unwrap();
+        w.write_str("xyz").unwrap();
+        assert_eq!(buf, "01234567");
+        // total counts every byte the program wrote, not just the capture.
+        let mut buf2 = String::new();
+        let mut w2 = LimitedWriter::new(&mut buf2, 4);
+        w2.write_str("abcdef").unwrap();
+        assert_eq!(w2.total(), 6);
+        assert_eq!(buf2, "abcd");
+    }
+
+    #[test]
+    fn limited_writer_truncates_on_char_boundary() {
+        let mut buf = String::new();
+        let mut w = LimitedWriter::new(&mut buf, 4);
+        w.write_str("aé€").unwrap(); // 1 + 2 + 3 bytes
+        assert_eq!(buf, "aé"); // the euro sign would split at byte 4
+    }
+
+    #[test]
+    fn binop_divide_by_zero_faults() {
+        assert_eq!(
+            apply_binop(BinOp::Div, Value::Int(4), Value::Int(0)),
+            Err(RuntimeFault::DivideByZero)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Add, Value::Int(4), Value::Int(5)),
+            Ok(Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn pointer_difference_same_allocation() {
+        let a = Value::Ptr {
+            alloc: 3,
+            offset: 10,
+        };
+        let b = Value::Ptr {
+            alloc: 3,
+            offset: 4,
+        };
+        assert_eq!(apply_binop(BinOp::Sub, a, b), Ok(Value::Int(6)));
+    }
+
+    #[test]
+    fn garbage_is_deterministic_and_salted() {
+        assert_eq!(garbage(1), garbage(1));
+        assert_ne!(garbage(1), garbage(2));
+        assert_ne!(eval_salt("x"), place_salt("x"));
+    }
+}

@@ -1,0 +1,1033 @@
+//! The tree-walking reference interpreter (`treewalk-reference` feature).
+//!
+//! This is the original AST-walking executor, kept as the *oracle* for the
+//! register-bytecode VM in [`crate::bytecode`]: `tests/exec_parity.rs`
+//! drives the full streaming corpus through both engines and asserts
+//! byte-identical [`ExecOutcome`]s (return code, stdout, stderr, fault).
+//! Per-operation semantics live in `crate::rt` and are shared with the
+//! VM; what this module keeps is the original *control flow* — scope-chain
+//! hash maps, `Flow` propagation, per-node step accounting — which the
+//! lowering pass must reproduce exactly.
+//!
+//! It is compiled only when the `treewalk-reference` feature is enabled;
+//! production callers always execute through [`crate::Executor`], which
+//! runs the bytecode VM.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::interp::ExecConfig;
+use crate::memory::{DeviceSpace, HostSpace, MapKind};
+use crate::outcome::{ExecOutcome, RuntimeFault};
+use crate::rt::{self, EResult, LimitedWriter, Stop};
+use crate::value::Value;
+use vv_dclang::{AssignOp, BinOp, Directive, Expr, Function, Stmt, UnOp, VarDecl};
+use vv_simcompiler::semantic::clause_variables;
+use vv_simcompiler::Program;
+
+/// Runs compiled programs by walking the AST (the reference oracle).
+#[derive(Clone, Debug, Default)]
+pub struct TreeWalkExecutor {
+    /// Execution limits (identical semantics to [`crate::Executor`]).
+    pub config: ExecConfig,
+}
+
+impl TreeWalkExecutor {
+    /// Create a tree-walk executor with a custom configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Self { config }
+    }
+
+    /// Execute a compiled program and capture its observable behaviour.
+    pub fn run(&self, program: &Program) -> ExecOutcome {
+        let mut interp = Interp::new(program, &self.config);
+        interp.run()
+    }
+}
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    config: &'p ExecConfig,
+    host: HostSpace,
+    device: DeviceSpace,
+    globals: HashMap<String, Value>,
+    locals: Vec<HashMap<String, Value>>,
+    stdout: String,
+    stderr: String,
+    steps: u64,
+    call_depth: usize,
+    /// Nesting depth of compute/offload regions; device copies are consulted
+    /// while this is nonzero.
+    offload_depth: usize,
+    rng_state: u64,
+}
+
+impl<'p> Interp<'p> {
+    fn new(program: &'p Program, config: &'p ExecConfig) -> Self {
+        Self {
+            program,
+            config,
+            host: HostSpace::new(),
+            device: DeviceSpace::new(),
+            globals: HashMap::new(),
+            locals: Vec::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            steps: 0,
+            call_depth: 0,
+            offload_depth: 0,
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    fn run(&mut self) -> ExecOutcome {
+        let result = self.run_inner();
+        let (return_code, fault) = match result {
+            Ok(code) => (code, None),
+            Err(Stop::Exit(code)) => (code, None),
+            Err(Stop::Fault(fault)) => {
+                self.stderr.push_str(fault.message());
+                self.stderr.push('\n');
+                (fault.exit_code(), Some(fault))
+            }
+        };
+        ExecOutcome {
+            return_code,
+            stdout: std::mem::take(&mut self.stdout),
+            stderr: std::mem::take(&mut self.stderr),
+            fault,
+            steps: self.steps,
+        }
+    }
+
+    fn run_inner(&mut self) -> EResult<i32> {
+        // Globals first.
+        let globals: Vec<VarDecl> = self.program.unit.globals.clone();
+        for decl in &globals {
+            let value = self.init_decl_value(decl)?;
+            self.globals.insert(decl.name.clone(), value);
+        }
+        let Some(main) = self.program.unit.function("main") else {
+            return Err(Stop::Fault(RuntimeFault::Unsupported));
+        };
+        let result = self.call_function(main, Vec::new())?;
+        Ok((result.as_i64() & 0xFF) as i32)
+    }
+
+    // ------------------------------------------------------------------
+    // bookkeeping
+    // ------------------------------------------------------------------
+
+    fn step(&mut self) -> EResult<()> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            Err(Stop::Fault(RuntimeFault::StepLimit))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.locals.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.locals.pop();
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        for scope in self.locals.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        self.globals.get(name)
+    }
+
+    fn bind(&mut self, name: &str, value: Value) {
+        if let Some(scope) = self.locals.last_mut() {
+            scope.insert(name.to_string(), value);
+        } else {
+            self.globals.insert(name.to_string(), value);
+        }
+    }
+
+    fn assign_var(&mut self, name: &str, value: Value) {
+        for scope in self.locals.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return;
+            }
+        }
+        if let Some(slot) = self.globals.get_mut(name) {
+            *slot = value;
+            return;
+        }
+        // Should be prevented by semantic analysis; bind locally to stay robust.
+        self.bind(name, value);
+    }
+
+    // ------------------------------------------------------------------
+    // declarations
+    // ------------------------------------------------------------------
+
+    fn init_decl_value(&mut self, decl: &VarDecl) -> EResult<Value> {
+        if !decl.array_dims.is_empty() {
+            let mut total: i64 = 1;
+            for dim in &decl.array_dims {
+                let v = self.eval(dim)?.as_i64();
+                total = total.saturating_mul(v.max(0));
+            }
+            let total = total.clamp(0, 4_000_000) as usize;
+            let alloc = self.host.alloc(total);
+            return Ok(Value::Ptr { alloc, offset: 0 });
+        }
+        match &decl.init {
+            Some(init) => {
+                let value = self.eval(init)?;
+                Ok(rt::coerce(&decl.ty, value))
+            }
+            None => Ok(Value::Uninit),
+        }
+    }
+
+    fn exec_decl(&mut self, decls: &[VarDecl]) -> EResult<()> {
+        for decl in decls {
+            let value = self.init_decl_value(decl)?;
+            self.bind(&decl.name, value);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // functions
+    // ------------------------------------------------------------------
+
+    fn call_function(&mut self, func: &Function, args: Vec<Value>) -> EResult<Value> {
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(Stop::Fault(RuntimeFault::StackOverflow));
+        }
+        self.call_depth += 1;
+        let saved_locals = std::mem::take(&mut self.locals);
+        self.push_scope();
+        for (param, arg) in func.params.iter().zip(args) {
+            let value = rt::coerce(&param.ty, arg);
+            self.bind(&param.name, value);
+        }
+        let mut result = Value::Int(0);
+        let flow = self.exec_stmts(&func.body.stmts);
+        self.locals = saved_locals;
+        self.call_depth -= 1;
+        match flow? {
+            Flow::Return(v) => result = v,
+            Flow::Normal | Flow::Break | Flow::Continue => {}
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // statements
+    // ------------------------------------------------------------------
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> EResult<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> EResult<Flow> {
+        self.step()?;
+        match stmt {
+            Stmt::Decl(decls) => {
+                self.exec_decl(decls)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(expr) => {
+                self.eval(expr)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let c = self.eval(cond)?;
+                if c.truthy() {
+                    self.push_scope();
+                    let flow = self.exec_stmt(then_branch);
+                    self.pop_scope();
+                    flow
+                } else if let Some(else_branch) = else_branch {
+                    self.push_scope();
+                    let flow = self.exec_stmt(else_branch);
+                    self.pop_scope();
+                    flow
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.push_scope();
+                if let Some(init) = init {
+                    if let Flow::Return(v) = self.exec_stmt(init)? {
+                        self.pop_scope();
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    self.step()?;
+                    if let Some(cond) = cond {
+                        if !self.eval(cond)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => {
+                            self.pop_scope();
+                            return Ok(Flow::Return(v));
+                        }
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(step) = step {
+                        self.eval(step)?;
+                    }
+                }
+                self.pop_scope();
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body, .. } => {
+                loop {
+                    self.step()?;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                loop {
+                    self.step()?;
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(value, _) => {
+                let v = match value {
+                    Some(expr) => self.eval(expr)?,
+                    None => Value::Int(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Block(block) => {
+                self.push_scope();
+                let flow = self.exec_stmts(&block.stmts);
+                self.pop_scope();
+                flow
+            }
+            Stmt::Directive { directive, body } => self.exec_directive(directive, body.as_deref()),
+            Stmt::Empty(_) => Ok(Flow::Normal),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // directives
+    // ------------------------------------------------------------------
+
+    fn exec_directive(&mut self, directive: &Directive, body: Option<&Stmt>) -> EResult<Flow> {
+        if directive.model != Some(self.program.model) {
+            // Foreign or unknown pragma: ignored by this compiler/runtime.
+            return match body {
+                Some(body) => self.exec_stmt(body),
+                None => Ok(Flow::Normal),
+            };
+        }
+        let name = directive.display_name();
+        let first = directive.name.first().map(String::as_str).unwrap_or("");
+
+        match name.as_str() {
+            // Standalone data management
+            "enter data" | "target enter data" => {
+                self.apply_data_clauses(directive, ClausePhase::Enter)?;
+                Ok(Flow::Normal)
+            }
+            "exit data" | "target exit data" => {
+                self.apply_data_clauses(directive, ClausePhase::Exit)?;
+                Ok(Flow::Normal)
+            }
+            "update" | "target update" => {
+                self.apply_update_clauses(directive)?;
+                Ok(Flow::Normal)
+            }
+            // Structured data regions
+            "data" | "target data" | "host_data" => {
+                self.apply_data_clauses(directive, ClausePhase::Enter)?;
+                let flow = match body {
+                    Some(body) => self.exec_stmt(body)?,
+                    None => Flow::Normal,
+                };
+                self.apply_data_clauses(directive, ClausePhase::Exit)?;
+                Ok(flow)
+            }
+            _ => {
+                let is_offload_compute = matches!(
+                    first,
+                    "parallel" | "kernels" | "serial" | "target" | "teams" | "task" | "taskloop"
+                );
+                if is_offload_compute {
+                    self.apply_data_clauses(directive, ClausePhase::Enter)?;
+                    self.offload_depth += 1;
+                    let flow = match body {
+                        Some(body) => self.exec_stmt(body),
+                        None => Ok(Flow::Normal),
+                    };
+                    self.offload_depth -= 1;
+                    self.apply_data_clauses(directive, ClausePhase::Exit)?;
+                    flow
+                } else {
+                    // Worksharing/synchronization constructs inside an
+                    // enclosing region (loop, for, simd, atomic, critical,
+                    // master, single, sections, ordered, ...) just execute
+                    // their body; the sequential interpreter already provides
+                    // a consistent order.
+                    match body {
+                        Some(body) => self.exec_stmt(body),
+                        None => Ok(Flow::Normal),
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_data_clauses(&mut self, directive: &Directive, phase: ClausePhase) -> EResult<()> {
+        for clause in &directive.clauses {
+            let Some(args) = &clause.args else { continue };
+            let kind = match clause.name.as_str() {
+                "copyin" => Some(MapKind::ToDevice),
+                "copyout" => Some(MapKind::FromDevice),
+                "copy" => Some(MapKind::Both),
+                "create" | "no_create" => Some(MapKind::AllocOnly),
+                "present" => Some(MapKind::AllocOnly),
+                "map" => Some(rt::map_kind_for(args)),
+                "delete" => None, // handled below
+                _ => None,
+            };
+            let is_delete = clause.name == "delete"
+                || (clause.name == "map"
+                    && args.trim_start().starts_with("release")
+                    && args.contains(':'))
+                || (clause.name == "map"
+                    && args.trim_start().starts_with("delete")
+                    && args.contains(':'));
+
+            if kind.is_none() && !is_delete {
+                continue;
+            }
+            for var in clause_variables(&clause.name, args) {
+                let Some(Value::Ptr { alloc, .. }) = self.lookup(&var).cloned() else {
+                    continue; // scalars are firstprivate; nothing to map
+                };
+                match phase {
+                    ClausePhase::Enter => {
+                        if is_delete {
+                            continue;
+                        }
+                        let kind = kind.expect("kind is Some when not delete");
+                        self.device
+                            .enter(&self.host, alloc, kind)
+                            .map_err(rt::fault_from)?;
+                    }
+                    ClausePhase::Exit => {
+                        self.device
+                            .exit(&mut self.host, alloc)
+                            .map_err(rt::fault_from)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_update_clauses(&mut self, directive: &Directive) -> EResult<()> {
+        for clause in &directive.clauses {
+            let Some(args) = &clause.args else { continue };
+            let to_host = matches!(clause.name.as_str(), "self" | "host" | "from");
+            let to_device = matches!(clause.name.as_str(), "device" | "to");
+            if !to_host && !to_device {
+                continue;
+            }
+            for var in clause_variables(&clause.name, args) {
+                let Some(Value::Ptr { alloc, .. }) = self.lookup(&var).cloned() else {
+                    continue;
+                };
+                if to_host {
+                    self.device
+                        .update_host(&mut self.host, alloc)
+                        .map_err(rt::fault_from)?;
+                } else {
+                    self.device
+                        .update_device(&self.host, alloc)
+                        .map_err(rt::fault_from)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // expressions
+    // ------------------------------------------------------------------
+
+    fn eval(&mut self, expr: &Expr) -> EResult<Value> {
+        self.step()?;
+        match expr {
+            Expr::IntLit(v, _) => Ok(Value::Int(*v)),
+            Expr::FloatLit(v, _) => Ok(Value::Float(*v)),
+            Expr::StrLit(s, _) => Ok(Value::Str(s.clone())),
+            Expr::CharLit(c, _) => Ok(Value::Int(*c as i64)),
+            Expr::Ident(name, _) => match self.lookup(name) {
+                Some(Value::Uninit) => Ok(rt::garbage(rt::eval_salt(name))),
+                Some(v) => Ok(v.clone()),
+                None => Err(Stop::Fault(RuntimeFault::Segfault)),
+            },
+            Expr::Unary { op, expr, .. } => self.eval_unary(*op, expr),
+            Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs),
+            Expr::Assign {
+                op, target, value, ..
+            } => {
+                let rhs = self.eval(value)?;
+                let place = self.resolve_place(target)?;
+                let new_value = if *op == AssignOp::Assign {
+                    rhs
+                } else {
+                    let old = self.read_place(&place)?;
+                    let bin = match op {
+                        AssignOp::AddAssign => BinOp::Add,
+                        AssignOp::SubAssign => BinOp::Sub,
+                        AssignOp::MulAssign => BinOp::Mul,
+                        AssignOp::DivAssign => BinOp::Div,
+                        AssignOp::Assign => unreachable!(),
+                    };
+                    rt::apply_binop(bin, old, rhs).map_err(Stop::Fault)?
+                };
+                self.write_place(&place, new_value.clone())?;
+                Ok(new_value)
+            }
+            Expr::Call { name, args, .. } => self.eval_call(name, args),
+            Expr::Index { .. } | Expr::Postfix { .. } => {
+                // Index reads and postfix inc/dec both need a place.
+                match expr {
+                    Expr::Index { .. } => {
+                        let place = self.resolve_place(expr)?;
+                        self.read_place(&place)
+                    }
+                    Expr::Postfix {
+                        target, decrement, ..
+                    } => {
+                        let place = self.resolve_place(target)?;
+                        let old = self.read_place(&place)?;
+                        let delta = if *decrement { -1 } else { 1 };
+                        let new = rt::apply_binop(BinOp::Add, old.clone(), Value::Int(delta))
+                            .map_err(Stop::Fault)?;
+                        self.write_place(&place, new)?;
+                        Ok(old)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Cast { ty, expr, .. } => {
+                let v = self.eval(expr)?;
+                Ok(rt::coerce(ty, v))
+            }
+            Expr::SizeofType { ty, .. } => {
+                let size = if ty.is_pointer() {
+                    8
+                } else {
+                    ty.base.size_bytes()
+                };
+                Ok(Value::Int(size as i64))
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.eval(then_expr)
+                } else {
+                    self.eval(else_expr)
+                }
+            }
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, expr: &Expr) -> EResult<Value> {
+        match op {
+            UnOp::Neg => {
+                let v = self.eval(expr)?;
+                Ok(rt::unary_neg(v))
+            }
+            UnOp::Not => {
+                let v = self.eval(expr)?;
+                Ok(rt::unary_not(&v))
+            }
+            UnOp::BitNot => {
+                let v = self.eval(expr)?;
+                Ok(rt::unary_bitnot(&v))
+            }
+            UnOp::Deref => {
+                let place = self.resolve_deref_place(expr)?;
+                self.read_place(&place)
+            }
+            UnOp::AddrOf => {
+                // `&x` materializes a one-cell allocation holding a copy of
+                // the current value. The corpus does not rely on write-back
+                // through such pointers; this keeps the model simple.
+                let v = self.eval(expr)?;
+                let alloc = self.host.alloc_init(1, v);
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            UnOp::PreIncr | UnOp::PreDecr => {
+                let place = self.resolve_place(expr)?;
+                let old = self.read_place(&place)?;
+                let delta = if op == UnOp::PreDecr { -1 } else { 1 };
+                let new =
+                    rt::apply_binop(BinOp::Add, old, Value::Int(delta)).map_err(Stop::Fault)?;
+                self.write_place(&place, new.clone())?;
+                Ok(new)
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> EResult<Value> {
+        if op == BinOp::And {
+            let l = self.eval(lhs)?;
+            if !l.truthy() {
+                return Ok(Value::Int(0));
+            }
+            let r = self.eval(rhs)?;
+            return Ok(Value::Int(if r.truthy() { 1 } else { 0 }));
+        }
+        if op == BinOp::Or {
+            let l = self.eval(lhs)?;
+            if l.truthy() {
+                return Ok(Value::Int(1));
+            }
+            let r = self.eval(rhs)?;
+            return Ok(Value::Int(if r.truthy() { 1 } else { 0 }));
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        rt::apply_binop(op, l, r).map_err(Stop::Fault)
+    }
+
+    // ------------------------------------------------------------------
+    // places (lvalues)
+    // ------------------------------------------------------------------
+
+    fn resolve_place(&mut self, expr: &Expr) -> EResult<Place> {
+        match expr {
+            Expr::Ident(name, _) => Ok(Place::Var(name.clone())),
+            Expr::Index { base, index, .. } => {
+                let base_v = self.eval(base)?;
+                let index_v = self.eval(index)?.as_i64();
+                match base_v {
+                    Value::Ptr { alloc, offset } => Ok(Place::Mem {
+                        alloc,
+                        offset: offset + index_v,
+                    }),
+                    _ => Err(Stop::Fault(RuntimeFault::Segfault)),
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Deref,
+                expr,
+                ..
+            } => self.resolve_deref_place(expr),
+            Expr::Cast { expr, .. } => self.resolve_place(expr),
+            _ => Err(Stop::Fault(RuntimeFault::Segfault)),
+        }
+    }
+
+    fn resolve_deref_place(&mut self, pointer_expr: &Expr) -> EResult<Place> {
+        let v = self.eval(pointer_expr)?;
+        match v {
+            Value::Ptr { alloc, offset } => Ok(Place::Mem { alloc, offset }),
+            _ => Err(Stop::Fault(RuntimeFault::Segfault)),
+        }
+    }
+
+    fn read_place(&mut self, place: &Place) -> EResult<Value> {
+        match place {
+            Place::Var(name) => match self.lookup(name) {
+                Some(Value::Uninit) | None => Ok(rt::garbage(rt::place_salt(name))),
+                Some(v) => Ok(v.clone()),
+            },
+            Place::Mem { alloc, offset } => rt::read_mem(
+                &self.host,
+                &self.device,
+                self.offload_depth > 0,
+                *alloc,
+                *offset,
+            ),
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, value: Value) -> EResult<()> {
+        match place {
+            Place::Var(name) => {
+                self.assign_var(name, value);
+                Ok(())
+            }
+            Place::Mem { alloc, offset } => rt::write_mem(
+                &mut self.host,
+                &mut self.device,
+                self.offload_depth > 0,
+                *alloc,
+                *offset,
+                value,
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // calls
+    // ------------------------------------------------------------------
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> EResult<Value> {
+        // User-defined functions take precedence over builtins.
+        if let Some(func) = self.program.unit.function(name) {
+            let func = func.clone();
+            let mut values = Vec::with_capacity(args.len());
+            for arg in args {
+                values.push(self.eval(arg)?);
+            }
+            return self.call_function(&func, values);
+        }
+        self.eval_builtin(name, args)
+    }
+
+    fn eval_builtin(&mut self, name: &str, args: &[Expr]) -> EResult<Value> {
+        match name {
+            "malloc" | "acc_malloc" | "omp_target_alloc" => {
+                let count = self.allocation_element_count(args.first())?;
+                let alloc = self.host.alloc(count);
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            "calloc" => {
+                let count = match args.first() {
+                    Some(expr) => self.eval(expr)?.as_i64().clamp(0, 4_000_000) as usize,
+                    None => 0,
+                };
+                let alloc = self.host.alloc_init(count, Value::Int(0));
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            "realloc" => {
+                // Modeled as a fresh allocation of the requested size.
+                let count = self.allocation_element_count(args.get(1))?;
+                let alloc = self.host.alloc(count);
+                Ok(Value::Ptr { alloc, offset: 0 })
+            }
+            "free" | "acc_free" | "omp_target_free" => {
+                if let Some(expr) = args.first() {
+                    let v = self.eval(expr)?;
+                    if let Value::Ptr { alloc, .. } = v {
+                        self.host.free(alloc).map_err(rt::fault_from)?;
+                    }
+                }
+                Ok(Value::Int(0))
+            }
+            "printf" => {
+                let values = self.eval_args(args)?;
+                let total =
+                    rt::write_formatted(&mut self.stdout, self.config.capture_limit, &values);
+                Ok(Value::Int(total as i64))
+            }
+            "puts" => {
+                let value = match args.first() {
+                    Some(expr) => self.eval(expr)?,
+                    None => Value::Str(String::new()),
+                };
+                let mut w = LimitedWriter::new(&mut self.stdout, self.config.capture_limit);
+                let _ = rt::write_value_text(&mut w, &value);
+                let _ = w.write_char('\n');
+                let total = w.total();
+                Ok(Value::Int(total as i64))
+            }
+            "putchar" => {
+                let c = match args.first() {
+                    Some(expr) => self.eval(expr)?.as_i64(),
+                    None => 0,
+                };
+                let ch = char::from_u32(c as u32).unwrap_or('?');
+                let mut w = LimitedWriter::new(&mut self.stdout, self.config.capture_limit);
+                let _ = w.write_char(ch);
+                let total = w.total();
+                Ok(Value::Int(total as i64))
+            }
+            "fprintf" => {
+                // The first argument is the stream; everything else formats
+                // like printf. Streams are not modeled, so output goes to
+                // stderr (the common use in V&V tests).
+                let values = self.eval_args(args.get(1..).unwrap_or(&[]))?;
+                let total =
+                    rt::write_formatted(&mut self.stderr, self.config.capture_limit, &values);
+                Ok(Value::Int(total as i64))
+            }
+            "exit" => {
+                let code = match args.first() {
+                    Some(expr) => self.eval(expr)?.as_i64() as i32,
+                    None => 0,
+                };
+                Err(Stop::Exit(code))
+            }
+            "abort" => Err(Stop::Exit(134)),
+            "fabs" | "fabsf" => self.math1(args, f64::abs),
+            "sqrt" | "sqrtf" => self.math1(args, f64::sqrt),
+            "exp" => self.math1(args, f64::exp),
+            "log" => self.math1(args, f64::ln),
+            "sin" => self.math1(args, f64::sin),
+            "cos" => self.math1(args, f64::cos),
+            "tan" => self.math1(args, f64::tan),
+            "floor" => self.math1(args, f64::floor),
+            "ceil" => self.math1(args, f64::ceil),
+            "pow" => {
+                let a = self.arg_f64(args, 0)?;
+                let b = self.arg_f64(args, 1)?;
+                Ok(Value::Float(a.powf(b)))
+            }
+            "abs" | "labs" => {
+                let v = match args.first() {
+                    Some(expr) => self.eval(expr)?.as_i64(),
+                    None => 0,
+                };
+                Ok(Value::Int(rt::int_abs(v)))
+            }
+            "rand" => {
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                Ok(Value::Int((self.rng_state % 2147483647) as i64))
+            }
+            "srand" => {
+                if let Some(expr) = args.first() {
+                    let seed = self.eval(expr)?.as_i64() as u64;
+                    self.rng_state = seed | 1;
+                }
+                Ok(Value::Int(0))
+            }
+            "memset" => {
+                if let (Some(ptr_expr), Some(val_expr)) = (args.first(), args.get(1)) {
+                    let ptr = self.eval(ptr_expr)?;
+                    let fill = self.eval(val_expr)?;
+                    if let Value::Ptr { alloc, offset } = ptr {
+                        let len = self.host.len(alloc).map_err(rt::fault_from)?;
+                        for i in (offset.max(0) as usize)..len {
+                            self.host
+                                .write(alloc, i as i64, fill.clone())
+                                .map_err(rt::fault_from)?;
+                        }
+                        return Ok(Value::Ptr { alloc, offset });
+                    }
+                }
+                Ok(Value::Int(0))
+            }
+            "memcpy" => {
+                if let (Some(dst_expr), Some(src_expr)) = (args.first(), args.get(1)) {
+                    let dst = self.eval(dst_expr)?;
+                    let src = self.eval(src_expr)?;
+                    if let (Value::Ptr { alloc: da, .. }, Value::Ptr { alloc: sa, .. }) =
+                        (dst.clone(), src)
+                    {
+                        let data = self.host.snapshot(sa).map_err(rt::fault_from)?;
+                        self.host.restore(da, data).map_err(rt::fault_from)?;
+                    }
+                    return Ok(dst);
+                }
+                Ok(Value::Int(0))
+            }
+            "strlen" => {
+                let v = match args.first() {
+                    Some(expr) => self.eval(expr)?,
+                    None => Value::Int(0),
+                };
+                Ok(Value::Int(match v {
+                    Value::Str(s) => s.len() as i64,
+                    _ => 0,
+                }))
+            }
+            "strcmp" => {
+                let a = self.arg_string(args, 0)?;
+                let b = self.arg_string(args, 1)?;
+                Ok(Value::Int(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            // Runtime library introspection
+            "acc_get_num_devices" | "omp_get_num_devices" => Ok(Value::Int(1)),
+            "acc_get_device_num" | "omp_get_team_num" | "omp_get_thread_num" => Ok(Value::Int(0)),
+            "acc_set_device_num" | "omp_set_num_threads" => Ok(Value::Int(0)),
+            "omp_get_num_threads" => Ok(Value::Int(if self.offload_depth > 0 { 8 } else { 1 })),
+            "omp_get_num_teams" => Ok(Value::Int(if self.offload_depth > 0 { 4 } else { 1 })),
+            "omp_is_initial_device" => Ok(Value::Int(if self.offload_depth > 0 { 0 } else { 1 })),
+            "omp_get_wtime" => Ok(Value::Float(self.steps as f64 * 1.0e-9)),
+            _ => {
+                // Implicitly declared function (compile-time warning): calling
+                // it returns 0, mirroring a link against a stub.
+                for arg in args {
+                    self.eval(arg)?;
+                }
+                Ok(Value::Int(0))
+            }
+        }
+    }
+
+    fn allocation_element_count(&mut self, arg: Option<&Expr>) -> EResult<usize> {
+        let Some(arg) = arg else { return Ok(0) };
+        // Recognize the idiomatic `count * sizeof(T)` shape and use `count`
+        // as the element count; otherwise fall back to the raw byte value
+        // divided by 8 (the widest element the corpus uses).
+        if let Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        } = arg
+        {
+            if matches!(rhs.as_ref(), Expr::SizeofType { .. }) {
+                let count = self.eval(lhs)?.as_i64();
+                return Ok(count.clamp(0, 4_000_000) as usize);
+            }
+            if matches!(lhs.as_ref(), Expr::SizeofType { .. }) {
+                let count = self.eval(rhs)?.as_i64();
+                return Ok(count.clamp(0, 4_000_000) as usize);
+            }
+        }
+        let bytes = self.eval(arg)?.as_i64().clamp(0, 32_000_000);
+        Ok(((bytes + 7) / 8) as usize)
+    }
+
+    fn math1(&mut self, args: &[Expr], f: impl Fn(f64) -> f64) -> EResult<Value> {
+        let v = self.arg_f64(args, 0)?;
+        Ok(Value::Float(f(v)))
+    }
+
+    fn arg_f64(&mut self, args: &[Expr], index: usize) -> EResult<f64> {
+        match args.get(index) {
+            Some(expr) => Ok(self.eval(expr)?.as_f64()),
+            None => Ok(0.0),
+        }
+    }
+
+    fn arg_string(&mut self, args: &[Expr], index: usize) -> EResult<String> {
+        match args.get(index) {
+            Some(expr) => Ok(rt::value_text(&self.eval(expr)?)),
+            None => Ok(String::new()),
+        }
+    }
+
+    /// Evaluate a printf-style argument list in order.
+    fn eval_args(&mut self, args: &[Expr]) -> EResult<Vec<Value>> {
+        let mut values = Vec::with_capacity(args.len());
+        for arg in args {
+            values.push(self.eval(arg)?);
+        }
+        Ok(values)
+    }
+}
+
+/// A resolved storage location.
+enum Place {
+    Var(String),
+    Mem { alloc: usize, offset: i64 },
+}
+
+/// Whether data clauses are being applied at region entry or exit.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ClausePhase {
+    Enter,
+    Exit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vv_dclang::DirectiveModel;
+    use vv_simcompiler::{compiler_for, Lang};
+
+    fn run(source: &str, model: DirectiveModel) -> ExecOutcome {
+        let outcome = compiler_for(model).compile(source, Lang::C);
+        assert!(outcome.succeeded(), "compile failed: {}", outcome.stderr);
+        TreeWalkExecutor::default().run(&outcome.artifact.unwrap())
+    }
+
+    #[test]
+    fn oracle_still_walks_the_tree() {
+        let out = run(
+            "#include <stdio.h>\nint main() { int x = 6 * 7; printf(\"x=%d\\n\", x); return 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert_eq!(out.return_code, 0);
+        assert_eq!(out.stdout, "x=42\n");
+    }
+
+    #[test]
+    fn oracle_reports_runtime_faults() {
+        let out = run(
+            "#include <stdlib.h>\nint main() { double *a = (double *)malloc(4 * sizeof(double)); a[100] = 1.0; return 0; }",
+            DirectiveModel::OpenAcc,
+        );
+        assert_eq!(out.return_code, 139);
+        assert_eq!(out.fault, Some(RuntimeFault::Segfault));
+    }
+
+    #[test]
+    fn oracle_respects_capture_limit_during_formatting() {
+        let outcome = compiler_for(DirectiveModel::OpenAcc).compile(
+            "#include <stdio.h>\nint main() { for (int i = 0; i < 100; i++) { printf(\"0123456789\"); } return 0; }",
+            Lang::C,
+        );
+        let exec = TreeWalkExecutor::new(ExecConfig {
+            capture_limit: 64,
+            ..Default::default()
+        });
+        let out = exec.run(&outcome.artifact.unwrap());
+        assert_eq!(out.stdout.len(), 64);
+    }
+}

@@ -45,13 +45,13 @@ fn main() {
         let tools = ToolContext {
             compile: Some(ToolRecord {
                 return_code: compiled.return_code,
-                stdout: compiled.stdout.clone(),
-                stderr: compiled.stderr.clone(),
+                stdout: compiled.stdout.as_str().into(),
+                stderr: compiled.stderr.as_str().into(),
             }),
             run: exec.as_ref().map(|e| ToolRecord {
                 return_code: e.return_code,
-                stdout: e.stdout.clone(),
-                stderr: e.stderr.clone(),
+                stdout: e.stdout.as_str().into(),
+                stderr: e.stderr.as_str().into(),
             }),
         };
         let judgement = judge.evaluate(&mutated.source, DirectiveModel::OpenMp, Some(&tools));
