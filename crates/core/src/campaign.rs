@@ -37,6 +37,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
@@ -45,6 +46,7 @@ use vv_judge::{JudgeProfile, PromptStyle};
 use vv_metrics::{Accumulator as _, LatencyTokenSummary, MetricsSink};
 use vv_pipeline::{ExecutionStrategy, PipelineMode, PipelineStats, ValidationService};
 use vv_probing::{CorpusSpec, ProbeConfig};
+use vv_simcompiler::CompileCache;
 
 use crate::experiment::{fold_probed_source, observe_record_all_case};
 
@@ -97,6 +99,19 @@ impl Scenario {
 
     /// The record-all validation service this scenario runs.
     pub fn service(&self) -> ValidationService {
+        self.builder().build()
+    }
+
+    /// Like [`Scenario::service`], but compiling through a shared
+    /// content-addressed compile cache. Scenarios that re-run the same
+    /// corpus shards (every matrix axis except the probe fraction leaves
+    /// the corpus unchanged) then compile each distinct source once for the
+    /// whole campaign; outcomes are byte-identical either way.
+    pub fn service_with_cache(&self, cache: Arc<CompileCache>) -> ValidationService {
+        self.builder().compile_cache(cache).build()
+    }
+
+    fn builder(&self) -> vv_pipeline::ValidationServiceBuilder {
         let (compile, exec, judge) = self.workers;
         ValidationService::builder()
             .mode(PipelineMode::RecordAll)
@@ -106,7 +121,6 @@ impl Scenario {
             .judge_style(self.prompt_style)
             .judge_profile(self.judge_profile.clone())
             .judge_seed(self.judge_seed)
-            .build()
     }
 }
 
@@ -370,7 +384,10 @@ impl ScenarioMetrics {
 /// folding per-shard accumulators and merging them (see the module docs
 /// for why the merged result is exact).
 pub fn run_scenario(scenario: &Scenario) -> ScenarioMetrics {
-    let service = scenario.service();
+    run_scenario_on(scenario, scenario.service())
+}
+
+fn run_scenario_on(scenario: &Scenario, service: ValidationService) -> ScenarioMetrics {
     let mut merged = ScenarioMetrics::new(scenario.clone());
     for k in 0..scenario.shards {
         let mut judge = MetricsSink::default();
@@ -460,7 +477,14 @@ impl CampaignResults {
 /// which already runs its stage pools in parallel).
 pub fn run_campaign(matrix: &ScenarioMatrix) -> CampaignResults {
     let scenarios = matrix.scenarios();
-    let scenarios: Vec<ScenarioMetrics> = scenarios.par_iter().map(run_scenario).collect();
+    // One content-addressed compile cache for the whole campaign: scenario
+    // axes that reuse a corpus (prompt style, strategy, judge profile) hit
+    // the outcomes their sibling scenarios already compiled.
+    let cache = CompileCache::shared();
+    let scenarios: Vec<ScenarioMetrics> = scenarios
+        .par_iter()
+        .map(|scenario| run_scenario_on(scenario, scenario.service_with_cache(Arc::clone(&cache))))
+        .collect();
     CampaignResults { scenarios }
 }
 

@@ -229,42 +229,43 @@ fn construct_words(model: DirectiveModel) -> &'static [&'static str] {
     }
 }
 
-/// A word or clause scanned from the pragma payload.
-struct PragmaItem {
-    word: String,
-    args: Option<String>,
+/// A word or clause scanned from the pragma payload, borrowing the payload
+/// text (no per-word allocation; owners lowercase/copy only what they keep).
+struct PragmaItem<'a> {
+    word: &'a str,
+    args: Option<&'a str>,
 }
 
-fn scan_items(text: &str) -> Vec<PragmaItem> {
-    let chars: Vec<char> = text.chars().collect();
+fn scan_items(text: &str) -> Vec<PragmaItem<'_>> {
+    let bytes = text.as_bytes();
     let mut items = Vec::new();
     let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c.is_whitespace() || c == ',' {
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() || b == b',' {
             i += 1;
             continue;
         }
-        if c.is_ascii_alphanumeric() || c == '_' {
+        if b.is_ascii_alphanumeric() || b == b'_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
-            let word: String = chars[start..i].iter().collect();
+            let word = &text[start..i];
             // optional whitespace then '('
             let mut j = i;
-            while j < chars.len() && chars[j].is_whitespace() {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
                 j += 1;
             }
             let mut args = None;
-            if j < chars.len() && chars[j] == '(' {
+            if j < bytes.len() && bytes[j] == b'(' {
                 let mut depth = 0usize;
                 let mut k = j;
                 let arg_start = j + 1;
-                while k < chars.len() {
-                    if chars[k] == '(' {
+                while k < bytes.len() {
+                    if bytes[k] == b'(' {
                         depth += 1;
-                    } else if chars[k] == ')' {
+                    } else if bytes[k] == b')' {
                         depth -= 1;
                         if depth == 0 {
                             break;
@@ -272,25 +273,25 @@ fn scan_items(text: &str) -> Vec<PragmaItem> {
                     }
                     k += 1;
                 }
-                let arg_end = k.min(chars.len());
-                args = Some(
-                    chars[arg_start..arg_end]
-                        .iter()
-                        .collect::<String>()
-                        .trim()
-                        .to_string(),
-                );
-                i = (k + 1).min(chars.len());
+                let arg_end = k.min(bytes.len());
+                args = Some(text[arg_start..arg_end].trim());
+                i = (k + 1).min(bytes.len());
             }
             items.push(PragmaItem { word, args });
         } else {
             // Unexpected punctuation in a pragma; keep it as an opaque word so
-            // the spec validator can flag it.
-            items.push(PragmaItem {
-                word: c.to_string(),
-                args: None,
-            });
-            i += 1;
+            // the spec validator can flag it. Slice a full character (pragmas
+            // may contain multi-byte text, e.g. unicode whitespace, which is
+            // still skipped like ASCII whitespace).
+            let c = text[i..].chars().next().unwrap_or(' ');
+            let char_len = c.len_utf8();
+            if !c.is_whitespace() {
+                items.push(PragmaItem {
+                    word: &text[i..i + char_len],
+                    args: None,
+                });
+            }
+            i += char_len;
         }
     }
     items
@@ -298,12 +299,12 @@ fn scan_items(text: &str) -> Vec<PragmaItem> {
 
 /// Parse a pragma payload (the text after `#pragma`) into a [`Directive`].
 pub fn parse_pragma(text: &str, span: Span) -> Directive {
-    let raw = text.trim().to_string();
-    let mut items = scan_items(&raw).into_iter();
+    let trimmed = text.trim();
+    let mut items = scan_items(trimmed).into_iter();
     let sentinel_item = items.next();
     let sentinel = sentinel_item
         .as_ref()
-        .map(|i| i.word.clone())
+        .map(|i| i.word.to_string())
         .unwrap_or_default();
     let model = match sentinel.as_str() {
         "acc" => Some(DirectiveModel::OpenAcc),
@@ -325,7 +326,7 @@ pub fn parse_pragma(text: &str, span: Span) -> Directive {
                 in_clauses = true;
                 clauses.push(Clause {
                     name: lower,
-                    args: item.args,
+                    args: item.args.map(str::to_string),
                 });
             }
         }
@@ -335,7 +336,7 @@ pub fn parse_pragma(text: &str, span: Span) -> Directive {
         for item in items {
             clauses.push(Clause {
                 name: item.word.to_ascii_lowercase(),
-                args: item.args,
+                args: item.args.map(str::to_string),
             });
         }
     }
@@ -345,7 +346,7 @@ pub fn parse_pragma(text: &str, span: Span) -> Directive {
         sentinel,
         name,
         clauses,
-        raw,
+        raw: trimmed.to_string(),
         span,
     }
 }

@@ -12,8 +12,20 @@
 //!
 //! Function-like macros are not supported (the corpus never emits them); a
 //! warning is recorded if one is defined.
+//!
+//! # Zero-copy operation
+//!
+//! The lexer walks the source `&str` in place — it never materializes a
+//! `Vec<char>` — and the text payload of every identifier, string literal
+//! and pragma is a [`Symbol`] interned into the caller's [`Interner`]
+//! ([`lex_with`]). A [`CompileSession`](https://docs.rs) reuses one interner
+//! across many compiles, so after warm-up, lexing a file performs no
+//! per-token allocations at all: identifier lexemes are sliced out of the
+//! source and hashed straight into the interner, numbers are parsed from
+//! slices, and string unescaping goes through one reused scratch buffer.
 
 use crate::diag::Diagnostic;
+use crate::intern::{Interner, Symbol};
 use crate::span::Span;
 use crate::token::{Keyword, Punct, Token, TokenKind};
 use std::collections::HashMap;
@@ -38,9 +50,17 @@ impl LexOutput {
     }
 }
 
+/// Lex a whole source file, interning text payloads into `interner`.
+///
+/// This is the session entry point: passing the same interner across many
+/// files deduplicates every identifier/string/pragma spelling once, and the
+/// token streams stay valid for as long as the interner lives.
+pub fn lex_with(source: &str, interner: &mut Interner) -> LexOutput {
+    Lexer::new(source, interner).lex()
+}
+
 /// The lexer itself. Construct with [`Lexer::new`] and call [`Lexer::lex`].
-pub struct Lexer<'a> {
-    chars: Vec<char>,
+pub struct Lexer<'a, 'i> {
     source: &'a str,
     pos: usize,
     line: u32,
@@ -48,29 +68,41 @@ pub struct Lexer<'a> {
     /// When true, preprocessor lines are not recognized (used for macro
     /// replacement fragments).
     fragment: bool,
-    defines: HashMap<String, String>,
+    /// Macro name symbol → replacement text (owned: the replacement is
+    /// re-lexed during expansion, which needs the interner mutably).
+    defines: HashMap<Symbol, Box<str>>,
+    interner: &'i mut Interner,
+    /// Reused scratch for string unescaping and spliced logical lines.
+    scratch: String,
     out: LexOutput,
 }
 
 const MAX_MACRO_DEPTH: usize = 16;
 
-impl<'a> Lexer<'a> {
+impl<'a, 'i> Lexer<'a, 'i> {
     /// Create a lexer over an entire source file.
-    pub fn new(source: &'a str) -> Self {
+    pub fn new(source: &'a str, interner: &'i mut Interner) -> Self {
+        // Pre-size from the source length: directive-C averages ~5 bytes per
+        // token, so this avoids the doubling churn on every compile.
+        let out = LexOutput {
+            tokens: Vec::with_capacity(source.len() / 5 + 8),
+            ..LexOutput::default()
+        };
         Self {
-            chars: source.chars().collect(),
             source,
             pos: 0,
             line: 1,
             col: 1,
             fragment: false,
             defines: HashMap::new(),
-            out: LexOutput::default(),
+            interner,
+            scratch: String::new(),
+            out,
         }
     }
 
-    fn new_fragment(source: &'a str, span: Span) -> Self {
-        let mut lexer = Self::new(source);
+    fn new_fragment(source: &'a str, span: Span, interner: &'i mut Interner) -> Self {
+        let mut lexer = Self::new(source, interner);
         lexer.fragment = true;
         lexer.line = span.line.max(1);
         lexer.col = span.col.max(1);
@@ -81,16 +113,18 @@ impl<'a> Lexer<'a> {
     /// token stream together with preprocessor metadata and diagnostics.
     pub fn lex(mut self) -> LexOutput {
         self.run();
-        let defines = self.defines.clone();
         let mut out = std::mem::take(&mut self.out);
-        out.tokens = expand_macros(out.tokens, &defines, &mut out.diagnostics);
+        if !self.defines.is_empty() {
+            let tokens = std::mem::take(&mut out.tokens);
+            out.tokens = expand_macros(tokens, &self.defines, self.interner, &mut out.diagnostics);
+        }
         out
     }
 
     fn run(&mut self) {
         loop {
             self.skip_trivia();
-            if self.pos >= self.chars.len() {
+            if self.pos >= self.source.len() {
                 break;
             }
             let span = self.span();
@@ -120,16 +154,34 @@ impl<'a> Lexer<'a> {
     }
 
     fn peek(&self) -> char {
-        self.chars.get(self.pos).copied().unwrap_or('\0')
+        match self.source.as_bytes().get(self.pos) {
+            None => '\0',
+            Some(&b) if b < 0x80 => b as char,
+            Some(_) => self.source[self.pos..].chars().next().unwrap_or('\0'),
+        }
     }
 
     fn peek_at(&self, offset: usize) -> char {
-        self.chars.get(self.pos + offset).copied().unwrap_or('\0')
+        // Only ever called with ASCII lookahead in mind; a multi-byte char at
+        // the offset simply fails the ASCII comparisons, as it should.
+        match self.source.as_bytes().get(self.pos + offset) {
+            None => '\0',
+            Some(&b) if b < 0x80 => b as char,
+            Some(_) => self.source[self.pos..]
+                .char_indices()
+                .find(|(i, _)| *i >= offset)
+                .map(|(_, c)| c)
+                .unwrap_or('\0'),
+        }
     }
 
     fn bump(&mut self) -> char {
+        if self.pos >= self.source.len() {
+            self.col += 1;
+            return '\0';
+        }
         let c = self.peek();
-        self.pos += 1;
+        self.pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -139,16 +191,22 @@ impl<'a> Lexer<'a> {
         c
     }
 
+    /// Advance over one known-ASCII byte (hot path for ident/number scans).
+    fn bump_ascii(&mut self) {
+        self.pos += 1;
+        self.col += 1;
+    }
+
     fn skip_trivia(&mut self) {
         loop {
             let c = self.peek();
-            if c == '\0' && self.pos >= self.chars.len() {
+            if c == '\0' && self.pos >= self.source.len() {
                 return;
             }
             if c.is_whitespace() {
                 self.bump();
             } else if c == '/' && self.peek_at(1) == '/' {
-                while self.pos < self.chars.len() && self.peek() != '\n' {
+                while self.pos < self.source.len() && self.peek() != '\n' {
                     self.bump();
                 }
             } else if c == '/' && self.peek_at(1) == '*' {
@@ -156,7 +214,7 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 self.bump();
                 let mut closed = false;
-                while self.pos < self.chars.len() {
+                while self.pos < self.source.len() {
                     if self.peek() == '*' && self.peek_at(1) == '/' {
                         self.bump();
                         self.bump();
@@ -179,35 +237,52 @@ impl<'a> Lexer<'a> {
     }
 
     /// Read the rest of a logical line (handling `\` continuations) and
-    /// return it without the leading character already consumed.
-    fn read_logical_line(&mut self) -> String {
-        let mut text = String::new();
-        while self.pos < self.chars.len() {
+    /// leave it in `self.scratch`. Returns the borrowed `(start, end)` byte
+    /// range when the line had no continuations (the common case), so the
+    /// caller can slice the source directly instead of going through the
+    /// scratch copy.
+    fn read_logical_line(&mut self) -> (usize, usize, bool) {
+        let start = self.pos;
+        self.scratch.clear();
+        let mut spliced = false;
+        while self.pos < self.source.len() {
             let c = self.peek();
             if c == '\\' && self.peek_at(1) == '\n' {
+                if !spliced {
+                    self.scratch.push_str(&self.source[start..self.pos]);
+                    spliced = true;
+                }
                 self.bump();
                 self.bump();
-                text.push(' ');
+                self.scratch.push(' ');
                 continue;
             }
             if c == '\n' {
                 break;
             }
-            text.push(self.bump());
+            let ch = self.bump();
+            if spliced {
+                self.scratch.push(ch);
+            }
         }
-        text
+        (start, self.pos, spliced)
     }
 
     fn lex_preprocessor_line(&mut self, span: Span) {
         self.bump(); // '#'
-        let line = self.read_logical_line();
+        let (start, end, spliced) = self.read_logical_line();
+        // Split the borrows: `scratch` and `source` are disjoint from `out`.
+        let line: &str = if spliced {
+            &self.scratch
+        } else {
+            &self.source[start..end]
+        };
         let trimmed = line.trim();
         if let Some(rest) = trimmed.strip_prefix("include") {
             let name = rest
                 .trim()
                 .trim_start_matches(['<', '"'])
-                .trim_end_matches(['>', '"'])
-                .to_string();
+                .trim_end_matches(['>', '"']);
             if name.is_empty() {
                 self.out.diagnostics.push(Diagnostic::warning(
                     span,
@@ -215,14 +290,15 @@ impl<'a> Lexer<'a> {
                     "#include with empty header name",
                 ));
             } else {
-                self.out.includes.push(name);
+                self.out.includes.push(name.to_string());
             }
         } else if let Some(rest) = trimmed.strip_prefix("define") {
             let rest = rest.trim_start();
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
+            let name_len = rest
+                .bytes()
+                .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                .count();
+            let name = &rest[..name_len];
             if name.is_empty() {
                 self.out.diagnostics.push(Diagnostic::error(
                     span,
@@ -240,11 +316,12 @@ impl<'a> Lexer<'a> {
                 ));
                 return;
             }
-            let value = after_name.trim().to_string();
-            self.defines.insert(name.clone(), value.clone());
-            self.out.defines.push((name, value));
+            let value = after_name.trim();
+            let name_sym = self.interner.intern(name);
+            self.defines.insert(name_sym, value.into());
+            self.out.defines.push((name.to_string(), value.to_string()));
         } else if let Some(rest) = trimmed.strip_prefix("pragma") {
-            let payload = rest.trim().to_string();
+            let payload = self.interner.intern(rest.trim());
             self.out
                 .tokens
                 .push(Token::new(TokenKind::Pragma(payload), span));
@@ -273,28 +350,30 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_ident(&mut self, span: Span) {
-        let mut name = String::new();
-        while self.peek().is_ascii_alphanumeric() || self.peek() == '_' {
-            name.push(self.bump());
+        let start = self.pos;
+        while matches!(self.source.as_bytes().get(self.pos), Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.bump_ascii();
         }
-        let kind = match Keyword::from_str(&name) {
+        let text = &self.source[start..self.pos];
+        let kind = match Keyword::from_str(text) {
             Some(kw) => TokenKind::Keyword(kw),
-            None => TokenKind::Ident(name),
+            None => TokenKind::Ident(self.interner.intern(text)),
         };
         self.out.tokens.push(Token::new(kind, span));
     }
 
     fn lex_number(&mut self, span: Span) {
-        let mut text = String::new();
-        let mut is_float = false;
+        let bytes = self.source.as_bytes();
         if self.peek() == '0' && (self.peek_at(1) == 'x' || self.peek_at(1) == 'X') {
-            self.bump();
-            self.bump();
-            let mut hex = String::new();
-            while self.peek().is_ascii_hexdigit() {
-                hex.push(self.bump());
+            self.bump_ascii();
+            self.bump_ascii();
+            let start = self.pos;
+            while matches!(bytes.get(self.pos), Some(b) if b.is_ascii_hexdigit()) {
+                self.bump_ascii();
             }
-            let value = i64::from_str_radix(&hex, 16).unwrap_or_else(|_| {
+            let hex = &self.source[start..self.pos];
+            let value = i64::from_str_radix(hex, 16).unwrap_or_else(|_| {
                 self.out.diagnostics.push(Diagnostic::error(
                     span,
                     "literal",
@@ -308,20 +387,21 @@ impl<'a> Lexer<'a> {
                 .push(Token::new(TokenKind::IntLit(value), span));
             return;
         }
-        while self.peek().is_ascii_digit() {
-            text.push(self.bump());
+        let start = self.pos;
+        let mut is_float = false;
+        while matches!(bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+            self.bump_ascii();
         }
         if self.peek() == '.' && self.peek_at(1).is_ascii_digit() {
             is_float = true;
-            text.push(self.bump());
-            while self.peek().is_ascii_digit() {
-                text.push(self.bump());
+            self.bump_ascii();
+            while matches!(bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.bump_ascii();
             }
         } else if self.peek() == '.' && !self.peek_at(1).is_ascii_alphanumeric() {
-            // e.g. "2." — still a float literal
+            // e.g. "2." — still a float literal (str::parse accepts it).
             is_float = true;
-            text.push(self.bump());
-            text.push('0');
+            self.bump_ascii();
         }
         if self.peek() == 'e' || self.peek() == 'E' {
             let mut lookahead = 1;
@@ -330,15 +410,16 @@ impl<'a> Lexer<'a> {
             }
             if self.peek_at(lookahead).is_ascii_digit() {
                 is_float = true;
-                text.push(self.bump());
+                self.bump_ascii();
                 if self.peek() == '+' || self.peek() == '-' {
-                    text.push(self.bump());
+                    self.bump_ascii();
                 }
-                while self.peek().is_ascii_digit() {
-                    text.push(self.bump());
+                while matches!(bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                    self.bump_ascii();
                 }
             }
         }
+        let text = &self.source[start..self.pos];
         self.consume_number_suffix();
         if is_float {
             let value = text.parse::<f64>().unwrap_or_else(|_| {
@@ -369,7 +450,7 @@ impl<'a> Lexer<'a> {
 
     fn consume_number_suffix(&mut self) {
         while matches!(self.peek(), 'f' | 'F' | 'l' | 'L' | 'u' | 'U') {
-            self.bump();
+            self.bump_ascii();
         }
     }
 
@@ -389,9 +470,12 @@ impl<'a> Lexer<'a> {
 
     fn lex_string(&mut self, span: Span) {
         self.bump(); // opening quote
-        let mut value = String::new();
+        let start = self.pos;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let mut escaped = false;
         loop {
-            if self.pos >= self.chars.len() || self.peek() == '\n' {
+            if self.pos >= self.source.len() || self.peek() == '\n' {
                 self.out.diagnostics.push(Diagnostic::error(
                     span,
                     "literal",
@@ -399,16 +483,37 @@ impl<'a> Lexer<'a> {
                 ));
                 break;
             }
+            let before = self.pos;
             let c = self.bump();
             if c == '"' {
                 break;
             }
             if c == '\\' {
-                value.push(self.lex_escape());
-            } else {
-                value.push(c);
+                if !escaped {
+                    scratch.push_str(&self.source[start..before]);
+                    escaped = true;
+                }
+                let e = self.lex_escape();
+                scratch.push(e);
+            } else if escaped {
+                scratch.push(c);
             }
         }
+        let value = if escaped {
+            self.interner.intern(&scratch)
+        } else {
+            // No escapes: the literal body is a plain slice of the source
+            // (up to, but excluding, the closing quote just consumed — or
+            // the error position for unterminated literals).
+            let end = if self.pos > start && self.source.as_bytes().get(self.pos - 1) == Some(&b'"')
+            {
+                self.pos - 1
+            } else {
+                self.pos
+            };
+            self.interner.intern(&self.source[start..end])
+        };
+        self.scratch = scratch;
         self.out
             .tokens
             .push(Token::new(TokenKind::StrLit(value), span));
@@ -506,33 +611,35 @@ impl<'a> Lexer<'a> {
 /// Expand object-like macros in a token stream by repeated substitution.
 fn expand_macros(
     tokens: Vec<Token>,
-    defines: &HashMap<String, String>,
+    defines: &HashMap<Symbol, Box<str>>,
+    interner: &mut Interner,
     diagnostics: &mut Vec<Diagnostic>,
 ) -> Vec<Token> {
-    if defines.is_empty() {
-        return tokens;
-    }
     let mut result = Vec::with_capacity(tokens.len());
     for token in tokens {
-        expand_token(token, defines, diagnostics, 0, &mut result);
+        expand_token(token, defines, interner, diagnostics, 0, &mut result);
     }
     result
 }
 
 fn expand_token(
     token: Token,
-    defines: &HashMap<String, String>,
+    defines: &HashMap<Symbol, Box<str>>,
+    interner: &mut Interner,
     diagnostics: &mut Vec<Diagnostic>,
     depth: usize,
     out: &mut Vec<Token>,
 ) {
-    if let TokenKind::Ident(name) = &token.kind {
-        if let Some(replacement) = defines.get(name) {
+    if let TokenKind::Ident(name) = token.kind {
+        if let Some(replacement) = defines.get(&name) {
             if depth >= MAX_MACRO_DEPTH {
                 diagnostics.push(Diagnostic::error(
                     token.span,
                     "preprocessor",
-                    format!("macro '{name}' expansion exceeds maximum depth"),
+                    format!(
+                        "macro '{}' expansion exceeds maximum depth",
+                        interner.resolve(name)
+                    ),
                 ));
                 out.push(token);
                 return;
@@ -540,7 +647,7 @@ fn expand_token(
             if replacement.trim().is_empty() {
                 return; // empty macro: token disappears
             }
-            let fragment = Lexer::new_fragment(replacement, token.span);
+            let fragment = Lexer::new_fragment(replacement, token.span, interner);
             let lexed = {
                 let mut l = fragment;
                 l.run();
@@ -553,10 +660,10 @@ fn expand_token(
                 inner.span = token.span;
                 // Guard against self-referential macros by refusing to
                 // re-expand the same name.
-                if matches!(&inner.kind, TokenKind::Ident(n) if n == name) {
+                if matches!(inner.kind, TokenKind::Ident(n) if n == name) {
                     out.push(inner);
                 } else {
-                    expand_token(inner, defines, diagnostics, depth + 1, out);
+                    expand_token(inner, defines, interner, diagnostics, depth + 1, out);
                 }
             }
             return;
@@ -569,23 +676,35 @@ fn expand_token(
 mod tests {
     use super::*;
 
-    fn kinds(source: &str) -> Vec<TokenKind> {
-        Lexer::new(source)
-            .lex()
-            .tokens
-            .into_iter()
-            .map(|t| t.kind)
+    fn lex(source: &str) -> (LexOutput, Interner) {
+        let mut interner = Interner::new();
+        let out = lex_with(source, &mut interner);
+        (out, interner)
+    }
+
+    fn kinds(source: &str) -> (Vec<TokenKind>, Interner) {
+        let (out, interner) = lex(source);
+        (out.tokens.into_iter().map(|t| t.kind).collect(), interner)
+    }
+
+    fn ident_texts(out: &LexOutput, interner: &Interner) -> Vec<String> {
+        out.tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(sym) => Some(interner.resolve(sym).to_string()),
+                _ => None,
+            })
             .collect()
     }
 
     #[test]
     fn lex_simple_tokens() {
-        let ks = kinds("int x = 42;");
+        let (ks, interner) = kinds("int x = 42;");
         assert_eq!(
             ks,
             vec![
                 TokenKind::Keyword(Keyword::Int),
-                TokenKind::Ident("x".into()),
+                TokenKind::Ident(interner.get("x").unwrap()),
                 TokenKind::Punct(Punct::Assign),
                 TokenKind::IntLit(42),
                 TokenKind::Punct(Punct::Semi),
@@ -596,26 +715,43 @@ mod tests {
 
     #[test]
     fn lex_float_and_suffixes() {
-        let ks = kinds("double y = 3.5f; double z = 1e3;");
+        let (ks, _) = kinds("double y = 3.5f; double z = 1e3;");
         assert!(ks.contains(&TokenKind::FloatLit(3.5)));
         assert!(ks.contains(&TokenKind::FloatLit(1000.0)));
     }
 
     #[test]
+    fn lex_trailing_dot_float() {
+        let (ks, _) = kinds("double w = 2.;");
+        assert!(ks.contains(&TokenKind::FloatLit(2.0)));
+    }
+
+    #[test]
     fn lex_hex_literal() {
-        let ks = kinds("int mask = 0xFF;");
+        let (ks, _) = kinds("int mask = 0xFF;");
         assert!(ks.contains(&TokenKind::IntLit(255)));
     }
 
     #[test]
     fn lex_string_with_escapes() {
-        let ks = kinds(r#"printf("a\tb\n");"#);
-        assert!(ks.contains(&TokenKind::StrLit("a\tb\n".into())));
+        let (out, interner) = lex(r#"printf("a\tb\n");"#);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::StrLit(s) if interner.resolve(s) == "a\tb\n")));
+    }
+
+    #[test]
+    fn lex_string_without_escapes_is_sliced() {
+        let (out, interner) = lex(r#"printf("plain text");"#);
+        assert!(out.tokens.iter().any(
+            |t| matches!(t.kind, TokenKind::StrLit(s) if interner.resolve(s) == "plain text")
+        ));
     }
 
     #[test]
     fn comments_are_skipped() {
-        let ks = kinds("int a; // trailing\n/* block\ncomment */ int b;");
+        let (ks, _) = kinds("int a; // trailing\n/* block\ncomment */ int b;");
         let idents: Vec<_> = ks
             .iter()
             .filter(|k| matches!(k, TokenKind::Ident(_)))
@@ -625,34 +761,30 @@ mod tests {
 
     #[test]
     fn include_and_define_are_recorded() {
-        let out = Lexer::new("#include <stdio.h>\n#define N 128\nint main() { return N; }").lex();
+        let (out, interner) = lex("#include <stdio.h>\n#define N 128\nint main() { return N; }");
         assert_eq!(out.includes, vec!["stdio.h".to_string()]);
         assert_eq!(out.defines, vec![("N".to_string(), "128".to_string())]);
         assert!(out.tokens.iter().any(|t| t.kind == TokenKind::IntLit(128)));
         // The macro name must have been substituted away.
-        assert!(!out
-            .tokens
-            .iter()
-            .any(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "N")));
+        assert!(!ident_texts(&out, &interner).contains(&"N".to_string()));
     }
 
     #[test]
     fn pragma_becomes_token() {
-        let out = Lexer::new("#pragma acc parallel loop gang\nfor(;;);").lex();
-        assert!(out
-            .tokens
-            .iter()
-            .any(|t| t.kind == TokenKind::Pragma("acc parallel loop gang".into())));
+        let (out, interner) = lex("#pragma acc parallel loop gang\nfor(;;);");
+        assert!(out.tokens.iter().any(
+            |t| matches!(t.kind, TokenKind::Pragma(p) if interner.resolve(p) == "acc parallel loop gang")
+        ));
     }
 
     #[test]
     fn pragma_with_line_continuation() {
-        let out = Lexer::new("#pragma omp target \\\n  map(tofrom: a)\nint x;").lex();
+        let (out, interner) = lex("#pragma omp target \\\n  map(tofrom: a)\nint x;");
         let pragma = out
             .tokens
             .iter()
-            .find_map(|t| match &t.kind {
-                TokenKind::Pragma(p) => Some(p.clone()),
+            .find_map(|t| match t.kind {
+                TokenKind::Pragma(p) => Some(interner.resolve(p).to_string()),
                 _ => None,
             })
             .expect("pragma token");
@@ -661,19 +793,29 @@ mod tests {
 
     #[test]
     fn unterminated_string_is_error() {
-        let out = Lexer::new("char *s = \"oops;\n").lex();
+        let (out, _) = lex("char *s = \"oops;\n");
         assert!(out.has_errors());
     }
 
     #[test]
     fn stray_character_is_error() {
-        let out = Lexer::new("int a = 1 @ 2;").lex();
+        let (out, _) = lex("int a = 1 @ 2;");
         assert!(out.has_errors());
     }
 
     #[test]
+    fn non_ascii_text_survives_strings_and_comments() {
+        let (out, interner) = lex("// über comment\nint main() { printf(\"π≈3\"); return 0; }");
+        assert!(!out.has_errors());
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::StrLit(s) if interner.resolve(s) == "π≈3")));
+    }
+
+    #[test]
     fn function_like_macro_warns_and_is_ignored() {
-        let out = Lexer::new("#define SQ(x) ((x)*(x))\nint main() { return 0; }").lex();
+        let (out, _) = lex("#define SQ(x) ((x)*(x))\nint main() { return 0; }");
         assert!(!out.has_errors());
         assert!(out
             .diagnostics
@@ -683,28 +825,44 @@ mod tests {
 
     #[test]
     fn macro_expansion_is_not_infinitely_recursive() {
-        let out = Lexer::new("#define A A\nint x = A;").lex();
+        let (out, interner) = lex("#define A A\nint x = A;");
         // self-referential macro: the identifier survives, no hang, no error
-        assert!(out
-            .tokens
-            .iter()
-            .any(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "A")));
+        assert!(ident_texts(&out, &interner).contains(&"A".to_string()));
     }
 
     #[test]
     fn nested_macro_expansion() {
-        let out = Lexer::new("#define N 64\n#define M N\nint x = M;").lex();
+        let (out, _) = lex("#define N 64\n#define M N\nint x = M;");
         assert!(out.tokens.iter().any(|t| t.kind == TokenKind::IntLit(64)));
     }
 
     #[test]
     fn spans_track_lines() {
-        let out = Lexer::new("int a;\nint b;\n").lex();
+        let (out, interner) = lex("int a;\nint b;\n");
+        let b = interner.get("b").unwrap();
         let b_token = out
             .tokens
             .iter()
-            .find(|t| matches!(&t.kind, TokenKind::Ident(n) if n == "b"))
+            .find(|t| matches!(t.kind, TokenKind::Ident(s) if s == b))
             .unwrap();
         assert_eq!(b_token.span.line, 2);
+    }
+
+    #[test]
+    fn shared_interner_reuses_symbols_across_files() {
+        let mut interner = Interner::new();
+        let a = lex_with("int alpha = 1;", &mut interner);
+        let before = interner.len();
+        let b = lex_with("int alpha = 2;", &mut interner);
+        assert_eq!(interner.len(), before, "no new symbols for repeated names");
+        let sym_a = a.tokens.iter().find_map(|t| match t.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        });
+        let sym_b = b.tokens.iter().find_map(|t| match t.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        });
+        assert_eq!(sym_a, sym_b);
     }
 }

@@ -40,25 +40,44 @@ pub use ast::{
 pub use diag::{Diagnostic, Severity};
 pub use directive::{Clause, Directive, DirectiveModel};
 pub use intern::{Interner, Symbol};
-pub use lexer::{LexOutput, Lexer};
+pub use lexer::{lex_with, LexOutput, Lexer};
 pub use parser::{ParseOutput, Parser};
 pub use span::Span;
 pub use token::{Keyword, Punct, Token, TokenKind};
 
 /// Parse a complete source file into a translation unit.
 ///
-/// This is the main entry point used by the simulated compilers. On success
-/// the returned [`ParseOutput`] carries the translation unit together with
-/// any non-fatal diagnostics (e.g. unknown preprocessor directives). On
-/// failure the error carries at least one [`Diagnostic`] with
-/// [`Severity::Error`].
+/// This is the one-shot entry point: it lexes through a private, throwaway
+/// [`Interner`]. Long-lived callers that compile many files (compile
+/// sessions, the validation pipeline) should use [`parse_source_with`] with
+/// a reused interner so that identifier spellings are hashed and allocated
+/// only once across the whole session.
+///
+/// On success the returned [`ParseOutput`] carries the translation unit
+/// together with any non-fatal diagnostics (e.g. unknown preprocessor
+/// directives). On failure the error carries at least one [`Diagnostic`]
+/// with [`Severity::Error`].
 pub fn parse_source(source: &str) -> Result<ParseOutput, Vec<Diagnostic>> {
-    let lexed = Lexer::new(source).lex();
+    let mut interner = Interner::new();
+    parse_source_with(source, &mut interner)
+}
+
+/// Parse a complete source file, interning through the caller's session
+/// [`Interner`].
+///
+/// Produces exactly the same output as [`parse_source`] for any input (the
+/// interner only changes *where* identifier text is stored, never what the
+/// parser builds); the shared table is what makes repeated compiles cheap.
+pub fn parse_source_with(
+    source: &str,
+    interner: &mut Interner,
+) -> Result<ParseOutput, Vec<Diagnostic>> {
+    let lexed = lex_with(source, interner);
     let mut diags = lexed.diagnostics.clone();
     if diags.iter().any(|d| d.severity == Severity::Error) {
         return Err(diags);
     }
-    let parser = Parser::new(lexed);
+    let parser = Parser::new(lexed, interner);
     match parser.parse() {
         Ok(mut out) => {
             out.diagnostics.append(&mut diags);
@@ -86,5 +105,28 @@ mod tests {
     fn parse_error_reports_diagnostic() {
         let err = parse_source("int main() { return 0; ").unwrap_err();
         assert!(err.iter().any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn session_parse_matches_one_shot_parse() {
+        let sources = [
+            "int main() { return 0; }",
+            "#define N 4\nint main() { int a[N]; for (int i = 0; i < N; i++) { a[i] = i; } return 0; }",
+            "int main() {\n#pragma acc parallel loop\nfor (int i = 0; i < 8; i++) { }\nreturn 0; }",
+            "int main() { return oops; ", // parse error
+        ];
+        let mut interner = Interner::new();
+        for src in sources {
+            let fresh = parse_source(src);
+            let shared = parse_source_with(src, &mut interner);
+            match (fresh, shared) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.unit, b.unit, "unit mismatch for {src:?}");
+                    assert_eq!(a.diagnostics, b.diagnostics);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("outcome mismatch for {src:?}: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

@@ -1,8 +1,15 @@
 //! Recursive-descent parser for the mini directive-C language.
+//!
+//! The parser consumes the `Copy` token stream produced by the zero-copy
+//! lexer: tokens are copied (never cloned through the heap), identifier
+//! payloads are [`Symbol`]s resolved against the session [`Interner`] only
+//! at the point an AST node is built, and error messages spell names out via
+//! the same interner.
 
 use crate::ast::*;
 use crate::diag::Diagnostic;
 use crate::directive::{parse_pragma, Directive};
+use crate::intern::{Interner, Symbol};
 use crate::lexer::LexOutput;
 use crate::span::Span;
 use crate::token::{Keyword, Punct, Token, TokenKind};
@@ -16,27 +23,29 @@ pub struct ParseOutput {
     pub diagnostics: Vec<Diagnostic>,
 }
 
-/// The parser. Construct with [`Parser::new`] from a [`LexOutput`] and call
-/// [`Parser::parse`].
-pub struct Parser {
+/// The parser. Construct with [`Parser::new`] from a [`LexOutput`] and the
+/// [`Interner`] the tokens were lexed with, then call [`Parser::parse`].
+pub struct Parser<'i> {
     tokens: Vec<Token>,
     pos: usize,
     includes: Vec<String>,
     defines: Vec<(String, String)>,
     diagnostics: Vec<Diagnostic>,
+    interner: &'i Interner,
 }
 
 type PResult<T> = Result<T, Diagnostic>;
 
-impl Parser {
+impl<'i> Parser<'i> {
     /// Create a parser over lexed tokens.
-    pub fn new(lexed: LexOutput) -> Self {
+    pub fn new(lexed: LexOutput, interner: &'i Interner) -> Self {
         Self {
             tokens: lexed.tokens,
             pos: 0,
             includes: lexed.includes,
             defines: lexed.defines,
             diagnostics: lexed.diagnostics,
+            interner,
         }
     }
 
@@ -62,18 +71,38 @@ impl Parser {
     }
 
     fn parse_unit(&mut self) -> PResult<TranslationUnit> {
+        // Pre-size the top-level vecs from a cheap scan of the token stream:
+        // every function definition owns exactly one top-level `{`, and
+        // directives are 1:1 with pragma tokens.
+        let mut brace_depth = 0i32;
+        let mut top_level_braces = 0usize;
+        let mut pragmas = 0usize;
+        for tok in &self.tokens {
+            match tok.kind {
+                TokenKind::Punct(Punct::LBrace) => {
+                    if brace_depth == 0 {
+                        top_level_braces += 1;
+                    }
+                    brace_depth += 1;
+                }
+                TokenKind::Punct(Punct::RBrace) => brace_depth -= 1,
+                TokenKind::Pragma(_) => pragmas += 1,
+                _ => {}
+            }
+        }
         let mut unit = TranslationUnit {
             includes: std::mem::take(&mut self.includes),
             defines: std::mem::take(&mut self.defines),
+            functions: Vec::with_capacity(top_level_braces),
             ..Default::default()
         };
-        let mut pending_directives: Vec<Directive> = Vec::new();
+        let mut pending_directives: Vec<Directive> = Vec::with_capacity(pragmas.min(4));
         loop {
             if self.at_eof() {
                 break;
             }
-            if let TokenKind::Pragma(text) = &self.peek().kind {
-                let directive = parse_pragma(text, self.peek().span);
+            if let TokenKind::Pragma(text) = self.peek().kind {
+                let directive = parse_pragma(self.interner.resolve(text), self.peek().span);
                 self.bump();
                 pending_directives.push(directive);
                 continue;
@@ -91,13 +120,13 @@ impl Parser {
                     unit.globals.extend(decls);
                 }
             } else {
-                let tok = self.peek().clone();
+                let tok = *self.peek();
                 return Err(Diagnostic::error(
                     tok.span,
                     "syntax",
                     format!(
                         "expected a declaration or function definition, found {}",
-                        tok
+                        self.describe(&tok)
                     ),
                 ));
             }
@@ -110,6 +139,14 @@ impl Parser {
     // token helpers
     // ------------------------------------------------------------------
 
+    fn describe(&self, tok: &Token) -> String {
+        tok.kind.describe(self.interner)
+    }
+
+    fn resolve(&self, sym: Symbol) -> &'i str {
+        self.interner.resolve(sym)
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -119,7 +156,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let tok = self.peek().clone();
+        let tok = *self.peek();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -147,27 +184,36 @@ impl Parser {
         if self.check_punct(p) {
             Ok(self.bump().span)
         } else {
-            let tok = self.peek();
+            let tok = *self.peek();
             Err(Diagnostic::error(
                 tok.span,
                 "syntax",
-                format!("expected '{}' {}, found {}", p.as_str(), context, tok),
+                format!(
+                    "expected '{}' {}, found {}",
+                    p.as_str(),
+                    context,
+                    self.describe(&tok)
+                ),
             ))
         }
     }
 
     fn expect_ident(&mut self, context: &str) -> PResult<(String, Span)> {
-        match self.peek().kind.clone() {
-            TokenKind::Ident(name) => {
+        match self.peek().kind {
+            TokenKind::Ident(sym) => {
                 let span = self.bump().span;
-                Ok((name, span))
+                Ok((self.resolve(sym).to_string(), span))
             }
             _ => {
-                let tok = self.peek();
+                let tok = *self.peek();
                 Err(Diagnostic::error(
                     tok.span,
                     "syntax",
-                    format!("expected {} (identifier), found {}", context, tok),
+                    format!(
+                        "expected {} (identifier), found {}",
+                        context,
+                        self.describe(&tok)
+                    ),
                 ))
             }
         }
@@ -226,11 +272,11 @@ impl Parser {
                 if is_unsigned {
                     BaseType::Int // `unsigned x` defaults to unsigned int
                 } else {
-                    let tok = self.peek();
+                    let tok = *self.peek();
                     return Err(Diagnostic::error(
                         tok.span,
                         "syntax",
-                        format!("expected a type name, found {}", tok),
+                        format!("expected a type name, found {}", self.describe(&tok)),
                     ));
                 }
             }
@@ -377,15 +423,15 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> PResult<Stmt> {
-        let tok = self.peek().clone();
-        match &tok.kind {
+        let tok = *self.peek();
+        match tok.kind {
             TokenKind::Punct(Punct::LBrace) => Ok(Stmt::Block(self.parse_block()?)),
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();
                 Ok(Stmt::Empty(tok.span))
             }
             TokenKind::Pragma(text) => {
-                let directive = parse_pragma(text, tok.span);
+                let directive = parse_pragma(self.resolve(text), tok.span);
                 self.bump();
                 if directive.is_standalone() {
                     Ok(Stmt::Directive {
@@ -523,11 +569,14 @@ impl Parser {
         let span = self.bump().span;
         let body = Box::new(self.parse_stmt()?);
         if !self.peek().is_keyword(Keyword::While) {
-            let tok = self.peek();
+            let tok = *self.peek();
             return Err(Diagnostic::error(
                 tok.span,
                 "syntax",
-                format!("expected 'while' after do-statement body, found {}", tok),
+                format!(
+                    "expected 'while' after do-statement body, found {}",
+                    self.describe(&tok)
+                ),
             ));
         }
         self.bump();
@@ -634,7 +683,7 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> PResult<Expr> {
-        let tok = self.peek().clone();
+        let tok = *self.peek();
         let op = match &tok.kind {
             TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
             TokenKind::Punct(Punct::Not) => Some(UnOp::Not),
@@ -739,9 +788,9 @@ impl Parser {
         match tok.kind {
             TokenKind::IntLit(v) => Ok(Expr::IntLit(v, tok.span)),
             TokenKind::FloatLit(v) => Ok(Expr::FloatLit(v, tok.span)),
-            TokenKind::StrLit(s) => Ok(Expr::StrLit(s, tok.span)),
+            TokenKind::StrLit(s) => Ok(Expr::StrLit(self.resolve(s).to_string(), tok.span)),
             TokenKind::CharLit(c) => Ok(Expr::CharLit(c, tok.span)),
-            TokenKind::Ident(name) => Ok(Expr::Ident(name, tok.span)),
+            TokenKind::Ident(sym) => Ok(Expr::Ident(self.resolve(sym).to_string(), tok.span)),
             TokenKind::Keyword(Keyword::Sizeof) => {
                 self.expect_punct(Punct::LParen, "after 'sizeof'")?;
                 if self.peek_starts_type() {
@@ -768,7 +817,10 @@ impl Parser {
             other => Err(Diagnostic::error(
                 tok.span,
                 "syntax",
-                format!("expected an expression, found {}", other.describe()),
+                format!(
+                    "expected an expression, found {}",
+                    other.describe(self.interner)
+                ),
             )),
         }
     }
@@ -777,19 +829,24 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::Lexer;
+    use crate::intern::Interner;
+    use crate::lexer::lex_with;
 
     fn parse_ok(src: &str) -> TranslationUnit {
-        let lexed = Lexer::new(src).lex();
-        Parser::new(lexed)
+        let mut interner = Interner::new();
+        let lexed = lex_with(src, &mut interner);
+        Parser::new(lexed, &interner)
             .parse()
             .expect("parse should succeed")
             .unit
     }
 
     fn parse_err(src: &str) -> Vec<Diagnostic> {
-        let lexed = Lexer::new(src).lex();
-        Parser::new(lexed).parse().expect_err("parse should fail")
+        let mut interner = Interner::new();
+        let lexed = lex_with(src, &mut interner);
+        Parser::new(lexed, &interner)
+            .parse()
+            .expect_err("parse should fail")
     }
 
     #[test]
@@ -884,6 +941,16 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.is_error() && d.message.contains("';'")));
+    }
+
+    #[test]
+    fn error_messages_spell_out_identifiers() {
+        let diags = parse_err("int main() { int 3x; }");
+        assert!(diags.iter().any(|d| d.is_error()));
+        let diags = parse_err("banana main() { return 0; }");
+        assert!(diags
+            .iter()
+            .any(|d| d.is_error() && d.message.contains("identifier 'banana'")));
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! Token definitions for the mini directive-C language.
+//!
+//! Tokens are `Copy`: identifier, string-literal and pragma payloads are
+//! [`Symbol`]s interned at lex time into the compile session's [`Interner`]
+//! (see [`crate::lexer`]), so a token is four machine words and the parser
+//! never clones strings while scanning.
 
+use crate::intern::{Interner, Symbol};
 use crate::span::Span;
-use std::fmt;
 
 /// Reserved words recognized by the lexer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -187,16 +192,19 @@ impl Punct {
 }
 
 /// The kind of a token.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Text payloads are interned [`Symbol`]s; resolve them through the
+/// [`Interner`] the token stream was lexed with.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TokenKind {
     /// An identifier (after macro substitution).
-    Ident(String),
+    Ident(Symbol),
     /// An integer literal.
     IntLit(i64),
     /// A floating point literal.
     FloatLit(f64),
-    /// A string literal (unescaped contents).
-    StrLit(String),
+    /// A string literal (interned unescaped contents).
+    StrLit(Symbol),
     /// A character literal.
     CharLit(char),
     /// A reserved word.
@@ -205,16 +213,18 @@ pub enum TokenKind {
     Punct(Punct),
     /// A `#pragma` line; the payload is everything after `#pragma`,
     /// whitespace-trimmed, with line continuations spliced.
-    Pragma(String),
+    Pragma(Symbol),
     /// End of file.
     Eof,
 }
 
 impl TokenKind {
     /// A short human-readable description used in parse error messages.
-    pub fn describe(&self) -> String {
+    /// Needs the [`Interner`] the token was lexed with to spell out
+    /// identifier names.
+    pub fn describe(&self, interner: &Interner) -> String {
         match self {
-            TokenKind::Ident(name) => format!("identifier '{name}'"),
+            TokenKind::Ident(sym) => format!("identifier '{}'", interner.resolve(*sym)),
             TokenKind::IntLit(v) => format!("integer literal '{v}'"),
             TokenKind::FloatLit(v) => format!("floating literal '{v}'"),
             TokenKind::StrLit(_) => "string literal".to_string(),
@@ -227,8 +237,8 @@ impl TokenKind {
     }
 }
 
-/// A token with its source position.
-#[derive(Clone, Debug, PartialEq)]
+/// A token with its source position. Four machine words, `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokenKind,
@@ -250,12 +260,6 @@ impl Token {
     /// True if the token is the given keyword.
     pub fn is_keyword(&self, k: Keyword) -> bool {
         matches!(&self.kind, TokenKind::Keyword(q) if *q == k)
-    }
-}
-
-impl fmt::Display for Token {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.kind.describe())
     }
 }
 
@@ -298,10 +302,20 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
+        let mut interner = Interner::new();
+        let foo = interner.intern("foo");
         assert_eq!(
-            TokenKind::Ident("foo".to_string()).describe(),
+            TokenKind::Ident(foo).describe(&interner),
             "identifier 'foo'"
         );
-        assert_eq!(TokenKind::Punct(Punct::LBrace).describe(), "'{'");
+        assert_eq!(TokenKind::Punct(Punct::LBrace).describe(&interner), "'{'");
+    }
+
+    #[test]
+    fn tokens_are_small_and_copy() {
+        // The zero-alloc frontend relies on tokens being plain values.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Token>();
+        assert!(std::mem::size_of::<Token>() <= 32);
     }
 }

@@ -36,7 +36,9 @@ pub use inference::InferenceCostModel;
 pub use model::{extract_signals, CodeSignals, SurrogateLlmJudge};
 pub use parse::{extract_verdict, Verdict};
 pub use profile::{JudgeProfile, SignalReliability};
-pub use prompt::{build_prompt, criteria_block, PromptStyle, ToolContext, ToolRecord};
+pub use prompt::{
+    build_prompt, build_prompt_into, criteria_block, PromptStyle, ToolContext, ToolRecord,
+};
 pub use tokenizer::estimate_tokens;
 
 use vv_dclang::DirectiveModel;
@@ -98,8 +100,28 @@ impl JudgeSession {
         model: DirectiveModel,
         tools: Option<&ToolContext>,
     ) -> JudgeOutcome {
+        self.evaluate_precomputed(source, model, tools, None)
+    }
+
+    /// Judge one source file, optionally reusing code signals precomputed
+    /// from the source (see [`CodeSignals::of_source`]); the compile stage
+    /// computes these once per distinct source, so the judge skips its
+    /// line-by-line re-scan of the rendered prompt. Outcomes are identical
+    /// to [`JudgeSession::evaluate`] either way.
+    pub fn evaluate_precomputed(
+        &self,
+        source: &str,
+        model: DirectiveModel,
+        tools: Option<&ToolContext>,
+        code_signals: Option<&CodeSignals>,
+    ) -> JudgeOutcome {
         let prompt = build_prompt(self.style, model, source, tools);
-        let response = self.judge.complete(&prompt);
+        let response = match code_signals {
+            Some(signals) => self
+                .judge
+                .complete_with_signals(&prompt, model, signals, self.style, tools),
+            None => self.judge.complete(&prompt),
+        };
         let verdict = extract_verdict(&response);
         let prompt_tokens = estimate_tokens(&prompt);
         let response_tokens = estimate_tokens(&response);

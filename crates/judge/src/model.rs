@@ -9,8 +9,22 @@
 //! outputs. A calibrated per-signal reliability (see [`crate::profile`])
 //! decides whether each piece of evidence actually influences the verdict,
 //! reproducing the measured unreliability of `deepseek-coder-33B-instruct`.
+//!
+//! # The precomputed fast path
+//!
+//! Re-scanning the rendered prompt per case is pure overhead when the
+//! pipeline already knows the source text and the tool records it embedded:
+//! the code-derived half of [`CodeSignals`] is a function of the source
+//! alone ([`CodeSignals::of_source`], computable once per distinct source at
+//! the compile stage and cached with the compile outcome), and the
+//! tool-derived half is a function of the tool records and prompt style
+//! ([`CodeSignals::with_tools`]). [`SurrogateLlmJudge::complete_with_signals`]
+//! consumes both without touching the prompt body, and is proven response-
+//! identical to [`SurrogateLlmJudge::complete`] over the mixed corpus in
+//! `tests/compile_parity.rs`.
 
 use crate::profile::JudgeProfile;
+use crate::prompt::{PromptStyle, ToolContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -20,7 +34,7 @@ use vv_dclang::{DirectiveModel, Span};
 use vv_specs::directive_spec;
 
 /// Evidence extracted from a prompt (code section + tool section).
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CodeSignals {
     /// The code contains at least one directive of the target model.
     pub has_target_directives: bool,
@@ -44,25 +58,87 @@ pub struct CodeSignals {
     pub outputs_mention_pass: bool,
 }
 
+impl CodeSignals {
+    /// Compute the code-derived signals for a source text (the tool-derived
+    /// fields stay `false`). Equal to what [`extract_signals`] derives from
+    /// the code section of any prompt embedding `code` verbatim.
+    pub fn of_source(code: &str, model: DirectiveModel) -> CodeSignals {
+        let sentinel = sentinel_marker(model);
+        let mut signals = CodeSignals {
+            has_target_directives: code.contains(sentinel),
+            brace_delta: code.matches('{').count() as i64 - code.matches('}').count() as i64,
+            ..Default::default()
+        };
+        let declared = declared_identifiers(code);
+        signals.undeclared_assignment = find_undeclared_assignment(code, &declared);
+        signals.corrupted_directive = find_corrupted_directive(code, model, sentinel);
+        signals.unallocated_pointer = find_unallocated_pointer(code);
+        signals.missing_verification =
+            !(code.contains("return 1") && (code.contains("!=") || code.contains("==")));
+        signals
+    }
+
+    /// Fill the tool-derived fields from the records an agent prompt of
+    /// `style` would embed — the same values [`extract_signals`] would parse
+    /// back out of the rendered tool section.
+    pub fn with_tools(mut self, style: PromptStyle, tools: Option<&ToolContext>) -> CodeSignals {
+        if !style.uses_tools() {
+            return self;
+        }
+        // The tool section is rendered unconditionally for agent styles
+        // (absent records default to return code 0 and empty captures).
+        self.tools_present = true;
+        let compile = tools.and_then(|t| t.compile.as_ref());
+        let (compile_rc, compile_stderr) =
+            compile.map_or((0, ""), |r| (r.return_code, r.stderr.as_ref()));
+        // The prompt scanner only sees the first line of the embedded
+        // stderr (the rest lands on lines without the marker).
+        let stderr_first_line = compile_stderr
+            .trim_end()
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim();
+        self.compile_failed = compile_rc != 0
+            || stderr_first_line.to_ascii_lowercase().contains("error")
+            || stderr_first_line.contains("-S-");
+        let run = tools.and_then(|t| t.run.as_ref());
+        let (run_rc, run_stdout, run_stderr) = run.map_or((0, "", ""), |r| {
+            (r.return_code, r.stdout.as_ref(), r.stderr.as_ref())
+        });
+        self.runtime_failed = run_rc != 0;
+        // "pass" can only appear inside the embedded run captures — the
+        // static text between the run section and the code marker never
+        // contains it (asserted in tests).
+        self.outputs_mention_pass = run_stderr.trim_end().to_ascii_lowercase().contains("pass")
+            || run_stdout.trim_end().to_ascii_lowercase().contains("pass");
+        self
+    }
+}
+
 const TYPE_KEYWORDS: &[&str] = &["int", "long", "float", "double", "char", "unsigned", "void"];
+
+fn sentinel_marker(model: DirectiveModel) -> &'static str {
+    match model {
+        DirectiveModel::OpenAcc => "#pragma acc",
+        DirectiveModel::OpenMp => "#pragma omp",
+    }
+}
+
+/// The model a judge infers from prompt wording alone (every template
+/// mentions the display name of exactly one model; code comments can, in
+/// principle, fool this — which is part of the surrogate's fidelity).
+pub(crate) fn detect_model(prompt: &str) -> DirectiveModel {
+    if prompt.contains("OpenACC") {
+        DirectiveModel::OpenAcc
+    } else {
+        DirectiveModel::OpenMp
+    }
+}
 
 /// Extract code and tool signals from a prompt.
 pub fn extract_signals(prompt: &str, model: DirectiveModel) -> CodeSignals {
-    let code = code_section(prompt);
-    let sentinel = format!("#pragma {}", model.sentinel());
-
-    let mut signals = CodeSignals {
-        has_target_directives: code.contains(&sentinel),
-        brace_delta: code.matches('{').count() as i64 - code.matches('}').count() as i64,
-        ..Default::default()
-    };
-
-    let declared = declared_identifiers(code);
-    signals.undeclared_assignment = find_undeclared_assignment(code, &declared);
-    signals.corrupted_directive = find_corrupted_directive(code, model, &sentinel);
-    signals.unallocated_pointer = find_unallocated_pointer(code);
-    signals.missing_verification =
-        !(code.contains("return 1") && (code.contains("!=") || code.contains("==")));
+    let mut signals = CodeSignals::of_source(code_section(prompt), model);
 
     // Tool section (agent prompts only).
     if let Some(rc) = find_int_after(prompt, "Compiler return code:") {
@@ -95,62 +171,55 @@ fn code_section(prompt: &str) -> &str {
     prompt
 }
 
-fn declared_identifiers(code: &str) -> HashSet<String> {
+/// Identifiers declared with a type keyword or `#define`, as borrowed
+/// slices of `code` (no per-word allocation).
+fn declared_identifiers(code: &str) -> HashSet<&str> {
     let mut declared = HashSet::new();
-    let mut words = Vec::new();
-    let mut current = String::new();
-    for c in code.chars() {
-        if c.is_ascii_alphanumeric() || c == '_' {
-            current.push(c);
-        } else {
-            if !current.is_empty() {
-                words.push(std::mem::take(&mut current));
-            }
-            if c == '*' || c == ',' {
-                continue;
-            }
+    let mut prev_was_type = false;
+    for word in words(code) {
+        if prev_was_type {
+            declared.insert(word);
         }
-    }
-    if !current.is_empty() {
-        words.push(current);
-    }
-    for window in words.windows(2) {
-        if TYPE_KEYWORDS.contains(&window[0].as_str()) {
-            declared.insert(window[1].clone());
-        }
+        prev_was_type = TYPE_KEYWORDS.contains(&word);
     }
     // `#define NAME value` also introduces a name.
     for line in code.lines() {
         if let Some(rest) = line.trim_start().strip_prefix("#define ") {
             if let Some(name) = rest.split_whitespace().next() {
-                declared.insert(name.to_string());
+                declared.insert(name);
             }
         }
     }
     declared
 }
 
-fn find_undeclared_assignment(code: &str, declared: &HashSet<String>) -> Option<String> {
+/// Iterate maximal `[A-Za-z0-9_]` runs of `text` as slices.
+fn words(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty())
+}
+
+fn find_undeclared_assignment(code: &str, declared: &HashSet<&str>) -> Option<String> {
     for line in code.lines() {
         let trimmed = line.trim_start();
         if trimmed.starts_with('#') || trimmed.starts_with("//") {
             continue;
         }
         // Lines that themselves declare something are fine.
-        if TYPE_KEYWORDS
-            .iter()
-            .any(|k| trimmed.starts_with(&format!("{k} ")))
-            || TYPE_KEYWORDS
-                .iter()
-                .any(|k| trimmed.starts_with(&format!("const {k}")))
-        {
+        let declares = TYPE_KEYWORDS.iter().any(|k| {
+            trimmed
+                .strip_prefix(k)
+                .is_some_and(|rest| rest.starts_with(' '))
+                || trimmed
+                    .strip_prefix("const ")
+                    .is_some_and(|rest| rest.starts_with(k))
+        });
+        if declares {
             continue;
         }
-        let name: String = trimmed
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        let name_len = leading_ident_len(trimmed);
+        let name = &trimmed[..name_len];
+        if name.is_empty() || name.as_bytes()[0].is_ascii_digit() {
             continue;
         }
         let rest = &trimmed[name.len()..];
@@ -168,11 +237,17 @@ fn find_undeclared_assignment(code: &str, declared: &HashSet<String>) -> Option<
             || after.starts_with("-=")
             || after.starts_with("*=")
             || after.starts_with("/=");
-        if is_assignment && !declared.contains(&name) && !is_common_keyword(&name) {
-            return Some(name);
+        if is_assignment && !declared.contains(name) && !is_common_keyword(name) {
+            return Some(name.to_string());
         }
     }
     None
+}
+
+fn leading_ident_len(text: &str) -> usize {
+    text.bytes()
+        .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        .count()
 }
 
 fn is_common_keyword(word: &str) -> bool {
@@ -216,17 +291,16 @@ fn find_unallocated_pointer(code: &str) -> Option<String> {
         if !trimmed.ends_with(';') || trimmed.contains('=') || !trimmed.contains('*') {
             continue;
         }
-        let mut parts = trimmed.trim_end_matches(';').split_whitespace();
+        let body = trimmed.trim_end_matches(';');
+        let mut parts = body.split_whitespace();
         let Some(first) = parts.next() else { continue };
         if !TYPE_KEYWORDS.contains(&first) {
             continue;
         }
-        let rest: String = parts.collect::<Vec<_>>().join(" ");
-        let name: String = rest
-            .trim_start_matches(['*', ' '])
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
+        // The declarator: whatever follows the type keyword with leading
+        // whitespace and `*`s stripped.
+        let rest = body[first.len()..].trim_start_matches(|c: char| c.is_whitespace() || c == '*');
+        let name = &rest[..leading_ident_len(rest)];
         if name.is_empty() {
             continue;
         }
@@ -234,7 +308,7 @@ fn find_unallocated_pointer(code: &str) -> Option<String> {
         let assigned_later =
             code.contains(&format!("{name} = (")) || code.contains(&format!("{name} = malloc"));
         if indexed && !assigned_later {
-            return Some(name);
+            return Some(name.to_string());
         }
     }
     None
@@ -288,12 +362,52 @@ impl SurrogateLlmJudge {
     /// of the system uses — exactly the text-completion interface of the
     /// real model.
     pub fn complete(&self, prompt: &str) -> String {
-        let model = if prompt.contains("OpenACC") {
-            DirectiveModel::OpenAcc
-        } else {
-            DirectiveModel::OpenMp
-        };
+        let model = detect_model(prompt);
         let signals = extract_signals(prompt, model);
+        self.respond(prompt, model, &signals)
+    }
+
+    /// The fast path: produce the response for `prompt` without re-scanning
+    /// its body, using code signals precomputed from the source (see
+    /// [`CodeSignals::of_source`]) and the tool records the prompt embeds.
+    ///
+    /// Responses are byte-identical to [`SurrogateLlmJudge::complete`]: the
+    /// decision RNG is seeded from the same prompt hash, and the derivation
+    /// of every signal mirrors the text scanner. The two cases where the
+    /// scanner could diverge are detected and fall back to it:
+    ///
+    /// * the prompt wording implies a different model than `model`
+    ///   (possible only when the *source text* mentions the other model's
+    ///   display name);
+    /// * a tool-free (Direct-style) prompt whose source text contains the
+    ///   tool-section marker strings, which the scanner would misread as an
+    ///   embedded tool section. (Agent-style prompts are immune: their
+    ///   genuine tool section precedes the code, and the scanner always
+    ///   takes the first occurrence of each marker.)
+    pub fn complete_with_signals(
+        &self,
+        prompt: &str,
+        model: DirectiveModel,
+        code_signals: &CodeSignals,
+        style: PromptStyle,
+        tools: Option<&ToolContext>,
+    ) -> String {
+        if detect_model(prompt) != model {
+            return self.complete(prompt);
+        }
+        if !style.uses_tools()
+            && (prompt.contains("Compiler return code:")
+                || prompt.contains("When the compiled code is run"))
+        {
+            return self.complete(prompt);
+        }
+        let signals = code_signals.clone().with_tools(style, tools);
+        self.respond(prompt, model, &signals)
+    }
+
+    /// The calibrated decision layer: turn signals into findings and render
+    /// the response.
+    fn respond(&self, prompt: &str, model: DirectiveModel, signals: &CodeSignals) -> String {
         let reliability = self.profile.for_model(model);
         let mut rng = StdRng::seed_from_u64(fnv1a(prompt) ^ self.seed);
 
@@ -360,7 +474,7 @@ impl SurrogateLlmJudge {
         self.render_response(
             prompt,
             model,
-            &signals,
+            signals,
             &findings,
             verdict_invalid,
             omit_phrase,
@@ -376,7 +490,8 @@ impl SurrogateLlmJudge {
         invalid: bool,
         omit_phrase: bool,
     ) -> String {
-        let mut out = String::new();
+        let mut out =
+            String::with_capacity(256 + findings.iter().map(|f| f.len() + 3).sum::<usize>());
         let indirect = prompt.starts_with("Describe what");
         if indirect {
             let _ = writeln!(
@@ -538,6 +653,33 @@ int main() {
     }
 
     #[test]
+    fn of_source_matches_prompt_extraction_for_code_signals() {
+        let mutants = [
+            VALID_ACC_CODE.to_string(),
+            VALID_ACC_CODE.replacen('{', "", 1),
+            VALID_ACC_CODE.replace("parallel loop", "paralel loop"),
+            VALID_ACC_CODE.replace(
+                "double *a = (double *)malloc(N * sizeof(double));",
+                "double *a;",
+            ),
+            "int main() { int x = 1; return 0; }".to_string(),
+        ];
+        for code in &mutants {
+            for style in [
+                PromptStyle::Direct,
+                PromptStyle::AgentDirect,
+                PromptStyle::AgentIndirect,
+            ] {
+                let prompt = build_prompt(style, DirectiveModel::OpenAcc, code, None);
+                let scanned = extract_signals(&prompt, DirectiveModel::OpenAcc);
+                let precomputed =
+                    CodeSignals::of_source(code, DirectiveModel::OpenAcc).with_tools(style, None);
+                assert_eq!(scanned, precomputed, "divergence for {style:?}");
+            }
+        }
+    }
+
+    #[test]
     fn tool_failures_are_parsed_from_agent_prompts() {
         let tools = ToolContext {
             compile: Some(ToolRecord {
@@ -561,6 +703,10 @@ int main() {
         assert!(signals.tools_present);
         assert!(signals.compile_failed);
         assert!(signals.runtime_failed);
+        // ... and the precomputed derivation agrees without reading the prompt.
+        let fast = CodeSignals::of_source(VALID_ACC_CODE, DirectiveModel::OpenAcc)
+            .with_tools(PromptStyle::AgentDirect, Some(&tools));
+        assert_eq!(signals, fast);
     }
 
     #[test]
@@ -588,6 +734,160 @@ int main() {
         assert!(!signals.compile_failed);
         assert!(!signals.runtime_failed);
         assert!(signals.outputs_mention_pass);
+        let fast = CodeSignals::of_source(VALID_ACC_CODE, DirectiveModel::OpenAcc)
+            .with_tools(PromptStyle::AgentDirect, Some(&tools));
+        assert_eq!(signals, fast);
+    }
+
+    #[test]
+    fn multiline_stderr_only_first_line_counts() {
+        // An "error" on a later stderr line is invisible to the prompt
+        // scanner; the precomputed path must agree.
+        let tools = ToolContext {
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: "".into(),
+                stderr: "benign first line\nerror: hidden on line two".into(),
+            }),
+            run: None,
+        };
+        let prompt = build_prompt(
+            PromptStyle::AgentDirect,
+            DirectiveModel::OpenAcc,
+            VALID_ACC_CODE,
+            Some(&tools),
+        );
+        let scanned = extract_signals(&prompt, DirectiveModel::OpenAcc);
+        assert!(!scanned.compile_failed);
+        let fast = CodeSignals::of_source(VALID_ACC_CODE, DirectiveModel::OpenAcc)
+            .with_tools(PromptStyle::AgentDirect, Some(&tools));
+        assert_eq!(scanned, fast);
+    }
+
+    #[test]
+    fn complete_with_signals_matches_complete() {
+        let tools = ToolContext {
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: "".into(),
+                stderr: "".into(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "Test passed\n".into(),
+                stderr: "".into(),
+            }),
+        };
+        for profile in [
+            JudgeProfile::oracle(),
+            JudgeProfile::deepseek_agent_direct(),
+            JudgeProfile::deepseek_plain(),
+        ] {
+            let judge = SurrogateLlmJudge::new(profile, 17);
+            for style in [
+                PromptStyle::Direct,
+                PromptStyle::AgentDirect,
+                PromptStyle::AgentIndirect,
+            ] {
+                for model in [DirectiveModel::OpenAcc, DirectiveModel::OpenMp] {
+                    let tool_arg = style.uses_tools().then_some(&tools);
+                    let prompt = build_prompt(style, model, VALID_ACC_CODE, tool_arg);
+                    let slow = judge.complete(&prompt);
+                    let code = CodeSignals::of_source(VALID_ACC_CODE, model);
+                    let fast = judge.complete_with_signals(&prompt, model, &code, style, tool_arg);
+                    assert_eq!(slow, fast, "divergence for {style:?}/{model:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_prompt_with_tool_marker_strings_in_code_falls_back() {
+        // A Direct-style prompt whose *code* contains the tool-section
+        // markers: the text-only judge misreads them as tool evidence, and
+        // the fast path must reproduce that rather than trusting its
+        // (marker-free) precomputed derivation.
+        let snippets = [
+            "int main() { printf(\"Compiler return code: %d\\n\", 1); return 0; }",
+            "// When the compiled code is run, it gives the following results:\n// Return code: 1\nint main() { return 0; }",
+        ];
+        for code in snippets {
+            for profile in [JudgeProfile::oracle(), JudgeProfile::deepseek_plain()] {
+                for seed in 0..10 {
+                    let judge = SurrogateLlmJudge::new(profile.clone(), seed);
+                    let prompt =
+                        build_prompt(PromptStyle::Direct, DirectiveModel::OpenMp, code, None);
+                    let slow = judge.complete(&prompt);
+                    let signals = CodeSignals::of_source(code, DirectiveModel::OpenMp);
+                    let fast = judge.complete_with_signals(
+                        &prompt,
+                        DirectiveModel::OpenMp,
+                        &signals,
+                        PromptStyle::Direct,
+                        None,
+                    );
+                    assert_eq!(slow, fast, "divergence for {code:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agent_prompt_with_tool_marker_strings_in_code_stays_exact() {
+        // Agent styles scan first occurrences, which are the genuine tool
+        // section — marker strings inside the code must not disturb the
+        // fast path's exactness (no fallback needed).
+        let code = "int main() { printf(\"Compiler return code: %d\\n\", 1); return 0; }";
+        let tools = ToolContext {
+            compile: Some(ToolRecord {
+                return_code: 0,
+                stdout: "".into(),
+                stderr: "".into(),
+            }),
+            run: Some(ToolRecord {
+                return_code: 0,
+                stdout: "ok".into(),
+                stderr: "".into(),
+            }),
+        };
+        for style in [PromptStyle::AgentDirect, PromptStyle::AgentIndirect] {
+            for seed in 0..10 {
+                let judge = SurrogateLlmJudge::new(JudgeProfile::deepseek_plain(), seed);
+                let prompt = build_prompt(style, DirectiveModel::OpenMp, code, Some(&tools));
+                let scanned = extract_signals(&prompt, DirectiveModel::OpenMp);
+                let precomputed = CodeSignals::of_source(code, DirectiveModel::OpenMp)
+                    .with_tools(style, Some(&tools));
+                assert_eq!(scanned, precomputed, "{style:?}: signals diverged");
+                let slow = judge.complete(&prompt);
+                let fast = judge.complete_with_signals(
+                    &prompt,
+                    DirectiveModel::OpenMp,
+                    &CodeSignals::of_source(code, DirectiveModel::OpenMp),
+                    style,
+                    Some(&tools),
+                );
+                assert_eq!(slow, fast, "{style:?} seed {seed}: response diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_model_wording_falls_back_to_the_scanner() {
+        // An OpenMP prompt whose *code* mentions OpenACC: the text-only
+        // judge misreads the model, and the fast path must reproduce that.
+        let code = "// ported from an OpenACC test\nint main() { return 0; }";
+        let judge = SurrogateLlmJudge::new(JudgeProfile::oracle(), 3);
+        let prompt = build_prompt(PromptStyle::Direct, DirectiveModel::OpenMp, code, None);
+        let slow = judge.complete(&prompt);
+        let signals = CodeSignals::of_source(code, DirectiveModel::OpenMp);
+        let fast = judge.complete_with_signals(
+            &prompt,
+            DirectiveModel::OpenMp,
+            &signals,
+            PromptStyle::Direct,
+            None,
+        );
+        assert_eq!(slow, fast);
     }
 
     #[test]

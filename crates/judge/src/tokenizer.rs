@@ -35,8 +35,37 @@ pub fn tokenize(text: &str) -> Vec<String> {
 }
 
 /// Estimate the token count of a text.
+///
+/// Counts exactly what [`tokenize`] would produce without materializing the
+/// token strings — this runs on every prompt and response in the judge
+/// stage, where the old `Vec<String>` materialization dominated the cost of
+/// the token-budget accounting.
 pub fn estimate_tokens(text: &str) -> usize {
-    tokenize(text).len()
+    let mut count = 0usize;
+    // Length (in bytes == chars, the run is ASCII-only) of the current
+    // identifier/word run; runs split into 4-char subwords.
+    let mut run = 0usize;
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            run += 1;
+            if run == 4 {
+                count += 1;
+                run = 0;
+            }
+        } else {
+            if run > 0 {
+                count += 1;
+                run = 0;
+            }
+            if !c.is_whitespace() || c == '\n' {
+                count += 1;
+            }
+        }
+    }
+    if run > 0 {
+        count += 1;
+    }
+    count
 }
 
 #[cfg(test)]
@@ -46,6 +75,25 @@ mod tests {
     #[test]
     fn empty_text_has_no_tokens() {
         assert_eq!(estimate_tokens(""), 0);
+    }
+
+    #[test]
+    fn counting_estimate_matches_materialized_tokenize() {
+        let samples = [
+            "",
+            "int main() { return 0; }",
+            "for (int i = 0; i < N; i++) { a[i] = i * 0.5; }\n\n",
+            "#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])",
+            "a_very_long_identifier_name another_one x yz\tmixed   spacing\n",
+            "unicode: π ≈ 3.14159 — done",
+        ];
+        for text in samples {
+            assert_eq!(
+                estimate_tokens(text),
+                tokenize(text).len(),
+                "estimate diverged for {text:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,28 +12,37 @@
 //!   collected stage evidence.
 //!
 //! The default implementations wrap the simulated substrates the paper's
-//! reproduction is built on: [`SimCompileBackend`] (vv-simcompiler),
-//! [`SimExecBackend`] (vv-simexec) and [`SurrogateJudgeBackend`]
-//! (vv-judge's calibrated surrogate model).
+//! reproduction is built on: [`SimCompileBackend`] (vv-simcompiler, through
+//! per-worker [`CompileSession`]s around one shared content-addressed
+//! [`CompileCache`]), [`SimExecBackend`] (vv-simexec) and
+//! [`SurrogateJudgeBackend`] (vv-judge's calibrated surrogate model, fed the
+//! code signals the compile stage precomputed).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use crate::{CompileSummary, ExecSummary, WorkItem};
+use vv_dclang::DirectiveModel;
 use vv_judge::{
-    JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge, ToolContext,
-    ToolRecord,
+    CodeSignals, JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge,
+    ToolContext, ToolRecord,
 };
-use vv_simcompiler::{compiler_for, Program};
+use vv_simcompiler::{CacheStats, CompileCache, CompileSession, Program};
 use vv_simexec::{ExecConfig, Executor};
 
 /// The result of a compile backend call: the summary recorded in the
-/// [`crate::CaseRecord`] plus the artifact handed to the execute stage.
+/// [`crate::CaseRecord`], the artifact handed to the execute stage, and the
+/// code signals precomputed for the judge stage.
 #[derive(Clone, Debug)]
 pub struct CompileOutput {
     /// Exit code, captured output, success flag.
     pub summary: CompileSummary,
     /// The executable artifact, present only on success.
     pub artifact: Option<Program>,
+    /// Code-derived judge evidence, computed once per distinct source by
+    /// backends that can (see [`vv_judge::CodeSignals::of_source`]); `None`
+    /// makes the judge fall back to scanning its rendered prompt.
+    pub signals: Option<Arc<CodeSignals>>,
 }
 
 /// The compile stage: source text in, diagnostics and artifact out.
@@ -64,12 +73,14 @@ pub trait ExecBackend: Send + Sync {
 /// The judge stage: source plus stage evidence in, verdict out.
 pub trait JudgeBackend: Send + Sync {
     /// Judge one work item given the evidence collected so far. `exec` is
-    /// `None` when the file never produced an artifact.
+    /// `None` when the file never produced an artifact; `signals` carries
+    /// the compile stage's precomputed code signals when available.
     fn judge(
         &self,
         item: &WorkItem,
         compile: &CompileSummary,
         exec: Option<&ExecSummary>,
+        signals: Option<&CodeSignals>,
     ) -> JudgeOutcome;
 
     /// A short human-readable backend name.
@@ -83,25 +94,103 @@ pub trait JudgeBackend: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// Default compile backend: the simulated vendor compiler selected by the
-/// item's [`vv_dclang::DirectiveModel`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SimCompileBackend;
+/// item's [`vv_dclang::DirectiveModel`], driven through reusable
+/// [`CompileSession`]s (one per concurrent worker, checked in and out of a
+/// small pool) that share a content-addressed [`CompileCache`].
+///
+/// Cache hits return the memoized outcome object — byte-identical to a
+/// fresh compile by construction (the compiler is deterministic and the key
+/// covers everything it reads), and sharing the already-lowered execution
+/// artifact and already-derived judge signals.
+#[derive(Debug)]
+pub struct SimCompileBackend {
+    cache: Option<Arc<CompileCache>>,
+    sessions: Mutex<HashMap<DirectiveModel, Vec<CompileSession>>>,
+}
+
+/// Sessions whose interner grew past this many distinct spellings are
+/// retired instead of returned to the pool (pathological corpora with
+/// unbounded fresh identifiers would otherwise grow the table forever).
+const MAX_SESSION_SYMBOLS: usize = 1 << 20;
+
+impl Default for SimCompileBackend {
+    /// Caching backend with the default cache capacity.
+    fn default() -> Self {
+        Self::cached(CompileCache::shared())
+    }
+}
+
+impl SimCompileBackend {
+    /// A backend around an existing (possibly shared) compile cache.
+    pub fn cached(cache: Arc<CompileCache>) -> Self {
+        Self {
+            cache: Some(cache),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A backend that compiles every file afresh (still session-interned;
+    /// used as the baseline in benchmarks and for memory-austere runs).
+    pub fn uncached() -> Self {
+        Self {
+            cache: None,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Compile-cache statistics, if a cache is attached.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    fn take_session(&self, model: DirectiveModel) -> CompileSession {
+        let mut pools = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some(session) = pools.get_mut(&model).and_then(Vec::pop) {
+            return session;
+        }
+        drop(pools);
+        let session = CompileSession::for_model(model);
+        match &self.cache {
+            Some(cache) => session.with_cache(Arc::clone(cache)),
+            None => session,
+        }
+    }
+
+    fn return_session(&self, model: DirectiveModel, session: CompileSession) {
+        if session.interner().len() > MAX_SESSION_SYMBOLS {
+            return; // retire it; a fresh one is built on demand
+        }
+        let mut pools = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        pools.entry(model).or_default().push(session);
+    }
+}
 
 impl CompileBackend for SimCompileBackend {
     fn compile(&self, item: &WorkItem) -> CompileOutput {
-        let compiler = compiler_for(item.model);
-        let outcome = compiler.compile(&item.source, item.lang);
-        // Move the captured text out of the outcome (no clone); the
-        // summary's Arc<str> is then shared with the judge stage.
+        let mut session = self.take_session(item.model);
+        let outcome = session.compile(&item.source, item.lang);
+        self.return_session(item.model, session);
+        // Derive the judge's code signals once per distinct source: the
+        // outcome's analysis slot is shared by every cache hit.
+        let signals = outcome
+            .analysis
+            .get_or_init_with(|| CodeSignals::of_source(&item.source, item.model));
         let succeeded = outcome.succeeded();
         CompileOutput {
             summary: CompileSummary {
                 return_code: outcome.return_code,
-                stdout: outcome.stdout.into(),
-                stderr: outcome.stderr.into(),
+                stdout: Arc::clone(&outcome.stdout),
+                stderr: Arc::clone(&outcome.stderr),
                 succeeded,
             },
-            artifact: outcome.artifact,
+            artifact: outcome.artifact.clone(),
+            signals: Some(signals),
         }
     }
 
@@ -175,6 +264,7 @@ impl JudgeBackend for SurrogateJudgeBackend {
         item: &WorkItem,
         compile: &CompileSummary,
         exec: Option<&ExecSummary>,
+        signals: Option<&CodeSignals>,
     ) -> JudgeOutcome {
         // `Arc<str>` captures: building the tool context is reference-count
         // bumps, not string copies — the judge reads the very same buffers
@@ -192,7 +282,7 @@ impl JudgeBackend for SurrogateJudgeBackend {
             }),
         };
         self.session
-            .evaluate(&item.source, item.model, Some(&tools))
+            .evaluate_precomputed(&item.source, item.model, Some(&tools), signals)
     }
 
     fn name(&self) -> &'static str {
@@ -235,7 +325,7 @@ int main() {
 
     #[test]
     fn default_backends_chain_end_to_end() {
-        let compile = SimCompileBackend;
+        let compile = SimCompileBackend::default();
         let exec = SimExecBackend::default();
         let judge = SurrogateJudgeBackend::new(
             JudgeProfile::deepseek_agent_direct(),
@@ -249,17 +339,76 @@ int main() {
             "stderr: {}",
             compiled.summary.stderr
         );
+        assert!(compiled.signals.is_some(), "signals precomputed");
         let program = compiled.artifact.expect("valid file produces an artifact");
         let ran = exec.execute(&work, &program);
         assert!(ran.passed, "stderr: {}", ran.stderr);
-        let outcome = judge.judge(&work, &compiled.summary, Some(&ran));
+        let outcome = judge.judge(
+            &work,
+            &compiled.summary,
+            Some(&ran),
+            compiled.signals.as_deref(),
+        );
         assert!(outcome.prompt.contains("Compiler return code: 0"));
         assert!(outcome.verdict.is_some());
     }
 
     #[test]
+    fn judge_outcome_is_identical_with_and_without_signals() {
+        let compile = SimCompileBackend::default();
+        let exec = SimExecBackend::default();
+        let judge = SurrogateJudgeBackend::new(
+            JudgeProfile::deepseek_agent_direct(),
+            PromptStyle::AgentDirect,
+            7,
+        );
+        for source in [VALID_ACC, "int main() { return 0; }"] {
+            let work = item(source);
+            let compiled = compile.compile(&work);
+            let ran = compiled
+                .artifact
+                .as_ref()
+                .map(|program| exec.execute(&work, program));
+            let fast = judge.judge(
+                &work,
+                &compiled.summary,
+                ran.as_ref(),
+                compiled.signals.as_deref(),
+            );
+            let slow = judge.judge(&work, &compiled.summary, ran.as_ref(), None);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn compile_cache_hits_share_artifacts() {
+        let backend = SimCompileBackend::default();
+        let work = item(VALID_ACC);
+        let _first = backend.compile(&work); // first touch: admission filter
+        let second = backend.compile(&work); // admitted
+        let third = backend.compile(&work); // hit
+        let (a, b) = (second.artifact.unwrap(), third.artifact.unwrap());
+        assert!(Arc::ptr_eq(&a.unit, &b.unit), "AST is shared across hits");
+        assert!(Arc::ptr_eq(
+            &second.signals.unwrap(),
+            &third.signals.unwrap()
+        ));
+        let stats = backend.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn uncached_backend_still_precomputes_signals() {
+        let backend = SimCompileBackend::uncached();
+        assert!(backend.cache_stats().is_none());
+        let compiled = backend.compile(&item(VALID_ACC));
+        assert!(compiled.summary.succeeded);
+        assert!(compiled.signals.is_some());
+    }
+
+    #[test]
     fn failed_compiles_produce_no_artifact() {
-        let compiled = SimCompileBackend.compile(&item("int main( { return 0; }"));
+        let compiled = SimCompileBackend::default().compile(&item("int main( { return 0; }"));
         assert!(!compiled.summary.succeeded);
         assert!(compiled.artifact.is_none());
     }
@@ -267,7 +416,7 @@ int main() {
     #[test]
     fn backend_names_are_distinct() {
         let names = [
-            CompileBackend::name(&SimCompileBackend),
+            CompileBackend::name(&SimCompileBackend::default()),
             ExecBackend::name(&SimExecBackend::default()),
             JudgeBackend::name(&SurrogateJudgeBackend::new(
                 JudgeProfile::oracle(),

@@ -315,6 +315,7 @@ mod tests {
                 _item: &WorkItem,
                 _compile: &crate::CompileSummary,
                 _exec: Option<&crate::ExecSummary>,
+                _signals: Option<&vv_judge::CodeSignals>,
             ) -> vv_judge::JudgeOutcome {
                 panic!("judge backend exploded");
             }
@@ -356,6 +357,7 @@ mod tests {
                 _item: &WorkItem,
                 _compile: &crate::CompileSummary,
                 _exec: Option<&crate::ExecSummary>,
+                _signals: Option<&vv_judge::CodeSignals>,
             ) -> JudgeOutcome {
                 JudgeOutcome {
                     prompt: String::new(),

@@ -156,6 +156,20 @@ impl ValidationServiceBuilder {
         self
     }
 
+    /// Compile through a shared content-addressed compile cache (a
+    /// [`SimCompileBackend`] around `cache`). Several services — e.g. the
+    /// scenarios of a campaign that re-run identical corpus shards — can
+    /// share one cache and compile each distinct source once between them.
+    pub fn compile_cache(self, cache: Arc<vv_simcompiler::CompileCache>) -> Self {
+        self.compile_backend(SimCompileBackend::cached(cache))
+    }
+
+    /// Compile every file afresh (no content-addressed cache); the
+    /// benchmark baseline and the choice for memory-austere deployments.
+    pub fn uncached_compile(self) -> Self {
+        self.compile_backend(SimCompileBackend::uncached())
+    }
+
     /// Plug in a custom execute backend.
     pub fn exec_backend(mut self, backend: impl ExecBackend + 'static) -> Self {
         self.exec = Some(Arc::new(backend));
@@ -182,7 +196,9 @@ impl ValidationServiceBuilder {
         ValidationService {
             config: self.config,
             strategy: self.strategy,
-            compile: self.compile.unwrap_or_else(|| Arc::new(SimCompileBackend)),
+            compile: self
+                .compile
+                .unwrap_or_else(|| Arc::new(SimCompileBackend::default())),
             exec: self
                 .exec
                 .unwrap_or_else(|| Arc::new(SimExecBackend::default())),
@@ -323,12 +339,14 @@ impl ValidationService {
             item: WorkItem,
             compile: CompileSummary,
             artifact: Option<vv_simcompiler::Program>,
+            signals: Option<Arc<vv_judge::CodeSignals>>,
         }
         struct AfterExec {
             index: usize,
             item: WorkItem,
             compile: CompileSummary,
             exec: Option<crate::ExecSummary>,
+            signals: Option<Arc<vv_judge::CodeSignals>>,
         }
 
         let mode = self.config.mode;
@@ -364,6 +382,7 @@ impl ValidationService {
                     let CompileOutput {
                         summary: compile,
                         artifact,
+                        signals,
                     } = backend.compile(&item);
                     {
                         let mut s = stats.lock();
@@ -392,6 +411,7 @@ impl ValidationService {
                             item,
                             compile,
                             artifact,
+                            signals,
                         })
                         .is_err()
                     {
@@ -441,6 +461,7 @@ impl ValidationService {
                         item: msg.item,
                         compile: msg.compile,
                         exec,
+                        signals: msg.signals,
                     };
                     if tx_next.send(next).is_err() {
                         break;
@@ -459,7 +480,12 @@ impl ValidationService {
             let backend = Arc::clone(&self.judge);
             handles.push(std::thread::spawn(move || {
                 for msg in rx.iter() {
-                    let judgement = backend.judge(&msg.item, &msg.compile, msg.exec.as_ref());
+                    let judgement = backend.judge(
+                        &msg.item,
+                        &msg.compile,
+                        msg.exec.as_ref(),
+                        msg.signals.as_deref(),
+                    );
                     {
                         let mut s = stats.lock();
                         s.judged += 1;
@@ -538,6 +564,7 @@ impl ValidationService {
         let CompileOutput {
             summary: compile,
             artifact,
+            signals,
         } = self.compile.compile(item);
         {
             let mut s = stats.lock();
@@ -573,7 +600,9 @@ impl ValidationService {
                 judgement: None,
             };
         }
-        let judgement = self.judge.judge(item, &compile, exec.as_ref());
+        let judgement = self
+            .judge
+            .judge(item, &compile, exec.as_ref(), signals.as_deref());
         {
             let mut s = stats.lock();
             s.judged += 1;

@@ -29,36 +29,72 @@ impl Lang {
         }
     }
 
-    /// The placeholder file name used in diagnostics.
-    pub fn file_name(&self) -> String {
-        format!("test.{}", self.extension())
+    /// The placeholder file name used in diagnostics. Static: the render
+    /// paths interpolate this per diagnostic, so it must not allocate.
+    pub fn file_name(&self) -> &'static str {
+        match self {
+            Lang::C => "test.c",
+            Lang::Cpp => "test.cpp",
+        }
     }
 }
 
-/// A shareable, type-erased cache slot for a lowered execution artifact.
+/// A shareable, type-erased, fill-once cache slot.
 ///
-/// The execution substrate lowers a [`Program`] to register bytecode exactly
-/// once; the result is stashed here so that every subsequent run of the same
-/// program (clones included — the slot is shared through an `Arc`) reuses
-/// it. The slot is type-erased because the lowered IR type lives in
-/// `vv-simexec`, which depends on this crate; a concrete field here would
-/// create a dependency cycle.
+/// Two places use this pattern: a [`Program`] caches its lowered execution
+/// artifact (the bytecode lives in `vv-simexec`, which depends on this
+/// crate, so the field must be type-erased to avoid a dependency cycle),
+/// and a [`CompileOutcome`] caches derived per-source analyses (the judge's
+/// code signals live in `vv-judge`, same cycle). Clones share the slot
+/// through an `Arc`, so whatever is computed once is reused by every copy —
+/// including every compile-cache hit.
 #[derive(Clone, Default)]
-pub struct ArtifactCache(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+pub struct SharedSlot(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
 
-impl fmt::Debug for ArtifactCache {
+impl SharedSlot {
+    /// Return the cached value, building it with `init` on the first call.
+    ///
+    /// The slot holds a single type: if a caller asks for a different `T`
+    /// than the one cached (which no current caller does), the value is
+    /// rebuilt without being cached.
+    pub fn get_or_init_with<T>(&self, init: impl FnOnce() -> T) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+    {
+        if let Some(existing) = self.0.get() {
+            if let Ok(value) = Arc::clone(existing).downcast::<T>() {
+                return value;
+            }
+            // Slot already holds a different type; serve an uncached build
+            // rather than poisoning the existing entry.
+            return Arc::new(init());
+        }
+        let value = Arc::new(init());
+        // If another thread won the publish race our build is still a valid
+        // (deterministic) answer for this caller, so ignore the error.
+        let _ = self.0.set(Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        value
+    }
+
+    /// True once a value has been published.
+    pub fn is_filled(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl fmt::Debug for SharedSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = if self.0.get().is_some() {
-            "lowered"
-        } else {
-            "empty"
-        };
-        write!(f, "ArtifactCache({state})")
+        let state = if self.is_filled() { "filled" } else { "empty" };
+        write!(f, "SharedSlot({state})")
     }
 }
 
 /// The checked artifact produced by a successful compilation; the execution
 /// substrate (`vv-simexec`) interprets this directly.
+///
+/// The translation unit is behind an `Arc`, so cloning a `Program` (as the
+/// compile cache does on every hit) is two reference-count bumps — the AST
+/// and the lowered-bytecode slot are shared, never re-built.
 ///
 /// **Invariant:** a `Program` is immutable once executed. The lowered-form
 /// cache ([`Program::lowered_artifact`]) is filled on first execution and
@@ -67,36 +103,33 @@ impl fmt::Debug for ArtifactCache {
 /// [`Program::new`]) instead of editing one in place.
 #[derive(Clone, Debug)]
 pub struct Program {
-    /// The parsed and semantically checked translation unit.
-    pub unit: TranslationUnit,
+    /// The parsed and semantically checked translation unit (shared).
+    pub unit: Arc<TranslationUnit>,
     /// The programming model the program was compiled for.
     pub model: DirectiveModel,
     /// The source language flavor.
     pub lang: Lang,
     /// Compile-once/execute-many slot for the lowered form (see
     /// [`Program::lowered_artifact`]).
-    cache: ArtifactCache,
+    cache: SharedSlot,
 }
 
 impl Program {
     /// Wrap a checked translation unit as an executable artifact.
     pub fn new(unit: TranslationUnit, model: DirectiveModel, lang: Lang) -> Self {
         Self {
-            unit,
+            unit: Arc::new(unit),
             model,
             lang,
-            cache: ArtifactCache::default(),
+            cache: SharedSlot::default(),
         }
     }
 
     /// Return the cached lowered artifact, building it with `lower` on the
     /// first call. Clones of this program share the slot, so the probing and
     /// benchmark layers that execute one base program many times pay the
-    /// lowering cost once.
-    ///
-    /// The slot holds a single type: if a second caller asks for a different
-    /// `T` than the one cached (which no current caller does), the value is
-    /// rebuilt without being cached.
+    /// lowering cost once — and so does every compile-cache hit for the same
+    /// source text.
     ///
     /// The cache is never invalidated — see the type-level invariant: do
     /// not mutate `unit`/`model` after the first execution.
@@ -104,42 +137,34 @@ impl Program {
     where
         T: Any + Send + Sync,
     {
-        if let Some(existing) = self.cache.0.get() {
-            if let Ok(artifact) = Arc::clone(existing).downcast::<T>() {
-                return artifact;
-            }
-            // Slot already holds a different artifact type; serve an
-            // uncached build rather than poisoning the existing entry.
-            return Arc::new(lower());
-        }
-        let artifact = Arc::new(lower());
-        // If another thread won the publish race our build is still a valid
-        // (deterministic) answer for this caller, so ignore the error.
-        let _ = self
-            .cache
-            .0
-            .set(Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
-        artifact
+        self.cache.get_or_init_with(lower)
     }
 }
 
 /// The result of invoking a compiler frontend on one source file.
 ///
 /// Mirrors exactly what the paper's agent prompts consume: a return code
-/// plus captured stdout/stderr text (Listing 2/4 in the paper).
+/// plus captured stdout/stderr text (Listing 2/4 in the paper). Captures
+/// are `Arc<str>` so pipeline records, judge tool contexts and compile-cache
+/// hits all share one buffer.
 #[derive(Clone, Debug)]
 pub struct CompileOutcome {
     /// Process exit code of the simulated compiler (0 on success).
     pub return_code: i32,
     /// Captured standard output.
-    pub stdout: String,
+    pub stdout: Arc<str>,
     /// Captured standard error (diagnostics, vendor-formatted).
-    pub stderr: String,
+    pub stderr: Arc<str>,
     /// The checked program, present only when compilation succeeded.
     pub artifact: Option<Program>,
     /// The vendor-neutral diagnostics behind `stderr` (useful for tests and
     /// for ablation studies; the judge never sees these directly).
     pub diagnostics: Vec<Diagnostic>,
+    /// Fill-once slot for analyses derived from this outcome's source (e.g.
+    /// the judge's precomputed code signals). Shared across clones and
+    /// compile-cache hits, so a derived analysis runs once per distinct
+    /// source rather than once per case.
+    pub analysis: SharedSlot,
 }
 
 impl CompileOutcome {
@@ -178,14 +203,15 @@ mod tests {
     fn outcome_success_predicate() {
         let ok = CompileOutcome {
             return_code: 0,
-            stdout: String::new(),
-            stderr: String::new(),
+            stdout: "".into(),
+            stderr: "".into(),
             artifact: Some(Program::new(
                 TranslationUnit::default(),
                 DirectiveModel::OpenAcc,
                 Lang::C,
             )),
             diagnostics: vec![],
+            analysis: SharedSlot::default(),
         };
         assert!(ok.succeeded());
         let failed = CompileOutcome {
@@ -194,5 +220,16 @@ mod tests {
             ..ok.clone()
         };
         assert!(!failed.succeeded());
+    }
+
+    #[test]
+    fn shared_slot_fills_once_and_is_shared_by_clones() {
+        let slot = SharedSlot::default();
+        let copy = slot.clone();
+        let first = slot.get_or_init_with(|| 41i64);
+        let second = copy.get_or_init_with(|| 99i64);
+        assert_eq!(*first, 41);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(slot.is_filled());
     }
 }

@@ -8,24 +8,34 @@
 //! provides drop-in substitutes: real static analysis over the
 //! [`vv_dclang`] AST, with vendor-styled diagnostics and exit codes.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! * [`semantic`] — vendor-neutral analysis (undeclared identifiers, scope
-//!   handling, directive/spec conformance, structured-directive checks);
+//!   handling, directive/spec conformance, structured-directive checks),
+//!   resolving names as interned symbols;
 //! * [`frontend`] — the [`frontend::CompilerFrontend`] trait, shared
 //!   [`frontend::CompileOutcome`] type and the checked [`frontend::Program`]
 //!   artifact handed to the execution substrate;
-//! * [`vendors`] — the `nvc`-like and `clang`-like frontends that render
+//! * [`vendors`] — the `nvc`-like and `clang`-like vendor styles that render
 //!   diagnostics in their respective formats and apply vendor policy
-//!   (which findings are errors vs warnings, exit codes, summary lines).
+//!   (which findings are errors vs warnings, exit codes, summary lines);
+//! * [`session`] — the reusable [`session::CompileSession`]: one interner
+//!   and vendor configuration shared across many compiles (the zero-alloc
+//!   fast path the validation pipeline uses);
+//! * [`cache`] — a bounded, content-addressed [`cache::CompileCache`]
+//!   memoizing whole outcomes by source bytes + configuration.
 
+pub mod cache;
 pub mod frontend;
 pub mod semantic;
+pub mod session;
 pub mod vendors;
 
-pub use frontend::{CompileOutcome, CompilerFrontend, Lang, Program};
-pub use semantic::{analyze, SemanticOptions};
-pub use vendors::{compiler_for, ClangOmpCompiler, NvcCompiler};
+pub use cache::{CacheStats, CompileCache};
+pub use frontend::{CompileOutcome, CompilerFrontend, Lang, Program, SharedSlot};
+pub use semantic::{analyze, analyze_with, SemanticOptions};
+pub use session::CompileSession;
+pub use vendors::{compiler_for, ClangOmpCompiler, NvcCompiler, VendorStyle};
 
 #[cfg(test)]
 mod tests {

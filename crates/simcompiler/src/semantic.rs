@@ -13,12 +13,19 @@
 //! * a handful of warnings (possibly-uninitialized pointers, implicit
 //!   function declarations) that never reject a file but show up in
 //!   `stderr` and therefore in the agent prompt.
+//!
+//! Name resolution is symbol-based: scopes are sets of interned
+//! [`Symbol`]s resolved against the compile session's [`Interner`], so
+//! declaring or looking up a name never allocates (the session path via
+//! [`analyze_with`] reuses one interner across every compile; the one-shot
+//! [`analyze`] wrapper spins up a throwaway table).
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use vv_dclang::{
-    Diagnostic, Directive, DirectiveModel, Expr, Function, Span, Stmt, TranslationUnit, UnOp,
-    VarDecl,
+    Diagnostic, Directive, DirectiveModel, Expr, Function, Interner, Span, Stmt, Symbol,
+    TranslationUnit, UnOp, VarDecl,
 };
 use vv_specs::{validate_directive, SpecIssueKind, Version};
 
@@ -99,14 +106,40 @@ pub const KNOWN_LIBRARY_FUNCTIONS: &[&str] = &[
     "omp_target_free",
 ];
 
+/// Hashed lookup over [`KNOWN_LIBRARY_FUNCTIONS`] (built once per process;
+/// the old per-call linear scan showed up in compile-stage profiles).
+fn known_library_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| KNOWN_LIBRARY_FUNCTIONS.iter().copied().collect())
+}
+
 /// Analyze a translation unit; returns vendor-neutral diagnostics.
+///
+/// One-shot wrapper over [`analyze_with`] with a private interner.
 pub fn analyze(unit: &TranslationUnit, opts: &SemanticOptions) -> Vec<Diagnostic> {
+    let mut interner = Interner::new();
+    analyze_with(unit, opts, &mut interner)
+}
+
+/// Analyze a translation unit, resolving names through the caller's session
+/// [`Interner`]. Produces exactly the same diagnostics as [`analyze`] for
+/// any input; the shared interner only removes per-name allocations.
+pub fn analyze_with(
+    unit: &TranslationUnit,
+    opts: &SemanticOptions,
+    interner: &mut Interner,
+) -> Vec<Diagnostic> {
     let mut cx = Context {
         opts: *opts,
         diagnostics: Vec::new(),
         scopes: Vec::new(),
-        functions: unit.functions.iter().map(|f| f.name.clone()).collect(),
+        functions: unit
+            .functions
+            .iter()
+            .map(|f| interner.intern(&f.name))
+            .collect(),
         uninitialized_pointers: HashSet::new(),
+        interner,
     };
 
     // File-scope directives are validated but have no scope interactions.
@@ -135,18 +168,19 @@ pub fn analyze(unit: &TranslationUnit, opts: &SemanticOptions) -> Vec<Diagnostic
     cx.diagnostics
 }
 
-struct Context {
+struct Context<'i> {
     opts: SemanticOptions,
     diagnostics: Vec<Diagnostic>,
-    scopes: Vec<HashSet<String>>,
-    functions: HashSet<String>,
+    scopes: Vec<HashSet<Symbol>>,
+    functions: HashSet<Symbol>,
     /// Pointer variables declared without an initializer and not yet
     /// assigned; indexing these produces a "may be used uninitialized"
     /// warning (the compile succeeds; the *runtime* fails).
-    uninitialized_pointers: HashSet<String>,
+    uninitialized_pointers: HashSet<Symbol>,
+    interner: &'i mut Interner,
 }
 
-impl Context {
+impl Context<'_> {
     fn push_scope(&mut self) {
         self.scopes.push(HashSet::new());
     }
@@ -156,8 +190,9 @@ impl Context {
     }
 
     fn declare(&mut self, decl: &VarDecl) {
+        let sym = self.interner.intern(&decl.name);
         if let Some(scope) = self.scopes.last() {
-            if scope.contains(&decl.name) {
+            if scope.contains(&sym) {
                 self.diagnostics.push(Diagnostic::error(
                     decl.span,
                     "redefinition",
@@ -167,21 +202,32 @@ impl Context {
             }
         }
         if let Some(scope) = self.scopes.last_mut() {
-            scope.insert(decl.name.clone());
+            scope.insert(sym);
         }
         if decl.ty.is_pointer() && decl.init.is_none() && decl.array_dims.is_empty() {
-            self.uninitialized_pointers.insert(decl.name.clone());
+            self.uninitialized_pointers.insert(sym);
         }
     }
 
     fn declare_name(&mut self, name: &str) {
+        let sym = self.interner.intern(name);
         if let Some(scope) = self.scopes.last_mut() {
-            scope.insert(name.to_string());
+            scope.insert(sym);
         }
     }
 
     fn is_declared(&self, name: &str) -> bool {
-        self.scopes.iter().rev().any(|s| s.contains(name))
+        // A declared name was necessarily interned when it was declared, so
+        // an unknown spelling is definitively out of scope — no allocation
+        // either way.
+        match self.interner.get(name) {
+            Some(sym) => self.is_declared_sym(sym),
+            None => false,
+        }
+    }
+
+    fn is_declared_sym(&self, sym: Symbol) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains(&sym))
     }
 
     fn check_function(&mut self, func: &Function) {
@@ -312,15 +358,19 @@ impl Context {
                 }
                 // Assigning to a pointer clears its "uninitialized" status.
                 if let Expr::Ident(name, _) = target.as_ref() {
-                    self.uninitialized_pointers.remove(name);
+                    if let Some(sym) = self.interner.get(name) {
+                        self.uninitialized_pointers.remove(&sym);
+                    }
                 }
                 self.check_expr(target);
                 self.check_expr(value);
             }
             Expr::Call { name, args, span } => {
-                if !self.functions.contains(name)
-                    && !KNOWN_LIBRARY_FUNCTIONS.contains(&name.as_str())
-                {
+                let user_defined = self
+                    .interner
+                    .get(name)
+                    .is_some_and(|sym| self.functions.contains(&sym));
+                if !user_defined && !known_library_set().contains(name.as_str()) {
                     self.diagnostics.push(Diagnostic::warning(
                         *span,
                         "implicit-declaration",
@@ -333,7 +383,11 @@ impl Context {
             }
             Expr::Index { base, index, span } => {
                 if let Expr::Ident(name, _) = base.as_ref() {
-                    if self.uninitialized_pointers.contains(name) {
+                    if self
+                        .interner
+                        .get(name)
+                        .is_some_and(|sym| self.uninitialized_pointers.contains(&sym))
+                    {
                         self.diagnostics.push(Diagnostic::warning(
                             *span,
                             "maybe-uninitialized",
@@ -453,9 +507,17 @@ impl Context {
                 continue;
             }
             let Some(args) = &clause.args else { continue };
-            for var in clause_variables(&clause.name, args) {
-                if !self.is_declared(&var) {
-                    self.diagnostics.push(Diagnostic::error(
+            // Split the borrows so the visitor can read scopes while
+            // pushing diagnostics.
+            let scopes = &self.scopes;
+            let interner = &*self.interner;
+            let diagnostics = &mut self.diagnostics;
+            for_each_clause_variable(&clause.name, args, |var| {
+                let declared = interner
+                    .get(var)
+                    .is_some_and(|sym| scopes.iter().rev().any(|s| s.contains(&sym)));
+                if !declared {
+                    diagnostics.push(Diagnostic::error(
                         directive.span,
                         "clause-undeclared",
                         format!(
@@ -464,7 +526,7 @@ impl Context {
                         ),
                     ));
                 }
-            }
+            });
         }
     }
 }
@@ -493,11 +555,12 @@ fn directive_requires_loop(directive: &Directive) -> bool {
     )
 }
 
-/// Extract variable names from a data/privatization clause argument list.
+/// Visit every variable name in a data/privatization clause argument list,
+/// without allocating.
 ///
 /// Handles array sections (`a[0:N]`), `map-type:` prefixes (`tofrom: a`),
 /// and reduction `operator:` prefixes (`+:sum`).
-pub fn clause_variables(clause_name: &str, args: &str) -> Vec<String> {
+pub fn for_each_clause_variable(clause_name: &str, args: &str, mut f: impl FnMut(&str)) {
     let mut text = args.trim();
     if matches!(clause_name, "reduction" | "in_reduction") {
         if let Some((_, rest)) = text.split_once(':') {
@@ -513,40 +576,44 @@ pub fn clause_variables(clause_name: &str, args: &str) -> Vec<String> {
             }
         }
     }
-    let mut vars = Vec::new();
-    // Split on top-level commas (commas inside brackets belong to sections).
+    // Split on top-level commas (commas inside brackets belong to sections),
+    // then take the leading identifier characters of each item.
     let mut depth = 0i32;
-    let mut current = String::new();
-    for c in text.chars() {
-        match c {
-            '[' | '(' => {
-                depth += 1;
-                current.push(c);
+    let mut item_start = 0usize;
+    let bytes = text.as_bytes();
+    let mut emit = |item: &str| {
+        let trimmed = item.trim_start();
+        let name_len = trimmed
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .count();
+        let name = &trimmed[..name_len];
+        if !name.is_empty() && !name.as_bytes()[0].is_ascii_digit() {
+            f(name);
+        }
+    };
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth -= 1,
+            b',' if depth == 0 => {
+                emit(&text[item_start..i]);
+                item_start = i + 1;
             }
-            ']' | ')' => {
-                depth -= 1;
-                current.push(c);
-            }
-            ',' if depth == 0 => {
-                push_var(&mut vars, &current);
-                current.clear();
-            }
-            _ => current.push(c),
+            _ => {}
         }
     }
-    push_var(&mut vars, &current);
-    vars
+    emit(&text[item_start..]);
 }
 
-fn push_var(vars: &mut Vec<String>, item: &str) {
-    let name: String = item
-        .trim()
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
-        vars.push(name);
-    }
+/// Extract variable names from a data/privatization clause argument list.
+///
+/// Allocating wrapper over [`for_each_clause_variable`], kept for tests and
+/// external callers.
+pub fn clause_variables(clause_name: &str, args: &str) -> Vec<String> {
+    let mut vars = Vec::new();
+    for_each_clause_variable(clause_name, args, |var| vars.push(var.to_string()));
+    vars
 }
 
 #[cfg(test)]
@@ -691,5 +758,22 @@ mod tests {
     fn assignment_to_literal_is_an_error() {
         let diags = analyze_src("int main() { 3 = 4; return 0; }", DirectiveModel::OpenAcc);
         assert!(errors(&diags).iter().any(|d| d.code == "lvalue"));
+    }
+
+    #[test]
+    fn shared_interner_analysis_matches_one_shot() {
+        let sources = [
+            "int main() { int a = 0; a = a + undeclared_thing; return a; }",
+            "int main() { double a[8];\n#pragma acc parallel loop copyin(a[0:8])\nfor (int i = 0; i < 8; i++) { a[i] = i; }\nreturn 0; }",
+            "int main() {\n#pragma acc data copyin(ghost[0:8])\n{ }\nreturn 0; }",
+        ];
+        let mut interner = Interner::new();
+        for src in sources {
+            let parsed = parse_source(src).expect("parses");
+            let opts = SemanticOptions::for_model(DirectiveModel::OpenAcc);
+            let fresh = analyze(&parsed.unit, &opts);
+            let shared = analyze_with(&parsed.unit, &opts, &mut interner);
+            assert_eq!(fresh, shared, "diagnostics diverged for {src:?}");
+        }
     }
 }

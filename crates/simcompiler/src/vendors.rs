@@ -12,12 +12,139 @@
 //!
 //! Both share the same parser and semantic analysis; they differ only in
 //! policy and presentation — exactly the part of the real toolchains that
-//! the agent-based judge gets to observe.
+//! the agent-based judge gets to observe. The policy/presentation pair is
+//! captured by [`VendorStyle`], which [`crate::session::CompileSession`]
+//! uses directly; the structs here are thin one-shot wrappers kept for the
+//! object-safe [`CompilerFrontend`] interface.
 
-use crate::frontend::{CompileOutcome, CompilerFrontend, Lang, Program};
-use crate::semantic::{analyze, SemanticOptions};
-use vv_dclang::{parse_source, Diagnostic, DirectiveModel, Severity};
+use std::fmt::Write as _;
+
+use crate::frontend::{CompileOutcome, CompilerFrontend, Lang};
+use crate::session::one_shot_compile;
+use vv_dclang::{Diagnostic, DirectiveModel, Severity};
 use vv_specs::Version;
+
+/// Vendor policy + presentation: which exit code failures use and how
+/// diagnostics are rendered into `stderr`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VendorStyle {
+    /// NVIDIA HPC SDK message-catalog style (`NVC++-S-0155-...`).
+    Nvc = 0,
+    /// LLVM/Clang `file:line:col: error: ...` style.
+    ClangOmp = 1,
+}
+
+impl VendorStyle {
+    /// The vendor the paper pairs with a programming model.
+    pub fn for_model(model: DirectiveModel) -> Self {
+        match model {
+            DirectiveModel::OpenAcc => VendorStyle::Nvc,
+            DirectiveModel::OpenMp => VendorStyle::ClangOmp,
+        }
+    }
+
+    /// Process exit code of a failed compilation.
+    pub fn failure_code(self) -> i32 {
+        match self {
+            VendorStyle::Nvc => 2,
+            VendorStyle::ClangOmp => 1,
+        }
+    }
+
+    /// Tool name as it would appear in a build log.
+    pub fn tool_name(self) -> &'static str {
+        match self {
+            VendorStyle::Nvc => "nvc",
+            VendorStyle::ClangOmp => "clang",
+        }
+    }
+
+    /// Render diagnostics in this vendor's format, appending to `out`
+    /// (callers reuse the buffer across compiles).
+    pub fn render(self, diags: &[Diagnostic], lang: Lang, out: &mut String) {
+        match self {
+            VendorStyle::Nvc => render_nvc(diags, lang, out),
+            VendorStyle::ClangOmp => render_clang(diags, lang, out),
+        }
+    }
+}
+
+fn render_nvc(diags: &[Diagnostic], lang: Lang, out: &mut String) {
+    let file = lang.file_name();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in diags {
+        let catalog = match d.severity {
+            Severity::Error => {
+                errors += 1;
+                "NVC++-S-0155-"
+            }
+            Severity::Warning => {
+                warnings += 1;
+                "NVC++-W-0145-"
+            }
+            Severity::Note => continue,
+        };
+        out.push_str(catalog);
+        push_capitalized(out, &d.message);
+        let _ = writeln!(out, " ({}: {})", file, d.span.line.max(1));
+    }
+    if errors > 0 {
+        let _ = writeln!(
+            out,
+            "NVC++/x86-64 Linux 23.9-0: compilation completed with severe errors ({errors} errors, {warnings} warnings)"
+        );
+    } else if warnings > 0 {
+        let _ = writeln!(
+            out,
+            "NVC++/x86-64 Linux 23.9-0: compilation completed with warnings ({warnings} warnings)"
+        );
+    }
+}
+
+fn render_clang(diags: &[Diagnostic], lang: Lang, out: &mut String) {
+    let file = lang.file_name();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in diags {
+        let label = match d.severity {
+            Severity::Error => {
+                errors += 1;
+                "error"
+            }
+            Severity::Warning => {
+                warnings += 1;
+                "warning"
+            }
+            Severity::Note => "note",
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}: {}",
+            file,
+            d.span.line.max(1),
+            d.span.col.max(1),
+            label,
+            d.message
+        );
+    }
+    if warnings > 0 {
+        let _ = writeln!(out, "{warnings} warning{} generated.", plural(warnings));
+    }
+    if errors > 0 {
+        let _ = writeln!(out, "{errors} error{} generated.", plural(errors));
+    }
+}
+
+/// Append `message` with its first character uppercased (no intermediate
+/// allocation).
+fn push_capitalized(out: &mut String, message: &str) {
+    let mut chars = message.chars();
+    if let Some(first) = chars.next() {
+        out.extend(first.to_uppercase());
+        out.push_str(chars.as_str());
+    }
+}
 
 /// The simulated NVIDIA HPC SDK OpenACC compiler.
 #[derive(Clone, Debug)]
@@ -39,51 +166,11 @@ impl NvcCompiler {
     pub fn new() -> Self {
         Self::default()
     }
-
-    fn render(&self, diags: &[Diagnostic], lang: Lang) -> String {
-        let file = lang.file_name();
-        let mut out = String::new();
-        let mut errors = 0usize;
-        let mut warnings = 0usize;
-        for d in diags {
-            match d.severity {
-                Severity::Error => {
-                    errors += 1;
-                    out.push_str(&format!(
-                        "NVC++-S-0155-{} ({}: {})\n",
-                        capitalize(&d.message),
-                        file,
-                        d.span.line.max(1)
-                    ));
-                }
-                Severity::Warning => {
-                    warnings += 1;
-                    out.push_str(&format!(
-                        "NVC++-W-0145-{} ({}: {})\n",
-                        capitalize(&d.message),
-                        file,
-                        d.span.line.max(1)
-                    ));
-                }
-                Severity::Note => {}
-            }
-        }
-        if errors > 0 {
-            out.push_str(&format!(
-                "NVC++/x86-64 Linux 23.9-0: compilation completed with severe errors ({errors} errors, {warnings} warnings)\n"
-            ));
-        } else if warnings > 0 {
-            out.push_str(&format!(
-                "NVC++/x86-64 Linux 23.9-0: compilation completed with warnings ({warnings} warnings)\n"
-            ));
-        }
-        out
-    }
 }
 
 impl CompilerFrontend for NvcCompiler {
     fn name(&self) -> &'static str {
-        "nvc"
+        VendorStyle::Nvc.tool_name()
     }
 
     fn model(&self) -> DirectiveModel {
@@ -91,14 +178,7 @@ impl CompilerFrontend for NvcCompiler {
     }
 
     fn compile(&self, source: &str, lang: Lang) -> CompileOutcome {
-        compile_with(
-            source,
-            lang,
-            DirectiveModel::OpenAcc,
-            self.spec_version,
-            2,
-            |diags, lang| self.render(diags, lang),
-        )
+        one_shot_compile(DirectiveModel::OpenAcc, self.spec_version, source, lang)
     }
 }
 
@@ -122,49 +202,11 @@ impl ClangOmpCompiler {
     pub fn new() -> Self {
         Self::default()
     }
-
-    fn render(&self, diags: &[Diagnostic], lang: Lang) -> String {
-        let file = lang.file_name();
-        let mut out = String::new();
-        let mut errors = 0usize;
-        let mut warnings = 0usize;
-        for d in diags {
-            let label = match d.severity {
-                Severity::Error => {
-                    errors += 1;
-                    "error"
-                }
-                Severity::Warning => {
-                    warnings += 1;
-                    "warning"
-                }
-                Severity::Note => "note",
-            };
-            out.push_str(&format!(
-                "{}:{}:{}: {}: {}\n",
-                file,
-                d.span.line.max(1),
-                d.span.col.max(1),
-                label,
-                d.message
-            ));
-        }
-        if warnings > 0 {
-            out.push_str(&format!(
-                "{warnings} warning{} generated.\n",
-                plural(warnings)
-            ));
-        }
-        if errors > 0 {
-            out.push_str(&format!("{errors} error{} generated.\n", plural(errors)));
-        }
-        out
-    }
 }
 
 impl CompilerFrontend for ClangOmpCompiler {
     fn name(&self) -> &'static str {
-        "clang"
+        VendorStyle::ClangOmp.tool_name()
     }
 
     fn model(&self) -> DirectiveModel {
@@ -172,62 +214,7 @@ impl CompilerFrontend for ClangOmpCompiler {
     }
 
     fn compile(&self, source: &str, lang: Lang) -> CompileOutcome {
-        compile_with(
-            source,
-            lang,
-            DirectiveModel::OpenMp,
-            self.spec_version,
-            1,
-            |diags, lang| self.render(diags, lang),
-        )
-    }
-}
-
-/// Shared compilation driver: parse, analyze, apply vendor policy.
-fn compile_with(
-    source: &str,
-    lang: Lang,
-    model: DirectiveModel,
-    spec_version: Version,
-    failure_code: i32,
-    render: impl Fn(&[Diagnostic], Lang) -> String,
-) -> CompileOutcome {
-    match parse_source(source) {
-        Err(diags) => CompileOutcome {
-            return_code: failure_code,
-            stdout: String::new(),
-            stderr: render(&diags, lang),
-            artifact: None,
-            diagnostics: diags,
-        },
-        Ok(parsed) => {
-            let opts = SemanticOptions {
-                model,
-                spec_version,
-                warn_unknown_pragmas: true,
-            };
-            let mut diags = parsed.diagnostics.clone();
-            diags.extend(analyze(&parsed.unit, &opts));
-            let has_errors = diags.iter().any(Diagnostic::is_error);
-            let stderr = render(&diags, lang);
-            if has_errors {
-                CompileOutcome {
-                    return_code: failure_code,
-                    stdout: String::new(),
-                    stderr,
-                    artifact: None,
-                    diagnostics: diags,
-                }
-            } else {
-                CompileOutcome {
-                    return_code: 0,
-                    stdout: String::new(),
-                    stderr,
-                    artifact: Some(Program::new(parsed.unit, model, lang)),
-                    diagnostics: diags,
-                }
-            }
-        }
+        one_shot_compile(DirectiveModel::OpenMp, self.spec_version, source, lang)
     }
 }
 
@@ -236,14 +223,6 @@ pub fn compiler_for(model: DirectiveModel) -> Box<dyn CompilerFrontend> {
     match model {
         DirectiveModel::OpenAcc => Box::new(NvcCompiler::new()),
         DirectiveModel::OpenMp => Box::new(ClangOmpCompiler::new()),
-    }
-}
-
-fn capitalize(message: &str) -> String {
-    let mut chars = message.chars();
-    match chars.next() {
-        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
-        None => String::new(),
     }
 }
 
@@ -342,5 +321,19 @@ int main() {
     fn compiler_for_picks_vendor_by_model() {
         assert_eq!(compiler_for(DirectiveModel::OpenAcc).name(), "nvc");
         assert_eq!(compiler_for(DirectiveModel::OpenMp).name(), "clang");
+    }
+
+    #[test]
+    fn vendor_style_maps_models_and_codes() {
+        assert_eq!(
+            VendorStyle::for_model(DirectiveModel::OpenAcc),
+            VendorStyle::Nvc
+        );
+        assert_eq!(
+            VendorStyle::for_model(DirectiveModel::OpenMp),
+            VendorStyle::ClangOmp
+        );
+        assert_eq!(VendorStyle::Nvc.failure_code(), 2);
+        assert_eq!(VendorStyle::ClangOmp.failure_code(), 1);
     }
 }
