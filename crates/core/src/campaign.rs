@@ -46,7 +46,8 @@ use vv_judge::{JudgeProfile, PromptStyle};
 use vv_metrics::{Accumulator as _, LatencyTokenSummary, MetricsSink};
 use vv_pipeline::{ExecutionStrategy, PipelineMode, PipelineStats, ValidationService};
 use vv_probing::{CorpusSpec, ProbeConfig};
-use vv_simcompiler::CompileCache;
+use vv_simcompiler::{CompileCache, PersistentCache};
+use vv_store::ArtifactStore;
 
 use crate::experiment::{fold_probed_source, observe_record_all_case};
 
@@ -109,6 +110,22 @@ impl Scenario {
     /// whole campaign; outcomes are byte-identical either way.
     pub fn service_with_cache(&self, cache: Arc<CompileCache>) -> ValidationService {
         self.builder().compile_cache(cache).build()
+    }
+
+    /// Like [`Scenario::service_with_cache`], but additionally backed by a
+    /// durable [`ArtifactStore`]: compile outcomes persist through a
+    /// [`PersistentCache`] disk tier and whole case records are replayed
+    /// from the store on re-runs (see `vv_pipeline::persist`). This is the
+    /// service the incremental campaign harness builds.
+    pub fn service_with_store(
+        &self,
+        cache: Arc<CompileCache>,
+        store: &Arc<ArtifactStore>,
+    ) -> ValidationService {
+        self.builder()
+            .persistent_compile(Arc::new(PersistentCache::new(cache, Arc::clone(store))))
+            .artifact_store(Arc::clone(store))
+            .build()
     }
 
     fn builder(&self) -> vv_pipeline::ValidationServiceBuilder {
@@ -363,7 +380,7 @@ pub struct ScenarioMetrics {
 }
 
 impl ScenarioMetrics {
-    fn new(scenario: Scenario) -> Self {
+    pub(crate) fn new(scenario: Scenario) -> Self {
         Self {
             scenario,
             judge: MetricsSink::default(),
@@ -387,7 +404,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioMetrics {
     run_scenario_on(scenario, scenario.service())
 }
 
-fn run_scenario_on(scenario: &Scenario, service: ValidationService) -> ScenarioMetrics {
+pub(crate) fn run_scenario_on(scenario: &Scenario, service: ValidationService) -> ScenarioMetrics {
     let mut merged = ScenarioMetrics::new(scenario.clone());
     for k in 0..scenario.shards {
         let mut judge = MetricsSink::default();
@@ -424,9 +441,12 @@ impl CampaignResults {
     }
 
     /// Cross-scenario comparison table: one row per scenario with case
-    /// count, pipeline and stand-alone-judge accuracy, pipeline bias, and
-    /// the p50/p95/p99 simulated judge latency (exact across the shard
-    /// merges).
+    /// count, pipeline and stand-alone-judge accuracy, pipeline bias, the
+    /// p50/p95/p99 simulated judge latency (exact across the shard
+    /// merges), and the compile-cache and artifact-store provenance —
+    /// hits/misses plus the derived hit rate for each. Scenarios run
+    /// without a caching backend (or without a store) report `0/0` and a
+    /// 0.0% rate.
     pub fn comparison_table(&self) -> String {
         let label_width = self
             .scenarios
@@ -443,8 +463,19 @@ impl CampaignResults {
             self.total_cases()
         );
         let header = format!(
-            "{:<label_width$} {:>8} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8}",
-            "Scenario", "Cases", "Pipe acc", "Judge acc", "Bias", "p50 ms", "p95 ms", "p99 ms"
+            "{:<label_width$} {:>8} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8} {:>13} {:>6} {:>13} {:>6}",
+            "Scenario",
+            "Cases",
+            "Pipe acc",
+            "Judge acc",
+            "Bias",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "CC hit/miss",
+            "CC%",
+            "Sto hit/miss",
+            "Sto%"
         );
         let _ = writeln!(out, "{header}");
         let _ = writeln!(out, "{}", "-".repeat(header.len()));
@@ -455,17 +486,22 @@ impl CampaignResults {
                 Some(ms) => format!("{ms:.0}"),
                 None => "n/a".to_string(),
             };
+            let stats = &metrics.stats;
             let _ = writeln!(
                 out,
-                "{:<label_width$} {:>8} {:>9.1}% {:>9.1}% {:>+7.3} {:>8} {:>8} {:>8}",
+                "{:<label_width$} {:>8} {:>9.1}% {:>9.1}% {:>+7.3} {:>8} {:>8} {:>8} {:>13} {:>5.1}% {:>13} {:>5.1}%",
                 metrics.scenario.label,
                 metrics.cases(),
                 pipeline.accuracy * 100.0,
                 judge.accuracy * 100.0,
                 pipeline.bias,
-                quantile(metrics.stats.judge_latency_p50()),
-                quantile(metrics.stats.judge_latency_p95()),
-                quantile(metrics.stats.judge_latency_p99()),
+                quantile(stats.judge_latency_p50()),
+                quantile(stats.judge_latency_p95()),
+                quantile(stats.judge_latency_p99()),
+                format!("{}/{}", stats.compile_cache_hits, stats.compile_cache_misses),
+                stats.compile_cache_hit_rate() * 100.0,
+                format!("{}/{}", stats.store_hits, stats.store_misses),
+                stats.store_hit_rate() * 100.0,
             );
         }
         out
@@ -568,6 +604,8 @@ mod tests {
         assert!(table.contains("staged"), "{table}");
         assert!(table.contains("seq"), "{table}");
         assert!(table.contains("p99 ms"), "{table}");
+        assert!(table.contains("CC hit/miss"), "{table}");
+        assert!(table.contains("Sto hit/miss"), "{table}");
         // Header + separator + campaign line + one row per scenario.
         assert_eq!(table.lines().count(), 3 + campaign.scenarios.len());
     }

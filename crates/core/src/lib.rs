@@ -16,6 +16,10 @@
 //!   prompt style × execution strategy × probe fraction × judge profile in
 //!   one run, every scenario folded into mergeable constant-memory
 //!   accumulators over sharded corpus sources;
+//! * [`incremental`]: checkpoint/resume campaigns over a durable
+//!   `vv-store` artifact store — crashed runs resume from an append-only
+//!   journal, unchanged cases replay from disk, and a delta planner
+//!   reports what a re-run would actually compute;
 //! * [`reproduce`]: one function per table and figure that renders the
 //!   corresponding output in the paper's layout, from accumulator state.
 //!
@@ -39,6 +43,7 @@
 
 pub mod campaign;
 pub mod experiment;
+pub mod incremental;
 pub mod reproduce;
 
 pub use campaign::{run_campaign, CampaignResults, Scenario, ScenarioMatrix, ScenarioMetrics};
@@ -46,6 +51,10 @@ pub use experiment::{
     run_part_one, run_part_two, stream_part_one, stream_part_two, Evaluator, PartOneConfig,
     PartOneMetrics, PartOneRecord, PartOneResults, PartTwoConfig, PartTwoMetrics, PartTwoRecord,
     PartTwoResults,
+};
+pub use incremental::{
+    plan_campaign_delta, run_incremental_campaign, stage_stats, CampaignDelta, IncrementalCampaign,
+    ScenarioDelta, ScenarioProgress,
 };
 
 // Re-export the substrate crates so downstream users need only one

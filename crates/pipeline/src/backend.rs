@@ -27,7 +27,9 @@ use vv_judge::{
     CodeSignals, JudgeOutcome, JudgeProfile, JudgeSession, PromptStyle, SurrogateLlmJudge,
     ToolContext, ToolRecord,
 };
-use vv_simcompiler::{CacheStats, CompileCache, CompileSession, Program};
+use vv_simcompiler::{
+    CacheStats, CompileCache, CompileFetch, CompileSession, PersistentCache, Program,
+};
 use vv_simexec::{ExecConfig, Executor};
 
 /// The result of a compile backend call: the summary recorded in the
@@ -43,6 +45,10 @@ pub struct CompileOutput {
     /// backends that can (see [`vv_judge::CodeSignals::of_source`]); `None`
     /// makes the judge fall back to scanning its rendered prompt.
     pub signals: Option<Arc<CodeSignals>>,
+    /// Which cache tier served this outcome — `None` when the backend has
+    /// no cache (provenance unknown). Feeds the service's
+    /// compile-cache-hit counters.
+    pub fetch: Option<CompileFetch>,
 }
 
 /// The compile stage: source text in, diagnostics and artifact out.
@@ -57,6 +63,16 @@ pub trait CompileBackend: Send + Sync {
     fn name(&self) -> &'static str {
         "compile"
     }
+
+    /// A string pinning every piece of configuration this backend's output
+    /// depends on *besides* the work item itself (vendor, spec version,
+    /// resource limits, ...). Two backends with equal fingerprints must
+    /// produce byte-identical output for identical items. `None` (the
+    /// default) means "cannot promise that", which disables record-level
+    /// store persistence for the whole service — see [`crate::persist`].
+    fn fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The execute stage: artifact in, runtime observation out.
@@ -67,6 +83,12 @@ pub trait ExecBackend: Send + Sync {
     /// A short human-readable backend name.
     fn name(&self) -> &'static str {
         "exec"
+    }
+
+    /// Configuration fingerprint; same contract as
+    /// [`CompileBackend::fingerprint`].
+    fn fingerprint(&self) -> Option<String> {
+        None
     }
 }
 
@@ -87,6 +109,12 @@ pub trait JudgeBackend: Send + Sync {
     fn name(&self) -> &'static str {
         "judge"
     }
+
+    /// Configuration fingerprint; same contract as
+    /// [`CompileBackend::fingerprint`].
+    fn fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +133,9 @@ pub trait JudgeBackend: Send + Sync {
 #[derive(Debug)]
 pub struct SimCompileBackend {
     cache: Option<Arc<CompileCache>>,
+    /// Durable disk tier under the memory cache, when attached; sessions
+    /// are then built with the two-tier lookup (memory → disk → fresh).
+    persistent: Option<Arc<PersistentCache>>,
     sessions: Mutex<HashMap<DirectiveModel, Vec<CompileSession>>>,
 }
 
@@ -125,6 +156,17 @@ impl SimCompileBackend {
     pub fn cached(cache: Arc<CompileCache>) -> Self {
         Self {
             cache: Some(cache),
+            persistent: None,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A backend around a two-tier persistent cache: in-memory hits first,
+    /// then the durable store, then a fresh compile feeding both tiers.
+    pub fn persistent(persist: Arc<PersistentCache>) -> Self {
+        Self {
+            cache: Some(Arc::clone(persist.memory())),
+            persistent: Some(persist),
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -134,6 +176,7 @@ impl SimCompileBackend {
     pub fn uncached() -> Self {
         Self {
             cache: None,
+            persistent: None,
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -141,6 +184,11 @@ impl SimCompileBackend {
     /// Compile-cache statistics, if a cache is attached.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The persistent tier, if one is attached.
+    pub fn persistent_cache(&self) -> Option<&Arc<PersistentCache>> {
+        self.persistent.as_ref()
     }
 
     fn take_session(&self, model: DirectiveModel) -> CompileSession {
@@ -153,9 +201,10 @@ impl SimCompileBackend {
         }
         drop(pools);
         let session = CompileSession::for_model(model);
-        match &self.cache {
-            Some(cache) => session.with_cache(Arc::clone(cache)),
-            None => session,
+        match (&self.persistent, &self.cache) {
+            (Some(persist), _) => session.with_persistent_cache(Arc::clone(persist)),
+            (None, Some(cache)) => session.with_cache(Arc::clone(cache)),
+            (None, None) => session,
         }
     }
 
@@ -174,7 +223,7 @@ impl SimCompileBackend {
 impl CompileBackend for SimCompileBackend {
     fn compile(&self, item: &WorkItem) -> CompileOutput {
         let mut session = self.take_session(item.model);
-        let outcome = session.compile(&item.source, item.lang);
+        let (outcome, fetch) = session.compile_classified(&item.source, item.lang);
         self.return_session(item.model, session);
         // Derive the judge's code signals once per distinct source: the
         // outcome's analysis slot is shared by every cache hit.
@@ -191,11 +240,20 @@ impl CompileBackend for SimCompileBackend {
             },
             artifact: outcome.artifact.clone(),
             signals: Some(signals),
+            fetch: self.cache.is_some().then_some(fetch),
         }
     }
 
     fn name(&self) -> &'static str {
         "sim-compiler"
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        // Sessions are always built via `CompileSession::for_model`: the
+        // vendor and spec version are the per-model defaults, so the
+        // configuration is a constant. The model itself (and the source)
+        // is part of the record-store key, not the fingerprint.
+        Some("sim-compiler/default-vendor-spec".to_owned())
     }
 }
 
@@ -227,6 +285,13 @@ impl ExecBackend for SimExecBackend {
 
     fn name(&self) -> &'static str {
         "sim-exec"
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        // The executor's Debug form covers its full configuration (the
+        // interpreter limits), which is everything its output depends on
+        // beyond the program itself.
+        Some(format!("sim-exec/{:?}", self.executor))
     }
 }
 
@@ -287,6 +352,15 @@ impl JudgeBackend for SurrogateJudgeBackend {
 
     fn name(&self) -> &'static str {
         "surrogate-judge"
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        // The session's Debug form spells out the calibration profile (name
+        // and every reliability coefficient), the decision seed, the prompt
+        // style and the inference cost model — the complete configuration
+        // the judgement is a deterministic function of (besides the item
+        // and stage evidence, which the record-store key covers).
+        Some(format!("surrogate-judge/{:?}", self.session))
     }
 }
 

@@ -73,6 +73,7 @@
 //!   computed retroactively from one run.
 
 pub mod backend;
+pub mod persist;
 pub mod runner;
 pub mod service;
 pub mod stats;
@@ -81,6 +82,7 @@ pub use backend::{
     CompileBackend, CompileOutput, ExecBackend, JudgeBackend, SimCompileBackend, SimExecBackend,
     SurrogateJudgeBackend,
 };
+pub use persist::{decode_record, encode_record, RecordStore};
 pub use runner::PipelineRun;
 pub use service::{ExecutionStrategy, RecordStream, ValidationService, ValidationServiceBuilder};
 pub use stats::PipelineStats;

@@ -27,11 +27,14 @@ use crate::backend::{
     CompileBackend, CompileOutput, ExecBackend, JudgeBackend, SimCompileBackend, SimExecBackend,
     SurrogateJudgeBackend,
 };
+use crate::persist::RecordStore;
 use crate::runner::PipelineRun;
 use crate::stats::PipelineStats;
 use crate::{CaseRecord, CompileSummary, PipelineConfig, PipelineMode, WorkItem};
 use vv_corpus::CaseSource;
 use vv_judge::{JudgeProfile, PromptStyle};
+use vv_simcompiler::{CacheAdmission, CompileCache, CompileFetch, PersistentCache};
+use vv_store::ArtifactStore;
 
 /// How the service schedules the per-file work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -91,6 +94,9 @@ pub struct ValidationServiceBuilder {
     compile: Option<Arc<dyn CompileBackend>>,
     exec: Option<Arc<dyn ExecBackend>>,
     judge: Option<Arc<dyn JudgeBackend>>,
+    store: Option<Arc<ArtifactStore>>,
+    cache_capacity: Option<usize>,
+    cache_admission: Option<CacheAdmission>,
 }
 
 impl ValidationServiceBuilder {
@@ -170,6 +176,48 @@ impl ValidationServiceBuilder {
         self.compile_backend(SimCompileBackend::uncached())
     }
 
+    /// Compile through a two-tier persistent cache (memory over a durable
+    /// store); see [`vv_simcompiler::PersistentCache`]. This only covers
+    /// the compile stage — pair it with [`Self::artifact_store`] (usually
+    /// over the same store) for whole-record persistence.
+    pub fn persistent_compile(self, persist: Arc<PersistentCache>) -> Self {
+        self.compile_backend(SimCompileBackend::persistent(persist))
+    }
+
+    /// Capacity of the *default* compile cache's hot generation (total
+    /// retention is bounded by twice this; see
+    /// [`vv_simcompiler::CacheAdmission`] for the eviction scheme). Ignored
+    /// when an explicit compile backend is plugged in.
+    pub fn compile_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Admission policy of the *default* compile cache:
+    /// [`CacheAdmission::SecondTouch`] (the default — an address must
+    /// recur before its outcome is memoized, so single-use sources never
+    /// consume capacity) or [`CacheAdmission::FirstTouch`] (memoize
+    /// immediately — better for small working sets known to recur).
+    /// Ignored when an explicit compile backend is plugged in.
+    pub fn compile_cache_admission(mut self, admission: CacheAdmission) -> Self {
+        self.cache_admission = Some(admission);
+        self
+    }
+
+    /// Attach a durable artifact store. Two layers light up:
+    ///
+    /// * the *default* compile backend becomes persistent (memory cache
+    ///   over this store), so recurring sources skip the frontend across
+    ///   processes;
+    /// * if every stage backend states a configuration fingerprint (the
+    ///   defaults all do), completed [`CaseRecord`]s are persisted under
+    ///   `(mode, fingerprints, model, lang, source)` and replayed wholesale
+    ///   on re-runs — see [`crate::persist::RecordStore`].
+    pub fn artifact_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Plug in a custom execute backend.
     pub fn exec_backend(mut self, backend: impl ExecBackend + 'static) -> Self {
         self.exec = Some(Arc::new(backend));
@@ -193,16 +241,50 @@ impl ValidationServiceBuilder {
                 self.config.judge_seed,
             ))
         });
+        let exec = self
+            .exec
+            .unwrap_or_else(|| Arc::new(SimExecBackend::default()));
+        let compile: Arc<dyn CompileBackend> = match self.compile {
+            Some(backend) => backend,
+            None => {
+                let cache = if self.cache_capacity.is_none() && self.cache_admission.is_none() {
+                    CompileCache::shared()
+                } else {
+                    Arc::new(CompileCache::with_config(
+                        self.cache_capacity
+                            .unwrap_or(vv_simcompiler::cache::DEFAULT_CACHE_CAPACITY),
+                        self.cache_admission.unwrap_or_default(),
+                    ))
+                };
+                match &self.store {
+                    Some(store) => Arc::new(SimCompileBackend::persistent(Arc::new(
+                        PersistentCache::new(cache, Arc::clone(store)),
+                    ))),
+                    None => Arc::new(SimCompileBackend::cached(cache)),
+                }
+            }
+        };
+        // Whole-record persistence requires every stage to pin its
+        // configuration; one abstaining backend disables the layer.
+        let record_store = self.store.as_ref().and_then(|store| {
+            let compile_fp = compile.fingerprint()?;
+            let exec_fp = exec.fingerprint()?;
+            let judge_fp = judge.fingerprint()?;
+            Some(Arc::new(RecordStore::new(
+                Arc::clone(store),
+                self.config.mode,
+                &compile_fp,
+                &exec_fp,
+                &judge_fp,
+            )))
+        });
         ValidationService {
             config: self.config,
             strategy: self.strategy,
-            compile: self
-                .compile
-                .unwrap_or_else(|| Arc::new(SimCompileBackend::default())),
-            exec: self
-                .exec
-                .unwrap_or_else(|| Arc::new(SimExecBackend::default())),
+            compile,
+            exec,
             judge,
+            record_store,
         }
     }
 }
@@ -215,6 +297,9 @@ pub struct ValidationService {
     compile: Arc<dyn CompileBackend>,
     exec: Arc<dyn ExecBackend>,
     judge: Arc<dyn JudgeBackend>,
+    /// Whole-record persistence layer, when an artifact store is attached
+    /// and every backend pins its configuration.
+    record_store: Option<Arc<RecordStore>>,
 }
 
 impl std::fmt::Debug for ValidationService {
@@ -254,6 +339,14 @@ impl ValidationService {
     /// The scheduling strategy in effect.
     pub fn strategy(&self) -> ExecutionStrategy {
         self.strategy
+    }
+
+    /// The whole-record persistence layer, when active (an artifact store
+    /// was attached and every stage backend stated a fingerprint). The
+    /// campaign delta planner probes this to split a corpus into
+    /// already-stored and fresh work.
+    pub fn record_store(&self) -> Option<&Arc<RecordStore>> {
+        self.record_store.as_ref()
     }
 
     /// Batch entry point: run `items` to completion and return the records
@@ -321,6 +414,7 @@ impl ValidationService {
             handles,
             started,
             finished: None,
+            record_store: self.record_store.clone(),
         }
     }
 
@@ -370,25 +464,51 @@ impl ValidationService {
             }));
         }
 
-        // Compile stage.
+        // Compile stage. Also the store layer's probe point: a stored
+        // record short-circuits every stage, so hits never occupy a slot
+        // downstream.
         for _ in 0..self.config.compile_workers.max(1) {
             let rx = rx_items.clone();
             let tx_next = tx_compiled.clone();
             let tx_done = tx_done.clone();
             let stats = Arc::clone(stats);
             let backend = Arc::clone(&self.compile);
+            let record_store = self.record_store.clone();
             handles.push(std::thread::spawn(move || {
                 for (index, item) in rx.iter() {
+                    if let Some(store) = &record_store {
+                        if let Some(record) = store.lookup(&item) {
+                            {
+                                let mut s = stats.lock();
+                                s.store_hits += 1;
+                                // Replay the stored stages into the
+                                // aggregates, so hit-heavy runs report the
+                                // same stage counters as cold ones.
+                                s.observe_record(&record);
+                            }
+                            if tx_done.send((index, record)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        stats.lock().store_misses += 1;
+                    }
                     let CompileOutput {
                         summary: compile,
                         artifact,
                         signals,
+                        fetch,
                     } = backend.compile(&item);
                     {
                         let mut s = stats.lock();
                         s.compiled += 1;
                         if !compile.succeeded {
                             s.compile_failures += 1;
+                        }
+                        match fetch {
+                            Some(CompileFetch::Fresh) => s.compile_cache_misses += 1,
+                            Some(_) => s.compile_cache_hits += 1,
+                            None => {}
                         }
                     }
                     if !compile.succeeded && mode == PipelineMode::EarlyExit {
@@ -398,6 +518,9 @@ impl ValidationService {
                             exec: None,
                             judgement: None,
                         };
+                        if let Some(store) = &record_store {
+                            store.persist(&item, &record);
+                        }
                         // A failed send means the consumer is gone; stop and
                         // let the dropped receiver cancel the stages above.
                         if tx_done.send((index, record)).is_err() {
@@ -430,6 +553,7 @@ impl ValidationService {
             let tx_done = tx_done.clone();
             let stats = Arc::clone(stats);
             let backend = Arc::clone(&self.exec);
+            let record_store = self.record_store.clone();
             handles.push(std::thread::spawn(move || {
                 for msg in rx.iter() {
                     let exec = msg
@@ -451,6 +575,9 @@ impl ValidationService {
                             exec,
                             judgement: None,
                         };
+                        if let Some(store) = &record_store {
+                            store.persist(&msg.item, &record);
+                        }
                         if tx_done.send((msg.index, record)).is_err() {
                             break;
                         }
@@ -478,6 +605,7 @@ impl ValidationService {
             let tx_done = tx_done.clone();
             let stats = Arc::clone(stats);
             let backend = Arc::clone(&self.judge);
+            let record_store = self.record_store.clone();
             handles.push(std::thread::spawn(move || {
                 for msg in rx.iter() {
                     let judgement = backend.judge(
@@ -500,6 +628,9 @@ impl ValidationService {
                         exec: msg.exec,
                         judgement: Some(judgement),
                     };
+                    if let Some(store) = &record_store {
+                        store.persist(&msg.item, &record);
+                    }
                     if tx_done.send((msg.index, record)).is_err() {
                         break;
                     }
@@ -558,19 +689,44 @@ impl ValidationService {
     }
 
     /// Run every stage for one item (shared by the whole-file strategies);
-    /// semantics identical to the staged topology.
+    /// semantics identical to the staged topology, including the store
+    /// layer's replay/persist behaviour.
     fn process_one(&self, item: &WorkItem, stats: &Mutex<PipelineStats>) -> CaseRecord {
+        if let Some(store) = &self.record_store {
+            if let Some(record) = store.lookup(item) {
+                let mut s = stats.lock();
+                s.store_hits += 1;
+                s.observe_record(&record);
+                return record;
+            }
+            stats.lock().store_misses += 1;
+        }
+        let record = self.process_fresh(item, stats);
+        if let Some(store) = &self.record_store {
+            store.persist(item, &record);
+        }
+        record
+    }
+
+    /// The three stages proper, bypassing the store layer.
+    fn process_fresh(&self, item: &WorkItem, stats: &Mutex<PipelineStats>) -> CaseRecord {
         let mode = self.config.mode;
         let CompileOutput {
             summary: compile,
             artifact,
             signals,
+            fetch,
         } = self.compile.compile(item);
         {
             let mut s = stats.lock();
             s.compiled += 1;
             if !compile.succeeded {
                 s.compile_failures += 1;
+            }
+            match fetch {
+                Some(vv_simcompiler::CompileFetch::Fresh) => s.compile_cache_misses += 1,
+                Some(_) => s.compile_cache_hits += 1,
+                None => {}
             }
         }
         if !compile.succeeded && mode == PipelineMode::EarlyExit {
@@ -638,6 +794,9 @@ pub struct RecordStream {
     handles: Vec<JoinHandle<()>>,
     started: Instant,
     finished: Option<std::time::Duration>,
+    /// Flushed when the stream completes, so every record processed
+    /// through a finished stream is durable.
+    record_store: Option<Arc<RecordStore>>,
 }
 
 impl RecordStream {
@@ -670,11 +829,14 @@ impl RecordStream {
         PipelineRun::new(records, self.stats())
     }
 
-    /// Reap the worker threads, latch the wall time, and re-raise the first
-    /// worker panic (if any) on this thread.
+    /// Reap the worker threads, latch the wall time, flush the record
+    /// store, and re-raise the first worker panic (if any) on this thread.
     fn finish(&mut self) {
         let panic = self.join_workers();
         self.finished.get_or_insert_with(|| self.started.elapsed());
+        if let Some(store) = &self.record_store {
+            store.flush();
+        }
         if let Some(payload) = panic {
             std::panic::resume_unwind(payload);
         }
@@ -715,6 +877,9 @@ impl Drop for RecordStream {
         self.rx = None;
         let panic = self.join_workers();
         self.finished.get_or_insert_with(|| self.started.elapsed());
+        if let Some(store) = &self.record_store {
+            store.flush();
+        }
         // Surface a backend panic even on early drop, but never while this
         // thread is already unwinding (a double panic would abort).
         if let Some(payload) = panic {

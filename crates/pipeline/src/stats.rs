@@ -29,6 +29,18 @@ pub struct PipelineStats {
     /// streaming histogram, exact under [`PipelineStats::merge`], backing
     /// the p50/p95/p99 accessors.
     pub judge_latency: LatencyHistogram,
+    /// Compile-cache hits (memory or disk tier), when the compile backend
+    /// reports provenance.
+    pub compile_cache_hits: usize,
+    /// Compile-cache misses (fresh compiles through a caching backend).
+    pub compile_cache_misses: usize,
+    /// Whole-record artifact-store hits: cases whose complete
+    /// [`crate::CaseRecord`] was replayed from the store, skipping every
+    /// stage. The stage counters above are still advanced from the stored
+    /// record, so hit-heavy runs aggregate identically to cold ones.
+    pub store_hits: usize,
+    /// Cases probed against the artifact store and validated fresh.
+    pub store_misses: usize,
     /// Wall-clock duration of the run.
     pub wall_time: Duration,
 }
@@ -81,7 +93,48 @@ impl PipelineStats {
         self.judge_rejections += other.judge_rejections;
         self.simulated_judge_latency_ms += other.simulated_judge_latency_ms;
         self.judge_latency.merge(&other.judge_latency);
+        self.compile_cache_hits += other.compile_cache_hits;
+        self.compile_cache_misses += other.compile_cache_misses;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
         self.wall_time = self.wall_time.max(other.wall_time);
+    }
+
+    /// Compile-cache hit rate over lookups with known provenance (0.0
+    /// before any).
+    pub fn compile_cache_hit_rate(&self) -> f64 {
+        ratio(self.compile_cache_hits, self.compile_cache_misses)
+    }
+
+    /// Artifact-store hit rate over probed cases (0.0 before any).
+    pub fn store_hit_rate(&self) -> f64 {
+        ratio(self.store_hits, self.store_misses)
+    }
+
+    /// Advance the per-stage counters (compiled/executed/judged, their
+    /// failure counts, and the judge-latency aggregates — everything except
+    /// `submitted` and the cache/store provenance counters) from an
+    /// already-complete record, exactly as running its stages would have.
+    /// This is what keeps store replays and journal resumes aggregate-
+    /// identical to cold runs.
+    pub fn observe_record(&mut self, record: &crate::CaseRecord) {
+        self.compiled += 1;
+        if !record.compile.succeeded {
+            self.compile_failures += 1;
+        }
+        if let Some(exec) = &record.exec {
+            self.executed += 1;
+            if !exec.passed {
+                self.exec_failures += 1;
+            }
+        }
+        if let Some(judgement) = &record.judgement {
+            self.judged += 1;
+            self.observe_judge_latency_ms(judgement.latency_ms);
+            if !judgement.verdict_or_invalid().is_valid() {
+                self.judge_rejections += 1;
+            }
+        }
     }
 
     /// Record one judgement's simulated latency (called by the judge
@@ -90,6 +143,14 @@ impl PipelineStats {
         self.simulated_judge_latency_ms += latency_ms;
         self.judge_latency.observe_ms(latency_ms);
     }
+}
+
+fn ratio(hits: usize, misses: usize) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
 }
 
 #[cfg(test)]

@@ -43,6 +43,31 @@ use crate::vendors::VendorStyle;
 /// Default bound on the hot generation (total retention ≤ 2x this).
 pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
 
+/// When a freshly compiled outcome is admitted into the cache.
+///
+/// Whichever policy admits, eviction is always the two-generation scheme
+/// described on [`CompileCache`]: admitted entries land in the *hot*
+/// generation; when it fills, it is demoted wholesale to *cold* (dropping
+/// the previous cold generation) and cold hits are promoted back to hot,
+/// so at most `2 * capacity` entries are ever retained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CacheAdmission {
+    /// Admit an outcome only once its address has been seen before
+    /// (the default). The first sighting costs eight bytes in the
+    /// admission filter instead of a cached AST, so the long tail of
+    /// never-recurring sources — most of a probed corpus, where every
+    /// mutation is near-unique — never consumes capacity; capacity is
+    /// spent exclusively on sources that demonstrably recur.
+    #[default]
+    SecondTouch,
+    /// Admit every outcome immediately. Better for small working sets
+    /// that are known to recur (every entry then hits from its second
+    /// compile onwards, not its third); worse under heavy-tailed corpora,
+    /// where single-use sources continually push recurring ones toward
+    /// the cold generation.
+    FirstTouch,
+}
+
 /// Cache statistics snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -158,6 +183,7 @@ const MAX_SEEN_ADDRESSES: usize = 1 << 22;
 /// identity to memoized [`CompileOutcome`]. See the module docs.
 pub struct CompileCache {
     capacity: usize,
+    admission: CacheAdmission,
     state: Mutex<Generations>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -182,14 +208,34 @@ impl Default for CompileCache {
 }
 
 impl CompileCache {
-    /// A cache bounded to `capacity` hot entries (≤ `2 * capacity` total).
+    /// A cache bounded to `capacity` hot entries (≤ `2 * capacity` total),
+    /// with the default [`CacheAdmission::SecondTouch`] policy.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_config(capacity, CacheAdmission::default())
+    }
+
+    /// A cache with an explicit capacity *and* admission policy — the
+    /// constructor behind `ValidationServiceBuilder`'s compile-cache knobs.
+    /// See [`CacheAdmission`] for the policy trade-off and the eviction
+    /// behavior both policies share.
+    pub fn with_config(capacity: usize, admission: CacheAdmission) -> Self {
         Self {
             capacity: capacity.max(1),
+            admission,
             state: Mutex::new(Generations::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The admission policy in effect.
+    pub fn admission(&self) -> CacheAdmission {
+        self.admission
+    }
+
+    /// The hot-generation capacity (total retention ≤ 2x this).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// A shared cache with the default capacity.
@@ -248,16 +294,19 @@ impl CompileCache {
         None
     }
 
-    /// Offer a freshly compiled outcome for memoization. Admission is
-    /// second-touch: the first sighting of an address only records it in
-    /// the filter, so capacity is never spent on sources that never recur.
+    /// Offer a freshly compiled outcome for memoization, subject to the
+    /// configured [`CacheAdmission`] policy: under the default second-touch
+    /// policy the first sighting of an address only records it in the
+    /// filter, so capacity is never spent on sources that never recur.
     pub(crate) fn insert(&self, addr: u64, key: KeyRef<'_>, outcome: Arc<CompileOutcome>) {
         let mut state = self.lock();
-        if state.seen.len() >= MAX_SEEN_ADDRESSES {
-            state.seen.clear();
-        }
-        if state.seen.insert(addr) {
-            return; // first touch: filter only, no entry
+        if self.admission == CacheAdmission::SecondTouch {
+            if state.seen.len() >= MAX_SEEN_ADDRESSES {
+                state.seen.clear();
+            }
+            if state.seen.insert(addr) {
+                return; // first touch: filter only, no entry
+            }
         }
         let entry = Entry {
             key: key.to_owned_key(),
@@ -306,6 +355,23 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 2));
         assert_eq!(stats.entries, 1);
         assert!(stats.hit_rate() > 0.32 && stats.hit_rate() < 0.34);
+    }
+
+    #[test]
+    fn first_touch_admission_hits_from_the_second_compile() {
+        let cache = Arc::new(CompileCache::with_config(8, CacheAdmission::FirstTouch));
+        assert_eq!(cache.admission(), CacheAdmission::FirstTouch);
+        let mut session =
+            CompileSession::for_model(DirectiveModel::OpenAcc).with_cache(Arc::clone(&cache));
+        let first = session.compile(SRC_A, Lang::C);
+        let second = session.compile(SRC_A, Lang::C);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "first-touch admission must hit from the second compile"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

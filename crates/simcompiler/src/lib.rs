@@ -23,18 +23,23 @@
 //!   and vendor configuration shared across many compiles (the zero-alloc
 //!   fast path the validation pipeline uses);
 //! * [`cache`] — a bounded, content-addressed [`cache::CompileCache`]
-//!   memoizing whole outcomes by source bytes + configuration.
+//!   memoizing whole outcomes by source bytes + configuration;
+//! * [`persist`] — the durable tier: a [`persist::PersistentCache`]
+//!   layering the memory cache over a `vv-store` artifact store, so warm
+//!   re-runs skip recurring compiles across *processes*.
 
 pub mod cache;
 pub mod frontend;
+pub mod persist;
 pub mod semantic;
 pub mod session;
 pub mod vendors;
 
-pub use cache::{CacheStats, CompileCache};
+pub use cache::{CacheAdmission, CacheStats, CompileCache};
 pub use frontend::{CompileOutcome, CompilerFrontend, Lang, Program, SharedSlot};
+pub use persist::{PersistStats, PersistentCache};
 pub use semantic::{analyze, analyze_with, SemanticOptions};
-pub use session::CompileSession;
+pub use session::{CompileFetch, CompileSession};
 pub use vendors::{compiler_for, ClangOmpCompiler, NvcCompiler, VendorStyle};
 
 #[cfg(test)]

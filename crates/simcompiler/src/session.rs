@@ -34,8 +34,22 @@ use vv_specs::Version;
 
 use crate::cache::CompileCache;
 use crate::frontend::{CompileOutcome, Lang, Program, SharedSlot};
+use crate::persist::{self, PersistentCache};
 use crate::semantic::{analyze_with, SemanticOptions};
 use crate::vendors::VendorStyle;
+
+/// Where a [`CompileSession::compile_classified`] outcome came from —
+/// consumed by the pipeline's cache/store accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompileFetch {
+    /// Compiled through the full frontend this call.
+    Fresh,
+    /// Served by the in-memory [`CompileCache`].
+    MemoryHit,
+    /// Decoded from the durable store tier (artifact rebuilt by
+    /// re-parsing; see [`crate::persist`]).
+    DiskHit,
+}
 
 /// A reusable, optionally caching compiler session. See the module docs.
 #[derive(Debug)]
@@ -45,6 +59,8 @@ pub struct CompileSession {
     style: VendorStyle,
     interner: Interner,
     cache: Option<Arc<CompileCache>>,
+    /// Durable tier under the memory cache, when attached.
+    persistent: Option<Arc<PersistentCache>>,
     /// Scratch buffer for vendor-rendered stderr.
     render_buf: String,
 }
@@ -59,6 +75,7 @@ impl CompileSession {
             style: VendorStyle::for_model(model),
             interner: Interner::new(),
             cache: None,
+            persistent: None,
             render_buf: String::new(),
         }
     }
@@ -72,6 +89,16 @@ impl CompileSession {
     /// Attach a shared content-addressed compile cache.
     pub fn with_cache(mut self, cache: Arc<CompileCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a two-tier persistent cache: lookups go memory → disk →
+    /// fresh compile, and fresh outcomes feed both tiers. This replaces
+    /// any cache set by [`Self::with_cache`] with the persistent cache's
+    /// memory tier, so both tiers stay coherent.
+    pub fn with_persistent_cache(mut self, persistent: Arc<PersistentCache>) -> Self {
+        self.cache = Some(Arc::clone(persistent.memory()));
+        self.persistent = Some(persistent);
         self
     }
 
@@ -91,26 +118,92 @@ impl CompileSession {
     /// lowered-artifact and analysis slots); misses compile through the
     /// session interner and memoize the result.
     pub fn compile(&mut self, source: &str, lang: Lang) -> Arc<CompileOutcome> {
-        if let Some(cache) = self.cache.clone() {
-            // Hash the source once; the same address drives both the probe
-            // and the insertion.
-            let key = crate::cache::KeyRef {
-                style: self.style,
-                version: self.spec_version,
-                model: self.model,
-                lang,
-                source,
-            };
-            let addr = key.address();
-            if let Some(hit) = cache.get(addr, key) {
-                return hit;
+        self.compile_classified(source, lang).0
+    }
+
+    /// [`Self::compile`] plus the provenance of the returned outcome —
+    /// which cache tier (if any) served it. The outcome is identical
+    /// either way; the classification only feeds hit/miss accounting.
+    pub fn compile_classified(
+        &mut self,
+        source: &str,
+        lang: Lang,
+    ) -> (Arc<CompileOutcome>, CompileFetch) {
+        let Some(cache) = self.cache.clone() else {
+            return (
+                Arc::new(self.compile_uncached(source, lang)),
+                CompileFetch::Fresh,
+            );
+        };
+        // Hash the source once; the same address drives both the probe
+        // and the insertion.
+        let key = crate::cache::KeyRef {
+            style: self.style,
+            version: self.spec_version,
+            model: self.model,
+            lang,
+            source,
+        };
+        let addr = key.address();
+        if let Some(hit) = cache.get(addr, key) {
+            return (hit, CompileFetch::MemoryHit);
+        }
+        if let Some(persistent) = self.persistent.clone() {
+            let store_key =
+                persist::compile_key(self.style, self.spec_version, self.model, lang, source);
+            let store_addr = persist::compile_addr(&store_key);
+            if let Some(bytes) = persistent.fetch(store_addr, &store_key) {
+                if let Some(outcome) = self.rebuild_from_disk(&bytes, source, lang) {
+                    let outcome = Arc::new(outcome);
+                    // Re-offer the disk hit to the memory tier so recurring
+                    // sources graduate to memory speed.
+                    cache.insert(addr, key, Arc::clone(&outcome));
+                    return (outcome, CompileFetch::DiskHit);
+                }
+                persistent.note_undecodable();
             }
             let outcome = Arc::new(self.compile_uncached(source, lang));
+            // Durability is best-effort here: a full disk must not fail the
+            // compile itself, and the next flush/open will surface it.
+            let _ = persistent.persist(store_addr, &store_key, &outcome);
             cache.insert(addr, key, Arc::clone(&outcome));
-            outcome
-        } else {
-            Arc::new(self.compile_uncached(source, lang))
+            return (outcome, CompileFetch::Fresh);
         }
+        let outcome = Arc::new(self.compile_uncached(source, lang));
+        cache.insert(addr, key, Arc::clone(&outcome));
+        (outcome, CompileFetch::Fresh)
+    }
+
+    /// Reconstitute a stored outcome: decode the observable fields and, for
+    /// successful compiles, rebuild the artifact by re-parsing the source
+    /// through the session interner (deterministic — see [`crate::persist`]).
+    /// `None` means the record is undecodable and the caller must compile
+    /// fresh.
+    fn rebuild_from_disk(
+        &mut self,
+        bytes: &[u8],
+        source: &str,
+        lang: Lang,
+    ) -> Option<CompileOutcome> {
+        let decoded = persist::decode_outcome(bytes)?;
+        let artifact = if decoded.has_artifact {
+            // The stored outcome carried an artifact, so this parse
+            // succeeded when the record was written; a failure here means
+            // the record does not match the source (a key collision slipped
+            // past, or store damage) and must be treated as a miss.
+            let parsed = parse_source_with(source, &mut self.interner).ok()?;
+            Some(Program::new(parsed.unit, self.model, lang))
+        } else {
+            None
+        };
+        Some(CompileOutcome {
+            return_code: decoded.return_code,
+            stdout: decoded.stdout,
+            stderr: decoded.stderr,
+            artifact,
+            diagnostics: decoded.diagnostics,
+            analysis: SharedSlot::default(),
+        })
     }
 
     /// Compile one source file through the session interner, bypassing the

@@ -1,0 +1,259 @@
+//! Offline verification and garbage collection for store directories —
+//! the library behind the `vv-store fsck` binary.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::journal::{parse_header, scan_frames};
+use crate::store::{parse_manifest, scan_segment, MANIFEST_NAME};
+use crate::StoreError;
+
+/// Health of one journal file found in the directory.
+#[derive(Clone, Debug)]
+pub struct JournalCheck {
+    /// File name.
+    pub name: String,
+    /// Intact frames.
+    pub frames: u64,
+    /// Bytes past the last intact frame (0 for a clean journal).
+    pub torn_tail_bytes: u64,
+    /// False when even the header is unreadable.
+    pub header_ok: bool,
+}
+
+/// Result of [`check`]: everything wrong (and right) with a store
+/// directory.
+#[derive(Clone, Debug, Default)]
+pub struct FsckReport {
+    /// Segments listed by the manifest and fully verified.
+    pub segments_ok: usize,
+    /// Total records verified across those segments.
+    pub records: usize,
+    /// Human-readable damage descriptions (torn segments, bad checksums,
+    /// size mismatches, missing files, a corrupt manifest).
+    pub torn: Vec<String>,
+    /// Files present in the directory but not reachable from the manifest
+    /// (crashed in-flight writes): orphaned segments and `.tmp-*` files.
+    pub orphans: Vec<PathBuf>,
+    /// Per-journal health for every `*.vvj` in the directory.
+    pub journals: Vec<JournalCheck>,
+}
+
+impl FsckReport {
+    /// True when nothing is damaged and nothing is orphaned.
+    pub fn clean(&self) -> bool {
+        self.torn.is_empty()
+            && self.orphans.is_empty()
+            && self
+                .journals
+                .iter()
+                .all(|j| j.header_ok && j.torn_tail_bytes == 0)
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "segments: {} ok, {} records verified",
+            self.segments_ok, self.records
+        )?;
+        for issue in &self.torn {
+            writeln!(f, "TORN: {issue}")?;
+        }
+        for orphan in &self.orphans {
+            writeln!(f, "ORPHAN: {}", orphan.display())?;
+        }
+        for journal in &self.journals {
+            if !journal.header_ok {
+                writeln!(f, "JOURNAL {}: unreadable header", journal.name)?;
+            } else if journal.torn_tail_bytes > 0 {
+                writeln!(
+                    f,
+                    "JOURNAL {}: {} frames, torn tail of {} bytes",
+                    journal.name, journal.frames, journal.torn_tail_bytes
+                )?;
+            } else {
+                writeln!(f, "journal {}: {} frames ok", journal.name, journal.frames)?;
+            }
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.clean() { "clean" } else { "NOT CLEAN" }
+        )
+    }
+}
+
+/// Verify every structure in a store directory: manifest checksum, each
+/// listed segment's length/record checksums, orphaned files, and the
+/// frame integrity of any journals. Read-only.
+pub fn check(dir: impl AsRef<Path>) -> Result<FsckReport, StoreError> {
+    let dir = dir.as_ref();
+    let mut report = FsckReport::default();
+
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let listed = if manifest_path.exists() {
+        match fs::read(&manifest_path)
+            .map_err(StoreError::from)
+            .and_then(|b| parse_manifest(&b))
+        {
+            Ok(listed) => listed,
+            Err(err) => {
+                report.torn.push(format!("{MANIFEST_NAME}: {err}"));
+                Vec::new()
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let mut listed_names: Vec<String> = Vec::new();
+    for meta in &listed {
+        listed_names.push(meta.name.clone());
+        let path = dir.join(&meta.name);
+        if !path.exists() {
+            report
+                .torn
+                .push(format!("{}: listed but missing", meta.name));
+            continue;
+        }
+        let scan = scan_segment(&path, Some(meta))?;
+        if scan.torn {
+            report.torn.push(format!(
+                "{}: {} of {} records intact ({} valid bytes)",
+                meta.name,
+                scan.records.len(),
+                meta.records,
+                scan.valid_bytes
+            ));
+        } else {
+            report.segments_ok += 1;
+            report.records += scan.records.len();
+        }
+    }
+
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        if name.starts_with(".tmp-") {
+            report.orphans.push(entry.path());
+        } else if name.starts_with("seg-") && name.ends_with(".vvs") {
+            if !listed_names.contains(&name) {
+                report.orphans.push(entry.path());
+            }
+        } else if name.ends_with(".vvj") {
+            let bytes = fs::read(entry.path())?;
+            match parse_header(&bytes) {
+                Some(tag) => {
+                    let header = 8 + 4 + tag.len() + 8;
+                    let (end, frames) = scan_frames(&bytes, header);
+                    report.journals.push(JournalCheck {
+                        name,
+                        frames,
+                        torn_tail_bytes: (bytes.len() - end) as u64,
+                        header_ok: true,
+                    });
+                }
+                None => report.journals.push(JournalCheck {
+                    name,
+                    frames: 0,
+                    torn_tail_bytes: bytes.len() as u64,
+                    header_ok: false,
+                }),
+            }
+        }
+    }
+    report.orphans.sort();
+    report.journals.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(report)
+}
+
+/// Remove everything [`check`] reported as orphaned (unlisted segments
+/// and stale tempfiles). Journals and listed segments are never touched.
+/// Returns the removed paths.
+pub fn gc(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, StoreError> {
+    let report = check(&dir)?;
+    for orphan in &report.orphans {
+        fs::remove_file(orphan)?;
+    }
+    Ok(report.orphans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kind, ArtifactStore, Journal};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vv-fsck-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn clean_store_and_journal_pass() {
+        let dir = temp_dir("clean");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(kind::COMPILE, 1, b"k", b"v").unwrap();
+            store.flush().unwrap();
+            let (mut journal, _) = Journal::open(dir.join("journal.vvj"), b"tag").unwrap();
+            journal.append(b"frame").unwrap();
+        }
+        let report = check(&dir).unwrap();
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.segments_ok, 1);
+        assert_eq!(report.records, 1);
+        assert_eq!(report.journals.len(), 1);
+        assert_eq!(report.journals[0].frames, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphans_are_reported_and_collected() {
+        let dir = temp_dir("orphans");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(kind::COMPILE, 1, b"k", b"v").unwrap();
+            store.flush().unwrap();
+        }
+        // An unlisted segment (crash between segment and manifest rename)
+        // and a stale tempfile.
+        fs::write(dir.join("seg-deadbeef.vvs"), b"VVSSEG01").unwrap();
+        fs::write(dir.join(".tmp-manifest.vvs"), b"partial").unwrap();
+        let report = check(&dir).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.orphans.len(), 2, "{report}");
+        let removed = gc(&dir).unwrap();
+        assert_eq!(removed.len(), 2);
+        let report = check(&dir).unwrap();
+        assert!(report.clean(), "{report}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_segment_is_flagged() {
+        let dir = temp_dir("flagged");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(kind::COMPILE, 1, b"key", b"value").unwrap();
+            store.flush().unwrap();
+        }
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+            .unwrap()
+            .path();
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a bit inside the record payload
+        fs::write(&seg, &bytes).unwrap();
+        let report = check(&dir).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.torn.len(), 1, "{report}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,375 @@
+//! The append-only campaign journal. Format spec in the crate docs
+//! ([`crate`]); this module implements open/truncate-repair, durable
+//! appends, and a streaming replay cursor.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::wire::fnv1a;
+use crate::StoreError;
+
+pub(crate) const JOURNAL_MAGIC: &[u8; 8] = b"VVJRNL01";
+
+/// What [`Journal::open`] found in an existing file.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// Streaming cursor over the surviving frames, in append order.
+    /// Consuming it is optional; it reads through its own file handle.
+    pub frames: FrameCursor,
+    /// Number of surviving frames.
+    pub frame_count: u64,
+    /// Bytes of torn tail truncated away (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// True when the existing file carried a different tag (or no valid
+    /// header at all) and was reset to an empty journal under `tag`.
+    pub reset: bool,
+}
+
+/// An append-only, checksummed frame log tied to a caller-defined `tag`
+/// (the campaign fingerprint). [`Journal::append`] flushes before
+/// returning, so a crash loses at most the frame being written;
+/// [`Journal::append_buffered`] defers the flush to an explicit
+/// [`Journal::sync`] for group-commit. Either way, whatever a crash
+/// leaves unsynced or torn is detected by checksum at the next
+/// [`Journal::open`] and truncated away.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    header_len: u64,
+    frames: u64,
+}
+
+impl Journal {
+    /// Open (creating if necessary) the journal at `path` for campaigns
+    /// identified by `tag`.
+    ///
+    /// * missing file → created with a fresh `tag` header, zero frames;
+    /// * existing file with the same tag → torn tail truncated, surviving
+    ///   frames handed back for replay;
+    /// * existing file with a different tag (or unreadable header) → reset
+    ///   to a fresh journal under `tag` (`recovery.reset == true`). The
+    ///   journal never replays frames recorded by a differently-shaped
+    ///   campaign.
+    pub fn open(path: impl AsRef<Path>, tag: &[u8]) -> Result<(Self, JournalRecovery), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let header_len = header_len(tag);
+
+        let (valid_end, frame_count, matched) = match parse_header(&bytes) {
+            Some(existing_tag) if existing_tag == tag => {
+                let (end, count) = scan_frames(&bytes, header_len as usize);
+                (end as u64, count, true)
+            }
+            _ => (0, 0, false),
+        };
+
+        let reset = !matched && !bytes.is_empty();
+        let truncated_bytes = if matched {
+            bytes.len() as u64 - valid_end
+        } else {
+            0
+        };
+
+        if !matched {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&encode_header(tag))?;
+            file.sync_all()?;
+        } else if truncated_bytes > 0 {
+            file.set_len(valid_end)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let frames = FrameCursor::open(
+            &path,
+            header_len,
+            if matched { valid_end } else { header_len },
+        )?;
+        Ok((
+            Self {
+                file,
+                path,
+                header_len,
+                frames: frame_count,
+            },
+            JournalRecovery {
+                frames,
+                frame_count,
+                truncated_bytes,
+                reset,
+            },
+        ))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames currently in the journal (recovered + appended).
+    pub fn frame_count(&self) -> u64 {
+        self.frames
+    }
+
+    /// Append one frame and flush it to disk before returning: a crash
+    /// loses at most the frame being written. The strongest (and slowest)
+    /// durability — for high-frequency appends, group-commit with
+    /// [`Journal::append_buffered`] + periodic [`Journal::sync`] instead.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        self.append_buffered(payload)?;
+        self.sync()
+    }
+
+    /// Append one frame without forcing it to disk. The frame is
+    /// well-formed in the OS page cache, so only an outright system crash
+    /// can lose it — and then the checksum scan at the next open truncates
+    /// the unsynced tail cleanly. Pair with [`Journal::sync`] every N
+    /// frames to bound the loss window at N.
+    pub fn append_buffered(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Force every buffered append to disk (the group-commit point).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Drop every frame, keeping the header — the completed-campaign
+    /// reset: the next run replays nothing and leans on the artifact
+    /// store alone.
+    pub fn clear(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(self.header_len)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.frames = 0;
+        Ok(())
+    }
+}
+
+fn header_len(tag: &[u8]) -> u64 {
+    (JOURNAL_MAGIC.len() + 4 + tag.len() + 8) as u64
+}
+
+fn encode_header(tag: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(header_len(tag) as usize);
+    bytes.extend_from_slice(JOURNAL_MAGIC);
+    bytes.extend_from_slice(&(tag.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(tag);
+    bytes.extend_from_slice(&fnv1a(tag).to_le_bytes());
+    bytes
+}
+
+/// Parse the header; `Some(tag)` when magic, length and checksum hold.
+pub(crate) fn parse_header(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 12 || &bytes[..8] != JOURNAL_MAGIC {
+        return None;
+    }
+    let tag_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let tag = bytes.get(12..12 + tag_len)?;
+    let sum_bytes = bytes.get(12 + tag_len..12 + tag_len + 8)?;
+    let sum = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    (fnv1a(tag) == sum).then_some(tag)
+}
+
+/// Scan frames from `start`, returning the byte offset after the last
+/// intact frame and the count of intact frames.
+pub(crate) fn scan_frames(bytes: &[u8], start: usize) -> (usize, u64) {
+    let mut pos = start;
+    let mut count = 0u64;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 12) else {
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
+            break;
+        };
+        if fnv1a(payload) != sum {
+            break;
+        }
+        pos += 12 + len;
+        count += 1;
+    }
+    (pos, count)
+}
+
+/// Streaming reader over a journal's intact frames. Owns its own file
+/// handle and a bounded buffer, so replaying a journal of any length is
+/// constant-memory (one frame at a time).
+#[derive(Debug)]
+pub struct FrameCursor {
+    reader: BufReader<File>,
+    pos: u64,
+    end: u64,
+}
+
+impl FrameCursor {
+    fn open(path: &Path, start: u64, end: u64) -> Result<Self, StoreError> {
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(start))?;
+        Ok(Self {
+            reader: BufReader::new(file),
+            pos: start,
+            end,
+        })
+    }
+
+    /// Read the next frame payload, `Ok(None)` at the end. Frames inside
+    /// the validated region failing to read are corruption-in-flight
+    /// (someone rewrote the file mid-replay) and surface as errors.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        let mut header = [0u8; 12];
+        self.reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        if fnv1a(&payload) != sum {
+            return Err(StoreError::Corrupt(
+                "journal frame changed underneath the replay cursor".into(),
+            ));
+        }
+        self.pos += 12 + len as u64;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("vv-journal-test-{tag}-{}.vvj", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn drain(mut cursor: FrameCursor) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        while let Some(frame) = cursor.next_frame().unwrap() {
+            frames.push(frame);
+        }
+        frames
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let path = temp_journal("reopen");
+        {
+            let (mut journal, recovery) = Journal::open(&path, b"tag-1").unwrap();
+            assert_eq!(recovery.frame_count, 0);
+            assert!(!recovery.reset);
+            journal.append(b"frame-a").unwrap();
+            journal.append(b"frame-bb").unwrap();
+        }
+        let (journal, recovery) = Journal::open(&path, b"tag-1").unwrap();
+        assert_eq!(recovery.frame_count, 2);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(journal.frame_count(), 2);
+        assert_eq!(
+            drain(recovery.frames),
+            vec![b"frame-a".to_vec(), b"frame-bb".to_vec()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_offset() {
+        let path = temp_journal("torn");
+        let (mut journal, _) = Journal::open(&path, b"t").unwrap();
+        journal.append(b"first").unwrap();
+        let intact = std::fs::metadata(&path).unwrap().len();
+        journal.append(b"second-frame-payload").unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        drop(journal);
+        let pristine = std::fs::read(&path).unwrap();
+
+        for cut in intact..full {
+            std::fs::write(&path, &pristine[..cut as usize]).unwrap();
+            let (mut journal, recovery) = Journal::open(&path, b"t").unwrap();
+            assert_eq!(recovery.frame_count, 1, "cut at {cut}");
+            assert_eq!(recovery.truncated_bytes, cut - intact, "cut at {cut}");
+            assert_eq!(drain(recovery.frames), vec![b"first".to_vec()]);
+            // The journal stays appendable after the repair.
+            journal.append(b"third").unwrap();
+            drop(journal);
+            let (_, recovery) = Journal::open(&path, b"t").unwrap();
+            assert_eq!(recovery.frame_count, 2, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buffered_appends_survive_reopen_after_sync() {
+        let path = temp_journal("buffered");
+        {
+            let (mut journal, _) = Journal::open(&path, b"tag").unwrap();
+            for i in 0..10u8 {
+                journal.append_buffered(&[i]).unwrap();
+            }
+            journal.sync().unwrap();
+            assert_eq!(journal.frame_count(), 10);
+        }
+        let (_, recovery) = Journal::open(&path, b"tag").unwrap();
+        assert_eq!(recovery.frame_count, 10);
+        assert_eq!(drain(recovery.frames).len(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tag_mismatch_resets_the_journal() {
+        let path = temp_journal("tag");
+        {
+            let (mut journal, _) = Journal::open(&path, b"campaign-A").unwrap();
+            journal.append(b"stale").unwrap();
+        }
+        let (journal, recovery) = Journal::open(&path, b"campaign-B").unwrap();
+        assert!(recovery.reset);
+        assert_eq!(recovery.frame_count, 0);
+        assert_eq!(journal.frame_count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clear_keeps_the_header_and_drops_the_frames() {
+        let path = temp_journal("clear");
+        let (mut journal, _) = Journal::open(&path, b"tag").unwrap();
+        journal.append(b"frame").unwrap();
+        journal.clear().unwrap();
+        assert_eq!(journal.frame_count(), 0);
+        journal.append(b"after-clear").unwrap();
+        drop(journal);
+        let (_, recovery) = Journal::open(&path, b"tag").unwrap();
+        assert!(!recovery.reset);
+        assert_eq!(drain(recovery.frames), vec![b"after-clear".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

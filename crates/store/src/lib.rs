@@ -1,0 +1,179 @@
+//! `vv-store` — durable content-addressed artifact storage for the
+//! validation pipeline, plus an append-only campaign journal for
+//! checkpoint/resume.
+//!
+//! The crate is a leaf: it knows nothing about compile outcomes, case
+//! records or campaigns. It stores and retrieves *byte strings* under
+//! `(kind, address, key-bytes)` identities and replays length-prefixed
+//! journal frames; the domain crates (`vv-simcompiler`, `vv-pipeline`,
+//! `llm4vv`) own the typed codecs on top, built from the [`wire`] helpers.
+//! There is no serde anywhere — the offline shim set has none — so the
+//! on-disk format is hand-rolled, fixed, and fully specified here.
+//!
+//! # On-disk layout
+//!
+//! A store directory contains:
+//!
+//! ```text
+//! manifest.vvs        the list of sealed segments (rewritten atomically)
+//! seg-00000000.vvs    sealed record segments, append-only, never rewritten
+//! seg-00000001.vvs
+//! ...
+//! journal.vvj         (optional) a campaign journal, owned by the caller
+//! .tmp-*              in-flight atomic writes; deleted on open
+//! ```
+//!
+//! All integers are **little-endian**. Checksums are 64-bit word-folded
+//! FNV-1a ([`fnv1a`] — see its docs for the exact folding and finalizer;
+//! the output does not match classic byte-wise FNV-1a) over exactly the
+//! bytes indicated.
+//!
+//! ## Segment files (`seg-XXXXXXXX.vvs`)
+//!
+//! ```text
+//! magic   8 bytes   b"VVSSEG01"
+//! record* ...       until end of file
+//!
+//! record:
+//!   len      u32    byte length of `payload`
+//!   checksum u64    fnv1a(payload)
+//!   payload:
+//!     kind     u8     record namespace (see [`kind`])
+//!     addr     u64    content address (a hash of the key bytes)
+//!     key_len  u32    length of `key`
+//!     key      bytes  the full identity — collisions on `addr` are
+//!                     disambiguated by comparing these bytes
+//!     val_len  u32    length of `value`
+//!     value    bytes  opaque, caller-defined encoding
+//! ```
+//!
+//! Segments are written once (to a `.tmp-` file, then atomically renamed
+//! into place) and never modified afterwards, except to truncate a torn
+//! tail detected at open.
+//!
+//! ## The manifest (`manifest.vvs`)
+//!
+//! ```text
+//! magic    8 bytes  b"VVSMAN01"
+//! body:
+//!   count    u32
+//!   entry*   count times:
+//!     name_len u32
+//!     name     bytes  segment file name
+//!     bytes    u64    expected file length
+//!     records  u64    expected record count
+//! checksum u64      fnv1a(body)
+//! ```
+//!
+//! The manifest is the commit point: a segment exists iff the manifest
+//! lists it. It is always written to a tempfile and renamed over the old
+//! one, so a crash leaves either the old or the new manifest, never a
+//! torn one. Segment files not listed in the manifest are *orphans*
+//! (a crash between segment rename and manifest rename); [`fsck`] reports
+//! them and can garbage-collect them.
+//!
+//! ## Journal files (`*.vvj`)
+//!
+//! ```text
+//! magic    8 bytes  b"VVJRNL01"
+//! tag_len  u32
+//! tag      bytes    caller-defined identity (e.g. a campaign fingerprint)
+//! tag_sum  u64      fnv1a(tag)
+//! frame*   ...      until end of file
+//!
+//! frame:
+//!   len      u32    byte length of `payload`
+//!   checksum u64    fnv1a(payload)
+//!   payload  bytes  opaque, caller-defined encoding
+//! ```
+//!
+//! Appends are either flushed before returning ([`Journal::append`]) or
+//! group-committed ([`Journal::append_buffered`] + [`Journal::sync`]), so
+//! after a crash the file is a valid prefix plus an unsynced or torn
+//! tail. [`Journal::open`] scans the frames, physically truncates the
+//! tail at the first checksum failure, and hands back a streaming cursor
+//! over the surviving frames for replay.
+//!
+//! # Crash safety
+//!
+//! * Store writes become durable only at [`ArtifactStore::flush`], which
+//!   seals pending records into a fresh segment (tempfile + rename) and
+//!   then commits it by rewriting the manifest (tempfile + rename).
+//! * [`ArtifactStore::open`] validates every listed segment against its
+//!   manifest entry and record checksums. A torn or short segment is
+//!   *repaired*: the valid prefix of records is kept, the tail is
+//!   truncated, and the manifest is rewritten; the number of quarantined
+//!   records is reported in the [`OpenReport`].
+//! * Journals are append-only with per-frame checksums; torn tails are
+//!   truncated at open and reported.
+//!
+//! The [`fsck`] module (and the `vv-store fsck` binary) re-verifies all
+//! of the above offline and can remove orphaned segments and stale
+//! tempfiles.
+
+pub mod fsck;
+pub mod journal;
+pub mod store;
+pub mod wire;
+
+pub use fsck::{check, gc, FsckReport};
+pub use journal::{FrameCursor, Journal, JournalRecovery};
+pub use store::{ArtifactStore, OpenReport, StoreStats};
+pub use wire::{fnv1a, Reader, Writer};
+
+use std::fmt;
+
+/// Record namespaces. A `kind` byte separates the address spaces of the
+/// different artifact families sharing one store directory.
+pub mod kind {
+    /// A persisted compile outcome (vv-simcompiler's codec).
+    pub const COMPILE: u8 = 1;
+    /// A persisted execution outcome (reserved for exec-level reuse;
+    /// today execution results travel inside [`CASE`] records).
+    pub const EXEC: u8 = 2;
+    /// A persisted judge verdict (reserved for judge-level reuse; today
+    /// judge outcomes travel inside [`CASE`] records).
+    pub const JUDGE: u8 = 3;
+    /// A persisted end-to-end pipeline `CaseRecord` (vv-pipeline's codec).
+    pub const CASE: u8 = 4;
+}
+
+/// Errors surfaced by the store, journal and fsck paths.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// An on-disk structure is invalid beyond automatic repair (bad magic,
+    /// torn manifest, truncated header).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Corrupt(what) => write!(f, "store corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<wire::WireError> for StoreError {
+    fn from(err: wire::WireError) -> Self {
+        StoreError::Corrupt(err.to_string())
+    }
+}

@@ -1,0 +1,712 @@
+//! The durable content-addressed artifact store. Format spec in the crate
+//! docs ([`crate`]); this module implements open/repair, lookup, insert
+//! and flush.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::wire::{fnv1a, Reader, Writer};
+use crate::StoreError;
+
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"VVSSEG01";
+pub(crate) const MANIFEST_MAGIC: &[u8; 8] = b"VVSMAN01";
+pub(crate) const MANIFEST_NAME: &str = "manifest.vvs";
+
+/// Pending records are sealed into a segment automatically once this many
+/// accumulate (an explicit [`ArtifactStore::flush`] seals earlier).
+const AUTO_FLUSH_RECORDS: usize = 1024;
+
+/// What [`ArtifactStore::open`] found and repaired.
+#[derive(Clone, Debug, Default)]
+pub struct OpenReport {
+    /// Segments listed by the manifest and loaded.
+    pub segments: usize,
+    /// Records loaded into the in-memory index.
+    pub records: usize,
+    /// Records lost to torn tails (quarantined and truncated away).
+    pub quarantined_records: usize,
+    /// Names of segments whose torn tail was truncated (or that were
+    /// dropped wholesale because even the header was unreadable).
+    pub repaired_segments: Vec<String>,
+    /// Stale `.tmp-*` files removed (crashed in-flight atomic writes).
+    pub removed_tempfiles: usize,
+}
+
+impl OpenReport {
+    /// True when the store opened without finding any damage.
+    pub fn pristine(&self) -> bool {
+        self.quarantined_records == 0
+            && self.repaired_segments.is_empty()
+            && self.removed_tempfiles == 0
+    }
+}
+
+/// Store statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records in the index (durable + pending).
+    pub records: usize,
+    /// Records accepted but not yet sealed into a segment.
+    pub pending: usize,
+    /// Sealed segments on disk.
+    pub segments: usize,
+    /// Lookups that found a record.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+impl StoreStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct SegmentMeta {
+    pub(crate) name: String,
+    pub(crate) bytes: u64,
+    pub(crate) records: u64,
+}
+
+struct IndexEntry {
+    kind: u8,
+    key: Arc<[u8]>,
+    value: Arc<[u8]>,
+}
+
+struct PendingRecord {
+    kind: u8,
+    addr: u64,
+    key: Arc<[u8]>,
+    value: Arc<[u8]>,
+}
+
+#[derive(Default)]
+struct Inner {
+    index: HashMap<u64, Vec<IndexEntry>>,
+    records: usize,
+    pending: Vec<PendingRecord>,
+    manifest: Vec<SegmentMeta>,
+    next_segment: u64,
+}
+
+/// A durable content-addressed map from `(kind, addr, key-bytes)` to an
+/// opaque value. See the crate docs for the format and crash-safety
+/// contract. All methods are `&self`; the store is safe to share across
+/// the pipeline's worker threads behind an `Arc`.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    report: OpenReport,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .field("records", &stats.records)
+            .field("segments", &stats.segments)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// Open (creating if necessary) the store in `dir`, loading every
+    /// record into the in-memory index. Torn segment tails are quarantined:
+    /// the valid record prefix is kept, the damage truncated away, and the
+    /// manifest rewritten — the [`OpenReport`] says what happened.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut report = OpenReport::default();
+
+        // Stale tempfiles are in-flight writes that never committed.
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                fs::remove_file(entry.path())?;
+                report.removed_tempfiles += 1;
+            }
+        }
+
+        let mut inner = Inner::default();
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let listed = if manifest_path.exists() {
+            read_manifest(&manifest_path)?
+        } else {
+            Vec::new()
+        };
+
+        let mut manifest_dirty = false;
+        for (meta, scan) in scan_segments(&dir, listed) {
+            let path = dir.join(&meta.name);
+            let scan = match scan {
+                Ok(scan) => scan,
+                Err(StoreError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {
+                    // Listed but missing: every record is lost.
+                    report.quarantined_records += meta.records as usize;
+                    report.repaired_segments.push(meta.name.clone());
+                    manifest_dirty = true;
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
+            if scan.torn {
+                report.quarantined_records += (meta.records as usize)
+                    .saturating_sub(scan.records.len())
+                    .max(1);
+                report.repaired_segments.push(meta.name.clone());
+                manifest_dirty = true;
+                if scan.records.is_empty() && scan.valid_bytes <= SEGMENT_MAGIC.len() as u64 {
+                    // Nothing salvageable; drop the segment entirely.
+                    fs::remove_file(&path)?;
+                } else {
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(scan.valid_bytes)?;
+                    file.sync_all()?;
+                    inner.manifest.push(SegmentMeta {
+                        name: meta.name.clone(),
+                        bytes: scan.valid_bytes,
+                        records: scan.records.len() as u64,
+                    });
+                }
+            } else {
+                inner.manifest.push(meta.clone());
+            }
+            if let Some(seq) = segment_sequence(&meta.name) {
+                inner.next_segment = inner.next_segment.max(seq + 1);
+            }
+            for (kind, addr, key, value) in scan.records {
+                insert_index(&mut inner, kind, addr, key, value);
+            }
+        }
+        if manifest_dirty {
+            write_manifest(&dir, &inner.manifest)?;
+        }
+        report.segments = inner.manifest.len();
+        report.records = inner.records;
+
+        Ok(Self {
+            dir,
+            inner: Mutex::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            report,
+        })
+    }
+
+    /// Open as a shared handle (the usual shape: one store per campaign,
+    /// shared by every service and scenario).
+    pub fn open_shared(dir: impl AsRef<Path>) -> Result<Arc<Self>, StoreError> {
+        Ok(Arc::new(Self::open(dir)?))
+    }
+
+    /// What [`ArtifactStore::open`] found and repaired.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.report
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Look up a record. `addr` must be the caller's content address of
+    /// `key` (any 64-bit digest; the compile cache's FNV address and
+    /// [`fnv1a`] both work) — correctness rests on the full `key`
+    /// comparison, so hash collisions degrade to misses, never wrong
+    /// values.
+    pub fn get(&self, kind: u8, addr: u64, key: &[u8]) -> Option<Arc<[u8]>> {
+        let inner = self.lock();
+        let found = inner.index.get(&addr).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.kind == kind && *e.key == *key)
+                .map(|e| Arc::clone(&e.value))
+        });
+        drop(inner);
+        match found {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`ArtifactStore::get`], but counter-neutral on a miss (a hit
+    /// still counts). This is the lookup for scan-ahead replay loops: a
+    /// missing record goes to the validation service, whose own store
+    /// probe counts the miss — counting here too would double it.
+    pub fn probe(&self, kind: u8, addr: u64, key: &[u8]) -> Option<Arc<[u8]>> {
+        let inner = self.lock();
+        let found = inner.index.get(&addr).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.kind == kind && *e.key == *key)
+                .map(|e| Arc::clone(&e.value))
+        });
+        drop(inner);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Membership probe that does not touch the hit/miss counters (used by
+    /// delta planners to diff a key-set against the store without skewing
+    /// the run's hit-rate accounting).
+    pub fn contains(&self, kind: u8, addr: u64, key: &[u8]) -> bool {
+        let inner = self.lock();
+        inner
+            .index
+            .get(&addr)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.kind == kind && *e.key == *key))
+    }
+
+    /// Insert a record. The write is visible to `get` immediately and
+    /// becomes durable at the next [`ArtifactStore::flush`] (an automatic
+    /// flush runs every `AUTO_FLUSH_RECORDS` inserts). First write wins:
+    /// inserting an existing `(kind, addr, key)` returns `false` and
+    /// changes nothing — records are immutable, which is what makes
+    /// concurrent duplicate computes harmless.
+    pub fn put(&self, kind: u8, addr: u64, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        let mut inner = self.lock();
+        if inner
+            .index
+            .get(&addr)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.kind == kind && *e.key == *key))
+        {
+            return Ok(false);
+        }
+        let key: Arc<[u8]> = key.into();
+        let value: Arc<[u8]> = value.into();
+        insert_index(&mut inner, kind, addr, Arc::clone(&key), Arc::clone(&value));
+        inner.pending.push(PendingRecord {
+            kind,
+            addr,
+            key,
+            value,
+        });
+        if inner.pending.len() >= AUTO_FLUSH_RECORDS {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(true)
+    }
+
+    /// Seal every pending record into a fresh segment and commit it to the
+    /// manifest (both via atomic tempfile + rename). No-op when nothing is
+    /// pending.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        if inner.pending.is_empty() {
+            return Ok(());
+        }
+        let seq = inner.next_segment;
+        inner.next_segment += 1;
+        let name = format!("seg-{seq:08x}.vvs");
+
+        let mut bytes = Vec::with_capacity(4096);
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        let mut records = 0u64;
+        for rec in inner.pending.drain(..) {
+            let mut payload = Writer::with_capacity(rec.key.len() + rec.value.len() + 32);
+            payload.put_u8(rec.kind);
+            payload.put_u64(rec.addr);
+            payload.put_bytes(&rec.key);
+            payload.put_bytes(&rec.value);
+            let payload = payload.into_bytes();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            records += 1;
+        }
+
+        let path = self.dir.join(&name);
+        atomic_write(&self.dir, &path, &bytes)?;
+        inner.manifest.push(SegmentMeta {
+            name,
+            bytes: bytes.len() as u64,
+            records,
+        });
+        write_manifest(&self.dir, &inner.manifest)
+    }
+
+    /// Statistics so far (records counts durable + pending).
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        StoreStats {
+            records: inner.records,
+            pending: inner.pending.len(),
+            segments: inner.manifest.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ArtifactStore {
+    fn drop(&mut self) {
+        // Best-effort durability for callers that forget the final flush;
+        // explicit `flush()` is still the way to observe errors.
+        let _ = self.flush();
+    }
+}
+
+fn insert_index(inner: &mut Inner, kind: u8, addr: u64, key: Arc<[u8]>, value: Arc<[u8]>) {
+    let bucket = inner.index.entry(addr).or_default();
+    if bucket.iter().any(|e| e.kind == kind && e.key == key) {
+        return;
+    }
+    bucket.push(IndexEntry { kind, key, value });
+    inner.records += 1;
+}
+
+fn segment_sequence(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".vvs")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Write `bytes` to `path` atomically: tempfile in the same directory,
+/// sync, rename into place.
+pub(crate) fn atomic_write(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StoreError::Corrupt("atomic write target has no file name".into()))?;
+    let tmp = dir.join(format!(".tmp-{}", file_name.to_string_lossy()));
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+pub(crate) fn write_manifest(dir: &Path, manifest: &[SegmentMeta]) -> Result<(), StoreError> {
+    let mut body = Writer::with_capacity(64 * manifest.len() + 16);
+    body.put_u32(manifest.len() as u32);
+    for meta in manifest {
+        body.put_str(&meta.name);
+        body.put_u64(meta.bytes);
+        body.put_u64(meta.records);
+    }
+    let body = body.into_bytes();
+    let mut bytes = Vec::with_capacity(body.len() + 16);
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    bytes.extend_from_slice(&body);
+    bytes.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    atomic_write(dir, &dir.join(MANIFEST_NAME), &bytes)
+}
+
+fn read_manifest(path: &Path) -> Result<Vec<SegmentMeta>, StoreError> {
+    let bytes = fs::read(path)?;
+    parse_manifest(&bytes)
+}
+
+pub(crate) fn parse_manifest(bytes: &[u8]) -> Result<Vec<SegmentMeta>, StoreError> {
+    if bytes.len() < SEGMENT_MAGIC.len() + 8 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(StoreError::Corrupt("manifest magic".into()));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv1a(body) != sum {
+        return Err(StoreError::Corrupt("manifest checksum".into()));
+    }
+    let mut reader = Reader::new(body);
+    let count = reader.get_u32("manifest count")?;
+    let mut manifest = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        manifest.push(SegmentMeta {
+            name: reader.get_str("manifest segment name")?.to_string(),
+            bytes: reader.get_u64("manifest segment bytes")?,
+            records: reader.get_u64("manifest segment records")?,
+        });
+    }
+    if !reader.is_exhausted() {
+        return Err(StoreError::Corrupt("manifest trailing bytes".into()));
+    }
+    Ok(manifest)
+}
+
+/// One parsed segment record: `(kind, addr, key, value)`. Shared slices
+/// so open can move them into the index without re-copying.
+pub(crate) type ScannedRecord = (u8, u64, Arc<[u8]>, Arc<[u8]>);
+
+pub(crate) struct SegmentScan {
+    /// Valid records, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Byte length of the valid prefix (magic + intact records).
+    pub valid_bytes: u64,
+    /// True when the file held damage past the valid prefix (torn tail,
+    /// bad checksum, length mismatch against the manifest entry).
+    pub torn: bool,
+}
+
+/// Scan every listed segment, in parallel when there is more than one:
+/// open cost is dominated by checksumming each record of each segment,
+/// and segments verify independently. Workers pull segments off an atomic
+/// cursor; results come back in manifest order, each carrying its own
+/// per-segment verdict (so a missing or torn file stays a repairable
+/// condition, not a failure of the whole open).
+pub(crate) fn scan_segments(
+    dir: &Path,
+    listed: Vec<SegmentMeta>,
+) -> Vec<(SegmentMeta, Result<SegmentScan, StoreError>)> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(listed.len());
+    if workers <= 1 {
+        return listed
+            .into_iter()
+            .map(|meta| {
+                let scan = scan_segment(&dir.join(&meta.name), Some(&meta));
+                (meta, scan)
+            })
+            .collect();
+    }
+    let cursor = AtomicU64::new(0);
+    let mut indexed: Vec<(usize, Result<SegmentScan, StoreError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                        let Some(meta) = listed.get(i) else { break };
+                        out.push((i, scan_segment(&dir.join(&meta.name), Some(meta))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("segment scan worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    listed
+        .into_iter()
+        .zip(indexed)
+        .map(|(meta, (_, scan))| (meta, scan))
+        .collect()
+}
+
+/// Scan one segment file, stopping at the first damaged record. `expect`
+/// (a manifest entry) tightens the check: a file longer or shorter than
+/// the manifest says is flagged torn even if every present record parses.
+pub(crate) fn scan_segment(
+    path: &Path,
+    expect: Option<&SegmentMeta>,
+) -> Result<SegmentScan, StoreError> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Ok(SegmentScan {
+            records: Vec::new(),
+            valid_bytes: 0,
+            torn: true,
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_MAGIC.len();
+    let mut torn = false;
+    while pos < bytes.len() {
+        let Some((record, next)) = parse_record(&bytes, pos) else {
+            torn = true;
+            break;
+        };
+        records.push(record);
+        pos = next;
+    }
+    if let Some(meta) = expect {
+        if meta.bytes != bytes.len() as u64 || meta.records != records.len() as u64 {
+            torn = true;
+        }
+    }
+    Ok(SegmentScan {
+        records,
+        valid_bytes: pos as u64,
+        torn,
+    })
+}
+
+fn parse_record(bytes: &[u8], pos: usize) -> Option<(ScannedRecord, usize)> {
+    let header = bytes.get(pos..pos + 12)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    let payload = bytes.get(pos + 12..pos + 12 + len)?;
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    let mut reader = Reader::new(payload);
+    let kind = reader.get_u8("record kind").ok()?;
+    let addr = reader.get_u64("record addr").ok()?;
+    let key: Arc<[u8]> = Arc::from(reader.get_bytes("record key").ok()?);
+    let value: Arc<[u8]> = Arc::from(reader.get_bytes("record value").ok()?);
+    if !reader.is_exhausted() {
+        return None;
+    }
+    Some(((kind, addr, key, value), pos + 12 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vv-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            assert!(store.put(kind::COMPILE, 7, b"key-a", b"value-a").unwrap());
+            assert!(store.put(kind::CASE, 7, b"key-a", b"value-b").unwrap());
+            // Same identity: first write wins.
+            assert!(!store.put(kind::COMPILE, 7, b"key-a", b"overwrite").unwrap());
+            assert_eq!(
+                store.get(kind::COMPILE, 7, b"key-a").as_deref(),
+                Some(&b"value-a"[..])
+            );
+            store.flush().unwrap();
+        }
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.open_report().pristine());
+        assert_eq!(
+            store.get(kind::COMPILE, 7, b"key-a").as_deref(),
+            Some(&b"value-a"[..])
+        );
+        assert_eq!(
+            store.get(kind::CASE, 7, b"key-a").as_deref(),
+            Some(&b"value-b"[..])
+        );
+        assert_eq!(store.get(kind::COMPILE, 7, b"key-b"), None);
+        let stats = store.stats();
+        assert_eq!((stats.records, stats.segments), (2, 1));
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_records_are_visible_but_not_durable() {
+        let dir = temp_dir("pending");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(kind::COMPILE, 1, b"k", b"v").unwrap();
+            store.flush().unwrap();
+            store.put(kind::COMPILE, 2, b"k2", b"v2").unwrap();
+            assert!(store.get(kind::COMPILE, 2, b"k2").is_some());
+            // Simulate a crash: forget the store without flushing by
+            // leaking it (Drop would flush).
+            std::mem::forget(store);
+        }
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.get(kind::COMPILE, 1, b"k").is_some());
+        assert_eq!(store.get(kind::COMPILE, 2, b"k2"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hash_collisions_disambiguate_by_key_bytes() {
+        let dir = temp_dir("collide");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.put(kind::COMPILE, 99, b"first", b"1").unwrap();
+        store.put(kind::COMPILE, 99, b"second", b"2").unwrap();
+        assert_eq!(
+            store.get(kind::COMPILE, 99, b"first").as_deref(),
+            Some(&b"1"[..])
+        );
+        assert_eq!(
+            store.get(kind::COMPILE, 99, b"second").as_deref(),
+            Some(&b"2"[..])
+        );
+        assert_eq!(store.get(kind::COMPILE, 99, b"third"), None);
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn contains_does_not_skew_counters() {
+        let dir = temp_dir("contains");
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.put(kind::CASE, 5, b"k", b"v").unwrap();
+        assert!(store.contains(kind::CASE, 5, b"k"));
+        assert!(!store.contains(kind::CASE, 5, b"other"));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_segment_tail_is_quarantined_and_repaired() {
+        let dir = temp_dir("torn");
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            store.put(kind::COMPILE, 1, b"alpha", b"AAAA").unwrap();
+            store.put(kind::COMPILE, 2, b"beta", b"BBBB").unwrap();
+            store.flush().unwrap();
+        }
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+            .unwrap()
+            .path();
+        let full = fs::metadata(&seg).unwrap().len();
+        // Tear off the last 5 bytes of the final record.
+        let file = OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        let report = store.open_report().clone();
+        assert_eq!(report.quarantined_records, 1);
+        assert_eq!(report.repaired_segments.len(), 1);
+        assert!(store.get(kind::COMPILE, 1, b"alpha").is_some());
+        assert_eq!(store.get(kind::COMPILE, 2, b"beta"), None);
+        drop(store);
+        // The repair is durable: a third open is pristine.
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.open_report().pristine(), "{:?}", store.open_report());
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
