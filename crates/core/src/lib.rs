@@ -20,6 +20,10 @@
 //!   `vv-store` artifact store — crashed runs resume from an append-only
 //!   journal, unchanged cases replay from disk, and a delta planner
 //!   reports what a re-run would actually compute;
+//! * [`remote`]: submit scenarios to a resident `vv-server` daemon over
+//!   the validation protocol — corpus generated and metrics folded
+//!   locally, validation executed by the server — with results that
+//!   agree with the in-process fold;
 //! * [`reproduce`]: one function per table and figure that renders the
 //!   corresponding output in the paper's layout, from accumulator state.
 //!
@@ -44,6 +48,7 @@
 pub mod campaign;
 pub mod experiment;
 pub mod incremental;
+pub mod remote;
 pub mod reproduce;
 
 pub use campaign::{run_campaign, CampaignResults, Scenario, ScenarioMatrix, ScenarioMetrics};
@@ -56,6 +61,7 @@ pub use incremental::{
     plan_campaign_delta, run_incremental_campaign, stage_stats, CampaignDelta, IncrementalCampaign,
     ScenarioDelta, ScenarioProgress,
 };
+pub use remote::{run_campaign_remote, run_scenario_remote, scenario_job_spec, RemoteError};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -65,6 +71,7 @@ pub use vv_judge as judge;
 pub use vv_metrics as metrics;
 pub use vv_pipeline as pipeline;
 pub use vv_probing as probing;
+pub use vv_server as server;
 pub use vv_simcompiler as simcompiler;
 pub use vv_simexec as simexec;
 pub use vv_specs as specs;

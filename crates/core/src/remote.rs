@@ -1,0 +1,199 @@
+//! Remote campaign submission: run a [`Scenario`] through a resident
+//! `vv-server` daemon instead of an in-process service.
+//!
+//! The corpus never crosses a serialization boundary it wasn't designed
+//! for: each shard is generated **locally** by the same
+//! [`Scenario::shard_spec`] sources the in-process fold uses, and the
+//! ground-truth issue of every case is captured at generation time. Only
+//! the [`WorkItem`]s travel — the server validates them under the
+//! scenario's [`JobSpec`] and streams each record back tagged with its
+//! submission ordinal, which pairs it exactly with the locally-parked
+//! issue. The fold itself is the same
+//! [`observe_record_all_case`] the local
+//! [`run_scenario`](crate::campaign::run_scenario) uses, so a remote run
+//! produces [`ScenarioMetrics`] that agree with a direct run: identical
+//! judge/pipeline sinks and judge-load summaries, and service statistics
+//! that match under [`stage_stats`](crate::incremental::stage_stats)
+//! (wall time and cache/store provenance legitimately differ — the
+//! daemon's pools are warm).
+//!
+//! What does **not** travel: the scenario's local scheduling knobs
+//! (execution strategy, worker counts, channel capacity) — those belong
+//! to whichever service executes, and the pipeline's strategy-equivalence
+//! law guarantees the records are byte-identical regardless. What
+//! *cannot* travel: a custom [`JudgeProfile`](vv_judge::JudgeProfile) —
+//! the wire pins the built-in calibrations by
+//! [`ProfileId`], and [`scenario_job_spec`] reports
+//! [`RemoteError::UnsupportedProfile`] for anything else.
+
+use std::fmt;
+
+use vv_corpus::CaseSource;
+use vv_metrics::{Accumulator as _, LatencyTokenSummary, MetricsSink};
+use vv_pipeline::{PipelineMode, WorkItem};
+use vv_probing::IssueKind;
+use vv_server::{Client, ClientError, JobSpec, ProfileId};
+
+use crate::campaign::{CampaignResults, Scenario, ScenarioMatrix, ScenarioMetrics};
+use crate::experiment::observe_record_all_case;
+
+/// Why a scenario could not be evaluated remotely.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// The scenario's judge profile is not one of the wire-registry
+    /// built-ins, so no [`JobSpec`] can name it.
+    UnsupportedProfile(String),
+    /// The protocol client failed (transport, protocol or server error).
+    Client(ClientError),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::UnsupportedProfile(name) => {
+                write!(f, "judge profile {name:?} has no wire id; only built-in calibrations can be submitted remotely")
+            }
+            RemoteError::Client(err) => write!(f, "remote submission failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RemoteError::Client(err) => Some(err),
+            RemoteError::UnsupportedProfile(_) => None,
+        }
+    }
+}
+
+impl From<ClientError> for RemoteError {
+    fn from(err: ClientError) -> Self {
+        RemoteError::Client(err)
+    }
+}
+
+/// The [`JobSpec`] under which a daemon reproduces `scenario`'s judgement
+/// behaviour: record-all staging, the scenario's prompt style and judge
+/// seed, and its calibration profile resolved against the wire registry.
+pub fn scenario_job_spec(scenario: &Scenario) -> Result<JobSpec, RemoteError> {
+    let profile = ProfileId::of_profile(&scenario.judge_profile)
+        .ok_or_else(|| RemoteError::UnsupportedProfile(scenario.judge_profile.name.to_string()))?;
+    Ok(JobSpec {
+        mode: PipelineMode::RecordAll,
+        style: scenario.prompt_style,
+        profile,
+        judge_seed: scenario.judge_seed,
+    })
+}
+
+/// Run one scenario through a connected [`Client`], shard by shard,
+/// mirroring the in-process fold of
+/// [`run_scenario`](crate::campaign::run_scenario).
+///
+/// Each shard is one protocol job: the shard's cases are generated
+/// locally (parking their [`IssueKind`]s by submission ordinal), streamed
+/// to the server, and every returned record is folded — in completion
+/// order, exactly like the local fold — into the shard's sinks via
+/// [`observe_record_all_case`]. Per-shard service statistics come from
+/// the server's `JOB_DONE` aggregate and merge across shards just like
+/// local [`FoldStats`](crate::experiment::FoldStats) do.
+///
+/// `max_in_flight` is reported as 0: the in-flight window lives on the
+/// server (its queue bounds and worker pool), not in this client.
+pub fn run_scenario_remote(
+    scenario: &Scenario,
+    client: &mut Client,
+) -> Result<ScenarioMetrics, RemoteError> {
+    let spec = scenario_job_spec(scenario)?;
+    let mut merged = ScenarioMetrics::new(scenario.clone());
+    for k in 0..scenario.shards {
+        let mut source = scenario.shard_spec(k).source();
+        let mut issues = Vec::new();
+        let mut items = Vec::new();
+        while let Some(case) = source.next_case() {
+            issues.push(IssueKind::of_case(&case));
+            items.push(WorkItem::from(case));
+        }
+
+        let mut judge = MetricsSink::default();
+        let mut pipeline = MetricsSink::default();
+        let mut judge_load = LatencyTokenSummary::default();
+        let mut job = client.submit(spec, items)?;
+        for result in &mut job {
+            let (seq, record) = result?;
+            let issue = *issues
+                .get(seq as usize)
+                .expect("server echoes only submitted ordinals");
+            observe_record_all_case(&mut judge, &mut pipeline, &mut judge_load, issue, &record);
+        }
+        let stats = job.stats().cloned().ok_or(ClientError::Broken)?;
+
+        merged.judge.merge(&judge);
+        merged.pipeline.merge(&pipeline);
+        merged.judge_load.merge(&judge_load);
+        merged.stats.merge(&stats);
+    }
+    Ok(merged)
+}
+
+/// Run every scenario of a matrix through one connection, sequentially —
+/// the remote analogue of [`run_campaign`](crate::campaign::run_campaign).
+/// (Scenario-level parallelism belongs to the server's worker pool; a
+/// single tenant submitting jobs back-to-back keeps its queue warm
+/// without competing with itself for fairness slots.)
+pub fn run_campaign_remote(
+    matrix: &ScenarioMatrix,
+    client: &mut Client,
+) -> Result<CampaignResults, RemoteError> {
+    let scenarios = matrix
+        .scenarios()
+        .iter()
+        .map(|scenario| run_scenario_remote(scenario, client))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignResults { scenarios })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_scenario;
+    use crate::incremental::stage_stats;
+    use vv_judge::JudgeProfile;
+    use vv_server::{Server, ServerConfig};
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new(if cfg!(debug_assertions) { 24 } else { 96 }).shards(2)
+    }
+
+    #[test]
+    fn a_custom_profile_cannot_go_on_the_wire() {
+        let mut scenario = tiny_matrix().scenarios().remove(0);
+        let mut profile = JudgeProfile::oracle();
+        profile.name = "bespoke";
+        scenario.judge_profile = profile;
+        match scenario_job_spec(&scenario) {
+            Err(RemoteError::UnsupportedProfile(name)) => assert_eq!(name, "bespoke"),
+            other => panic!("expected UnsupportedProfile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remote_scenario_metrics_match_the_in_process_fold() {
+        let scenario = tiny_matrix().scenarios().remove(0);
+        let local = run_scenario(&scenario);
+
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::over(Box::new(server.connect()), "remote-test").unwrap();
+        let remote = run_scenario_remote(&scenario, &mut client).unwrap();
+        drop(client);
+        server.handle().shutdown();
+        server.join();
+
+        assert_eq!(remote.judge, local.judge);
+        assert_eq!(remote.pipeline, local.pipeline);
+        assert_eq!(remote.judge_load, local.judge_load);
+        assert_eq!(stage_stats(&remote.stats), stage_stats(&local.stats));
+        assert_eq!(remote.cases(), local.cases());
+    }
+}

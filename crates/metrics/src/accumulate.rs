@@ -54,6 +54,8 @@
 //! assert_eq!(sharded.overall_stats(), vv_metrics::overall(&records));
 //! ```
 
+use std::fmt;
+
 use crate::radar::{RadarCategory, RadarPoint};
 use crate::{EvaluationRecord, OverallStats, PerIssueRow};
 use vv_judge::{JudgeOutcome, Verdict};
@@ -439,6 +441,42 @@ impl LatencyHistogram {
     pub fn p99(&self) -> Option<f64> {
         self.quantile(0.99)
     }
+
+    /// Raw bucket counters: `BUCKET_COUNT` regular buckets followed by the
+    /// overflow bucket. Together with [`LatencyHistogram::max_ms`] this is
+    /// the histogram's complete state (the observation count is always the
+    /// bucket sum), which is what the wire codec serializes.
+    pub fn bucket_counts(&self) -> &[u64; Self::BUCKET_COUNT + 1] {
+        &self.buckets
+    }
+
+    /// Reconstruct a histogram from raw bucket counters and the observed
+    /// maximum — the inverse of [`LatencyHistogram::bucket_counts`]. The
+    /// observation count is recomputed as the bucket sum, so a decoded
+    /// histogram is bit-identical to the one that was encoded.
+    pub fn from_raw(buckets: [u64; Self::BUCKET_COUNT + 1], max_ms: f64) -> Self {
+        let count = buckets.iter().sum();
+        Self {
+            buckets,
+            count,
+            max_ms,
+        }
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    /// Compact one-line snapshot: observation count, quantile estimates and
+    /// the exact maximum — `n=0` when empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.p50(), self.p95(), self.p99()) {
+            (Some(p50), Some(p95), Some(p99)) => write!(
+                f,
+                "n={} p50<={p50:.0}ms p95<={p95:.0}ms p99<={p99:.0}ms max={:.0}ms",
+                self.count, self.max_ms
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
 }
 
 impl Accumulator<f64> for LatencyHistogram {
@@ -495,6 +533,22 @@ impl LatencyTokenSummary {
         } else {
             Some((self.prompt_tokens + self.response_tokens) as f64 / self.judgements as f64)
         }
+    }
+}
+
+impl fmt::Display for LatencyTokenSummary {
+    /// Compact one-line snapshot of judge cost: judgement count, token
+    /// totals, missing verdicts and the latency distribution.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} judgements, {} prompt + {} response tokens, {} missing verdicts, latency {}",
+            self.judgements,
+            self.prompt_tokens,
+            self.response_tokens,
+            self.missing_verdicts,
+            self.latency
+        )
     }
 }
 

@@ -25,6 +25,7 @@
 pub mod accumulate;
 pub mod radar;
 pub mod tables;
+pub mod wire;
 
 pub use accumulate::{
     Accumulator, LatencyHistogram, LatencyTokenSummary, MetricsSink, OverallAccumulator,

@@ -688,6 +688,20 @@ impl ValidationService {
         handles
     }
 
+    /// Synchronous per-case entry point for external schedulers (the
+    /// validation server's tenant-fair worker pool dispatches through
+    /// this): run every stage for one item on the calling thread, folding
+    /// provenance into `stats`.
+    ///
+    /// Semantics are identical to the streaming strategies — including the
+    /// record-store replay/persist layer — so by the strategy-parity and
+    /// replay laws the returned record is byte-identical to what
+    /// [`ValidationService::submit`] would have produced for the same item,
+    /// whatever thread or order an external scheduler picks.
+    pub fn process_case(&self, item: &WorkItem, stats: &Mutex<PipelineStats>) -> CaseRecord {
+        self.process_one(item, stats)
+    }
+
     /// Run every stage for one item (shared by the whole-file strategies);
     /// semantics identical to the staged topology, including the store
     /// layer's replay/persist behaviour.

@@ -1,8 +1,19 @@
 //! Pipeline statistics.
+//!
+//! [`PipelineStats`] carries the per-stage counters, cache/store
+//! provenance and the judge-latency histogram for one run (or one live
+//! server job). Besides the in-memory accessors it has a compact wire
+//! encoding ([`PipelineStats::encode_into`] /
+//! [`PipelineStats::decode_from`], built on [`vv_store::wire`]) used by
+//! the `vv-server` stats endpoint and `JOB_DONE` frames, and a one-line
+//! [`std::fmt::Display`] snapshot for CLI output.
 
+use std::fmt;
 use std::time::Duration;
 
+use vv_metrics::wire as metrics_wire;
 use vv_metrics::LatencyHistogram;
+use vv_store::wire::{Reader, WireError, Writer};
 
 /// Aggregate statistics for one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -143,6 +154,101 @@ impl PipelineStats {
         self.simulated_judge_latency_ms += latency_ms;
         self.judge_latency.observe_ms(latency_ms);
     }
+
+    /// Append the compact wire encoding: the eleven counters as `u64`s,
+    /// the total simulated latency as `f64` bits, the sparse histogram
+    /// encoding from [`vv_metrics::wire`], and the wall time in
+    /// nanoseconds. Little-endian throughout, like every store structure.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.put_u64(self.submitted as u64);
+        w.put_u64(self.compiled as u64);
+        w.put_u64(self.compile_failures as u64);
+        w.put_u64(self.executed as u64);
+        w.put_u64(self.exec_failures as u64);
+        w.put_u64(self.judged as u64);
+        w.put_u64(self.judge_rejections as u64);
+        w.put_f64(self.simulated_judge_latency_ms);
+        metrics_wire::encode_histogram(&self.judge_latency, w);
+        w.put_u64(self.compile_cache_hits as u64);
+        w.put_u64(self.compile_cache_misses as u64);
+        w.put_u64(self.store_hits as u64);
+        w.put_u64(self.store_misses as u64);
+        w.put_u64(self.wall_time.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Decode stats encoded by [`PipelineStats::encode_into`]. Bit-exact
+    /// round trip: every counter, the histogram (and therefore every
+    /// quantile accessor) and the wall time survive the wire unchanged.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            submitted: r.get_u64("stats submitted")? as usize,
+            compiled: r.get_u64("stats compiled")? as usize,
+            compile_failures: r.get_u64("stats compile failures")? as usize,
+            executed: r.get_u64("stats executed")? as usize,
+            exec_failures: r.get_u64("stats exec failures")? as usize,
+            judged: r.get_u64("stats judged")? as usize,
+            judge_rejections: r.get_u64("stats judge rejections")? as usize,
+            simulated_judge_latency_ms: r.get_f64("stats simulated latency")?,
+            judge_latency: metrics_wire::decode_histogram(r)?,
+            compile_cache_hits: r.get_u64("stats cache hits")? as usize,
+            compile_cache_misses: r.get_u64("stats cache misses")? as usize,
+            store_hits: r.get_u64("stats store hits")? as usize,
+            store_misses: r.get_u64("stats store misses")? as usize,
+            wall_time: Duration::from_nanos(r.get_u64("stats wall time")?),
+        })
+    }
+
+    /// Encode into a fresh buffer (convenience over
+    /// [`PipelineStats::encode_into`]).
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(128);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a buffer that contains exactly one encoded stats value
+    /// (trailing bytes are a decode error).
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let stats = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(WireError {
+                context: "stats trailing bytes",
+            });
+        }
+        Ok(stats)
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    /// Multi-line human snapshot: stage counts with failure tallies, the
+    /// early-exit saving, cache/store hit rates and the latency
+    /// distribution — what the `vv-server stats` subcommand prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted {} | compiled {} ({} failed) | executed {} ({} failed) | judged {} ({} rejected)",
+            self.submitted,
+            self.compiled,
+            self.compile_failures,
+            self.executed,
+            self.exec_failures,
+            self.judged,
+            self.judge_rejections,
+        )?;
+        writeln!(
+            f,
+            "judge-stage savings {:.1}% | compile cache {:.1}% hit | store {:.1}% hit",
+            100.0 * self.judge_stage_savings(),
+            100.0 * self.compile_cache_hit_rate(),
+            100.0 * self.store_hit_rate(),
+        )?;
+        write!(
+            f,
+            "simulated judge latency {} (total {:.0}ms) | wall {:?}",
+            self.judge_latency, self.simulated_judge_latency_ms, self.wall_time,
+        )
+    }
 }
 
 fn ratio(hits: usize, misses: usize) -> f64 {
@@ -229,5 +335,61 @@ mod tests {
         let stats = PipelineStats::default();
         assert_eq!(stats.judge_latency_p50(), None);
         assert_eq!(stats.judge_latency_p99(), None);
+    }
+
+    fn busy_stats() -> PipelineStats {
+        let mut stats = PipelineStats {
+            submitted: 1_000,
+            compiled: 990,
+            compile_failures: 55,
+            executed: 930,
+            exec_failures: 41,
+            judged: 870,
+            judge_rejections: 120,
+            compile_cache_hits: 700,
+            compile_cache_misses: 290,
+            store_hits: 10,
+            store_misses: 990,
+            wall_time: Duration::from_micros(1_234_567),
+            ..Default::default()
+        };
+        for i in 0..870 {
+            stats.observe_judge_latency_ms(800.0 + 11.0 * (i % 97) as f64);
+        }
+        stats
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_exact() {
+        for stats in [PipelineStats::default(), busy_stats()] {
+            let bytes = stats.to_wire_bytes();
+            let decoded = PipelineStats::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(decoded, stats);
+            assert_eq!(decoded.judge_latency_p99(), stats.judge_latency_p99());
+            // Canonical: re-encoding reproduces the bytes.
+            assert_eq!(decoded.to_wire_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn wire_truncation_is_an_error_not_a_panic() {
+        let bytes = busy_stats().to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                PipelineStats::from_wire_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(PipelineStats::from_wire_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn display_snapshot_mentions_the_headlines() {
+        let shown = busy_stats().to_string();
+        assert!(shown.contains("submitted 1000"), "{shown}");
+        assert!(shown.contains("compile cache"), "{shown}");
+        assert!(shown.contains("p95"), "{shown}");
     }
 }

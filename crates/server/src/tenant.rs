@@ -1,0 +1,189 @@
+//! Per-tenant admission control: a bounded queue plus an in-flight budget.
+//!
+//! Every tenant (keyed by the `HELLO` name) owns exactly one [`Tenant`].
+//! Its queue is the *admission* bound: an [`enqueue`](Tenant::enqueue)
+//! into a full queue blocks the calling connection-reader thread, which
+//! stops draining that client's socket — backpressure propagates over
+//! the transport instead of growing server memory. The in-flight budget
+//! is the *fairness* bound: a scheduler honouring [`Tenant::next`] can
+//! never hand one tenant more than `max_in_flight` workers at once, no
+//! matter how deep its queue is.
+//!
+//! The element type is generic so the discipline is testable on plain
+//! integers; the server instantiates it with its queued-case type.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::stats::TenantSnapshot;
+
+/// One tenant's bounded queue, in-flight budget and lifetime counters.
+pub struct Tenant<T> {
+    name: String,
+    capacity: usize,
+    max_in_flight: usize,
+    queue: Mutex<VecDeque<T>>,
+    /// Signalled whenever queue space frees (pop or purge).
+    space: Condvar,
+    in_flight: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    jobs_opened: AtomicU64,
+    jobs_finished: AtomicU64,
+}
+
+impl<T> Tenant<T> {
+    /// A new tenant with an empty queue. Bounds are clamped to ≥ 1.
+    pub fn new(name: impl Into<String>, capacity: usize, max_in_flight: usize) -> Self {
+        Self {
+            name: name.into(),
+            capacity: capacity.max(1),
+            max_in_flight: max_in_flight.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            jobs_opened: AtomicU64::new(0),
+            jobs_finished: AtomicU64::new(0),
+        }
+    }
+
+    /// The tenant's `HELLO` name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lock the queue, recovering from poisoning (a panicked holder
+    /// cannot corrupt a `VecDeque` invariant we rely on).
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admit one case, blocking while the queue is full. This runs on the
+    /// connection's reader thread — blocking here is the backpressure.
+    pub fn enqueue(&self, case: T) {
+        let mut queue = self.lock();
+        while queue.len() >= self.capacity {
+            queue = self.space.wait(queue).unwrap_or_else(|p| p.into_inner());
+        }
+        queue.push_back(case);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pop the next case if the in-flight budget allows, claiming one
+    /// in-flight slot. The caller must balance every `Some` with a
+    /// [`Tenant::case_done`].
+    pub fn next(&self) -> Option<T> {
+        let mut queue = self.lock();
+        if self.in_flight.load(Ordering::Relaxed) >= self.max_in_flight {
+            return None;
+        }
+        let case = queue.pop_front()?;
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.space.notify_all();
+        Some(case)
+    }
+
+    /// Release an in-flight slot claimed by [`Tenant::next`].
+    pub fn case_done(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every queued case failing `keep`, count them as cancelled and
+    /// wake blocked enqueuers. Returns how many were removed.
+    pub fn purge(&self, mut keep: impl FnMut(&T) -> bool) -> usize {
+        let mut queue = self.lock();
+        let before = queue.len();
+        queue.retain(|case| keep(case));
+        let removed = before - queue.len();
+        if removed > 0 {
+            self.cancelled.fetch_add(removed as u64, Ordering::Relaxed);
+            self.space.notify_all();
+        }
+        removed
+    }
+
+    /// Cases queued right now.
+    pub fn queued(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Count a job opened under this tenant.
+    pub fn note_job_opened(&self) {
+        self.jobs_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a job that ran to `JOB_DONE`.
+    pub fn note_job_finished(&self) {
+        self.jobs_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stats row this tenant contributes to a [`crate::ServerStats`].
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            name: self.name.clone(),
+            queued: self.queued() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed) as u64,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            jobs_opened: self.jobs_opened.load(Ordering::Relaxed),
+            jobs_finished: self.jobs_finished.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_the_budget() {
+        let tenant = Tenant::new("t", 8, 2);
+        for n in 0..4u32 {
+            tenant.enqueue(n);
+        }
+        assert_eq!(tenant.next(), Some(0));
+        assert_eq!(tenant.next(), Some(1));
+        // Budget of 2 exhausted: nothing more until a case completes.
+        assert_eq!(tenant.next(), None);
+        tenant.case_done();
+        assert_eq!(tenant.next(), Some(2));
+        assert_eq!(tenant.snapshot().submitted, 4);
+    }
+
+    #[test]
+    fn a_full_queue_blocks_the_enqueuer_until_space_frees() {
+        let tenant = Arc::new(Tenant::new("t", 2, 8));
+        tenant.enqueue(0u32);
+        tenant.enqueue(1);
+        let blocked = {
+            let tenant = Arc::clone(&tenant);
+            std::thread::spawn(move || tenant.enqueue(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(tenant.queued(), 2, "third enqueue must be blocked");
+        assert_eq!(tenant.next(), Some(0));
+        blocked.join().unwrap();
+        assert_eq!(tenant.queued(), 2);
+    }
+
+    #[test]
+    fn purge_counts_cancellations_and_frees_space() {
+        let tenant = Tenant::new("t", 8, 8);
+        for n in 0..6u32 {
+            tenant.enqueue(n);
+        }
+        let removed = tenant.purge(|n| n % 2 == 0);
+        assert_eq!(removed, 3);
+        assert_eq!(tenant.queued(), 3);
+        assert_eq!(tenant.snapshot().cancelled, 3);
+    }
+}

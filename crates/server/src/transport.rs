@@ -1,0 +1,277 @@
+//! Byte-stream transports: TCP and an in-process loopback pipe.
+//!
+//! The protocol runs over any [`Conn`] — a cloneable, shutdown-capable
+//! `Read + Write` byte stream. [`std::net::TcpStream`] implements it
+//! directly; [`duplex`] provides a bounded in-memory pipe with the same
+//! observable semantics (EOF on peer close, `BrokenPipe` on writes to a
+//! closed peer, blocking writes when the peer stops draining), so every
+//! protocol and backpressure path is unit-testable without sockets.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A connection byte stream: blocking reads/writes plus the two
+/// capabilities the server and client need beyond `Read + Write` — an
+/// independently usable second handle (reader and writer live on
+/// different threads) and an explicit full shutdown.
+pub trait Conn: Read + Write + Send {
+    /// A second handle to the same stream (like `TcpStream::try_clone`).
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Close both directions: pending and future reads see EOF, writes
+    /// fail with `BrokenPipe`, on this handle and every clone.
+    fn shutdown_conn(&self);
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One direction of the loopback pipe: a bounded byte queue.
+struct PipeBuf {
+    state: Mutex<PipeState>,
+    /// Signalled when bytes (or EOF) become available to the reader.
+    readable: Condvar,
+    /// Signalled when space (or closure) becomes visible to the writer.
+    writable: Condvar,
+    capacity: usize,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl PipeBuf {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if !state.buf.is_empty() {
+                let n = out.len().min(state.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("n bounded by len");
+                }
+                self.writable.notify_all();
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0); // EOF: closed and drained
+            }
+            state = self.readable.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn write(&self, mut bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !bytes.is_empty() {
+            if state.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "loopback pipe closed",
+                ));
+            }
+            let space = self.capacity.saturating_sub(state.buf.len());
+            if space == 0 {
+                state = self.writable.wait(state).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            let n = space.min(bytes.len());
+            state.buf.extend(&bytes[..n]);
+            bytes = &bytes[n..];
+            self.readable.notify_all();
+        }
+        Ok(())
+    }
+}
+
+/// Closes both pipe directions when the last clone of one end drops —
+/// the loopback equivalent of a socket close.
+struct EndToken {
+    incoming: Arc<PipeBuf>,
+    outgoing: Arc<PipeBuf>,
+}
+
+impl Drop for EndToken {
+    fn drop(&mut self) {
+        self.incoming.close();
+        self.outgoing.close();
+    }
+}
+
+/// One end of an in-process bounded duplex pipe (see [`duplex`]).
+///
+/// Clones share the end's identity: dropping the *last* clone closes the
+/// connection, exactly like dropping the last `TcpStream` handle.
+pub struct PipeEnd {
+    incoming: Arc<PipeBuf>,
+    outgoing: Arc<PipeBuf>,
+    _token: Arc<EndToken>,
+}
+
+impl Clone for PipeEnd {
+    fn clone(&self) -> Self {
+        Self {
+            incoming: Arc::clone(&self.incoming),
+            outgoing: Arc::clone(&self.outgoing),
+            _token: Arc::clone(&self._token),
+        }
+    }
+}
+
+impl std::fmt::Debug for PipeEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeEnd").finish_non_exhaustive()
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        self.incoming.read(out)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.outgoing.write(bytes)?;
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Conn for PipeEnd {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.clone()))
+    }
+
+    fn shutdown_conn(&self) {
+        self.incoming.close();
+        self.outgoing.close();
+    }
+}
+
+/// A bounded in-memory duplex byte pipe: two connected [`PipeEnd`]s, each
+/// direction holding at most `capacity` bytes. A writer whose peer stops
+/// reading blocks once the buffer fills — the transport-level
+/// backpressure the protocol's flow control is built on.
+pub fn duplex(capacity: usize) -> (PipeEnd, PipeEnd) {
+    let ab = PipeBuf::new(capacity);
+    let ba = PipeBuf::new(capacity);
+    let a = PipeEnd {
+        incoming: Arc::clone(&ba),
+        outgoing: Arc::clone(&ab),
+        _token: Arc::new(EndToken {
+            incoming: Arc::clone(&ba),
+            outgoing: Arc::clone(&ab),
+        }),
+    };
+    let b = PipeEnd {
+        incoming: Arc::clone(&ab),
+        outgoing: Arc::clone(&ba),
+        _token: Arc::new(EndToken {
+            incoming: ab,
+            outgoing: ba,
+        }),
+    };
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut a, mut b) = duplex(8);
+        let writer = std::thread::spawn(move || {
+            a.write_all(b"hello across a tiny buffer").unwrap();
+            a // keep the end alive until the reader is done
+        });
+        let mut got = vec![0u8; 26];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello across a tiny buffer");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_last_clone_is_eof_for_the_peer() {
+        let (a, mut b) = duplex(64);
+        let a2 = a.clone();
+        drop(a);
+        // A live clone keeps the connection open.
+        let mut probe = [0u8; 1];
+        let reader = std::thread::spawn(move || {
+            let n = b.read(&mut probe).unwrap();
+            assert_eq!(n, 0, "EOF after last clone dropped");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(a2);
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn writes_to_a_closed_peer_fail_with_broken_pipe() {
+        let (mut a, b) = duplex(4);
+        drop(b);
+        let err = a.write_all(b"doomed payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn full_buffer_blocks_the_writer_until_drained() {
+        let (mut a, mut b) = duplex(4);
+        let writer = std::thread::spawn(move || {
+            a.write_all(b"0123456789").unwrap(); // > capacity: must block
+            a
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let mut got = vec![0u8; 10];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"0123456789");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_blocked_writer() {
+        let (mut a, b) = duplex(2);
+        let b_handle = b.clone();
+        let writer = std::thread::spawn(move || a.write_all(&[0u8; 100]).unwrap_err());
+        std::thread::sleep(Duration::from_millis(20));
+        b_handle.shutdown_conn();
+        assert_eq!(writer.join().unwrap().kind(), io::ErrorKind::BrokenPipe);
+        drop(b);
+    }
+}

@@ -20,6 +20,8 @@
 //! seg-00000001.vvs
 //! ...
 //! journal.vvj         (optional) a campaign journal, owned by the caller
+//! store.lock          owning process id (see [`lock`]); refused opens
+//!                     from other live processes get [`StoreError::Locked`]
 //! .tmp-*              in-flight atomic writes; deleted on open
 //! ```
 //!
@@ -113,11 +115,13 @@
 
 pub mod fsck;
 pub mod journal;
+pub mod lock;
 pub mod store;
 pub mod wire;
 
 pub use fsck::{check, gc, FsckReport};
 pub use journal::{FrameCursor, Journal, JournalRecovery};
+pub use lock::LOCK_NAME;
 pub use store::{ArtifactStore, OpenReport, StoreStats};
 pub use wire::{fnv1a, Reader, Writer};
 
@@ -146,6 +150,14 @@ pub enum StoreError {
     /// An on-disk structure is invalid beyond automatic repair (bad magic,
     /// torn manifest, truncated header).
     Corrupt(String),
+    /// The store directory is owned by another live process (its
+    /// `store.lock` pidfile names `owner`). See [`lock`].
+    Locked {
+        /// Path of the pidfile that refused the open.
+        path: std::path::PathBuf,
+        /// Pid recorded in the pidfile (0 when unreadable mid-race).
+        owner: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -153,6 +165,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(err) => write!(f, "store i/o error: {err}"),
             StoreError::Corrupt(what) => write!(f, "store corrupt: {what}"),
+            StoreError::Locked { path, owner } => write!(
+                f,
+                "store locked by live process {owner} ({})",
+                path.display()
+            ),
         }
     }
 }
@@ -161,7 +178,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(err) => Some(err),
-            StoreError::Corrupt(_) => None,
+            StoreError::Corrupt(_) | StoreError::Locked { .. } => None,
         }
     }
 }

@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::lock::StoreLock;
 use crate::wire::{fnv1a, Reader, Writer};
 use crate::StoreError;
 
@@ -111,6 +112,8 @@ pub struct ArtifactStore {
     hits: AtomicU64,
     misses: AtomicU64,
     report: OpenReport,
+    /// Cross-process ownership; unlinked when the store drops.
+    _lock: StoreLock,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -131,9 +134,16 @@ impl ArtifactStore {
     /// record into the in-memory index. Torn segment tails are quarantined:
     /// the valid record prefix is kept, the damage truncated away, and the
     /// manifest rewritten — the [`OpenReport`] says what happened.
+    ///
+    /// The open acquires the directory's `store.lock` pidfile first: a
+    /// directory owned by another **live** process is refused with
+    /// [`StoreError::Locked`] (stale locks from dead processes are stolen;
+    /// see [`crate::lock`]). In-process sharing goes through
+    /// [`ArtifactStore::open_shared`], not repeated opens.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        let lock = StoreLock::acquire(&dir)?;
         let mut report = OpenReport::default();
 
         // Stale tempfiles are in-flight writes that never committed.
@@ -208,6 +218,7 @@ impl ArtifactStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             report,
+            _lock: lock,
         })
     }
 
@@ -672,6 +683,27 @@ mod tests {
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
         drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn store_owned_by_a_live_foreign_process_refuses_to_open() {
+        let dir = temp_dir("locked");
+        fs::create_dir_all(&dir).unwrap();
+        // pid 1 is always alive and never this test process.
+        fs::write(dir.join(crate::LOCK_NAME), "1").unwrap();
+        match ArtifactStore::open(&dir) {
+            Err(StoreError::Locked { owner, .. }) => assert_eq!(owner, 1),
+            other => panic!("expected Locked, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_file(dir.join(crate::LOCK_NAME)).unwrap();
+        // With the lock gone the same directory opens normally, and the
+        // lock travels with the store handle.
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(dir.join(crate::LOCK_NAME).exists());
+        drop(store);
+        assert!(!dir.join(crate::LOCK_NAME).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
