@@ -2,8 +2,9 @@
 //! validation service.
 //!
 //! * `early_exit_vs_record_all` — how much work the early-exit rule saves;
-//! * `strategy_comparison` — staged pipeline vs sequential vs per-file
-//!   parallel, all through the single `ValidationService` entry point;
+//! * `strategy_comparison` — staged pipeline vs sequential vs batch
+//!   parallel vs pipelined, all through the single `ValidationService`
+//!   entry point;
 //! * `worker_scaling` — throughput as the stage worker pools grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

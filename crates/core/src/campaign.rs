@@ -7,7 +7,7 @@
 //!
 //! * directive model (OpenACC / OpenMP),
 //! * judge prompt style (plain / agent-direct / agent-indirect),
-//! * execution strategy (staged / sequential / per-file parallel),
+//! * execution strategy (staged / sequential / batch parallel / pipelined),
 //! * negative-probing fraction, and
 //! * judge calibration profile,
 //!
@@ -161,6 +161,7 @@ fn strategy_tag(strategy: ExecutionStrategy) -> &'static str {
         ExecutionStrategy::Staged => "staged",
         ExecutionStrategy::Sequential => "seq",
         ExecutionStrategy::RayonBatch => "perfile",
+        ExecutionStrategy::Pipelined { .. } => "pipelined",
     }
 }
 

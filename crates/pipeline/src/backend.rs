@@ -142,7 +142,7 @@ pub struct SimCompileBackend {
 /// Sessions whose interner grew past this many distinct spellings are
 /// retired instead of returned to the pool (pathological corpora with
 /// unbounded fresh identifiers would otherwise grow the table forever).
-const MAX_SESSION_SYMBOLS: usize = 1 << 20;
+pub(crate) const MAX_SESSION_SYMBOLS: usize = 1 << 20;
 
 impl Default for SimCompileBackend {
     /// Caching backend with the default cache capacity.
@@ -191,7 +191,14 @@ impl SimCompileBackend {
         self.persistent.as_ref()
     }
 
-    fn take_session(&self, model: DirectiveModel) -> CompileSession {
+    /// Check a session for `model` out of the pool (building a fresh one
+    /// when the pool is empty). Long-lived compile workers lease a session
+    /// once and drive it through [`SimCompileBackend::compile_with`] for
+    /// their whole run instead of checking in and out per item — the
+    /// pipelined executor's compile workers keep one leased session per
+    /// model, so the per-case path never touches the pool lock. Pair with
+    /// [`SimCompileBackend::return_session`] when the worker retires.
+    pub fn take_session(&self, model: DirectiveModel) -> CompileSession {
         let mut pools = self
             .sessions
             .lock()
@@ -208,7 +215,10 @@ impl SimCompileBackend {
         }
     }
 
-    fn return_session(&self, model: DirectiveModel, session: CompileSession) {
+    /// Return a leased session to the pool, so the interner and buffers it
+    /// warmed up serve the next lease. Oversized sessions are retired
+    /// instead.
+    pub fn return_session(&self, model: DirectiveModel, session: CompileSession) {
         if session.interner().len() > MAX_SESSION_SYMBOLS {
             return; // retire it; a fresh one is built on demand
         }
@@ -218,13 +228,14 @@ impl SimCompileBackend {
             .unwrap_or_else(|poison| poison.into_inner());
         pools.entry(model).or_default().push(session);
     }
-}
 
-impl CompileBackend for SimCompileBackend {
-    fn compile(&self, item: &WorkItem) -> CompileOutput {
-        let mut session = self.take_session(item.model);
+    /// Compile one item through a caller-held session (leased for
+    /// `item.model` via [`SimCompileBackend::take_session`]), bypassing the
+    /// pool entirely. Byte-identical to [`CompileBackend::compile`] — the
+    /// session only carries the interner and scratch buffers; every
+    /// memoized outcome lives in the shared cache.
+    pub fn compile_with(&self, session: &mut CompileSession, item: &WorkItem) -> CompileOutput {
         let (outcome, fetch) = session.compile_classified(&item.source, item.lang);
-        self.return_session(item.model, session);
         // Derive the judge's code signals once per distinct source: the
         // outcome's analysis slot is shared by every cache hit.
         let signals = outcome
@@ -242,6 +253,15 @@ impl CompileBackend for SimCompileBackend {
             signals: Some(signals),
             fetch: self.cache.is_some().then_some(fetch),
         }
+    }
+}
+
+impl CompileBackend for SimCompileBackend {
+    fn compile(&self, item: &WorkItem) -> CompileOutput {
+        let mut session = self.take_session(item.model);
+        let output = self.compile_with(&mut session, item);
+        self.return_session(item.model, session);
+        output
     }
 
     fn name(&self) -> &'static str {
@@ -361,6 +381,75 @@ impl JudgeBackend for SurrogateJudgeBackend {
         // the judgement is a deterministic function of (besides the item
         // and stage evidence, which the record-store key covers).
         Some(format!("surrogate-judge/{:?}", self.session))
+    }
+}
+
+/// A judge adapter that *realizes* the wrapped backend's simulated latency
+/// as actual wall-clock time: after each judgement it sleeps
+/// `latency_ms * scale` milliseconds on the judging worker's thread.
+///
+/// The surrogate judge computes in microseconds what the paper's
+/// LLM-as-judge deployment spends seconds of network/GPU latency on (see
+/// `vv_judge::inference` — the latency is modelled, not slept). That makes
+/// single-thread throughput numbers unrepresentative of the deployment the
+/// parallel executor exists for: with a remote judge, per-case latency is
+/// wait, and worker concurrency converts it into throughput. Wrapping the
+/// judge in `PacedJudge` (e.g. `scale = 0.001`, one *micro*second of sleep
+/// per simulated millisecond ≈ a judge a thousand times faster than the
+/// paper's) lets benchmarks measure exactly that conversion on any core
+/// count.
+///
+/// Pacing changes timing only: the returned [`JudgeOutcome`] is the inner
+/// backend's outcome, byte-identical, so every parity law still holds —
+/// which is also why [`JudgeBackend::fingerprint`] passes through
+/// unchanged (a stored record replays identically whether or not it was
+/// produced under pacing).
+pub struct PacedJudge {
+    inner: Arc<dyn JudgeBackend>,
+    scale: f64,
+}
+
+impl PacedJudge {
+    /// Wrap `inner`, sleeping `latency_ms * scale` milliseconds per
+    /// judgement (`scale = 1.0` reproduces the full simulated latency;
+    /// non-finite or negative scales are treated as 0, i.e. no pacing).
+    pub fn new(inner: Arc<dyn JudgeBackend>, scale: f64) -> Self {
+        let scale = if scale.is_finite() {
+            scale.max(0.0)
+        } else {
+            0.0
+        };
+        Self { inner, scale }
+    }
+
+    /// The pacing factor in effect.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl JudgeBackend for PacedJudge {
+    fn judge(
+        &self,
+        item: &WorkItem,
+        compile: &CompileSummary,
+        exec: Option<&ExecSummary>,
+        signals: Option<&CodeSignals>,
+    ) -> JudgeOutcome {
+        let outcome = self.inner.judge(item, compile, exec, signals);
+        let pace_ms = outcome.latency_ms.max(0.0) * self.scale;
+        if pace_ms > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(pace_ms / 1_000.0));
+        }
+        outcome
+    }
+
+    fn name(&self) -> &'static str {
+        "paced-judge"
+    }
+
+    fn fingerprint(&self) -> Option<String> {
+        self.inner.fingerprint()
     }
 }
 
@@ -485,6 +574,41 @@ int main() {
         let compiled = SimCompileBackend::default().compile(&item("int main( { return 0; }"));
         assert!(!compiled.summary.succeeded);
         assert!(compiled.artifact.is_none());
+    }
+
+    #[test]
+    fn paced_judge_changes_timing_not_bytes() {
+        let inner: Arc<dyn JudgeBackend> = Arc::new(SurrogateJudgeBackend::new(
+            JudgeProfile::deepseek_agent_direct(),
+            PromptStyle::AgentDirect,
+            7,
+        ));
+        let paced = PacedJudge::new(Arc::clone(&inner), 1e-6);
+        let work = item(VALID_ACC);
+        let compiled = SimCompileBackend::default().compile(&work);
+        let plain = inner.judge(&work, &compiled.summary, None, compiled.signals.as_deref());
+        let slept = paced.judge(&work, &compiled.summary, None, compiled.signals.as_deref());
+        assert_eq!(plain, slept, "pacing must not change the outcome");
+        assert_eq!(paced.fingerprint(), inner.fingerprint());
+        // Degenerate scales clamp to "no pacing" instead of panicking in
+        // Duration::from_secs_f64.
+        assert_eq!(PacedJudge::new(Arc::clone(&inner), f64::NAN).scale(), 0.0);
+        assert_eq!(PacedJudge::new(inner, -3.0).scale(), 0.0);
+    }
+
+    #[test]
+    fn leased_sessions_compile_identically_to_the_pool_path() {
+        let backend = SimCompileBackend::default();
+        let work = item(VALID_ACC);
+        let mut session = backend.take_session(work.model);
+        let leased = backend.compile_with(&mut session, &work);
+        backend.return_session(work.model, session);
+        let pooled = backend.compile(&work);
+        assert_eq!(leased.summary, pooled.summary);
+        assert_eq!(
+            leased.signals.as_deref().map(|s| format!("{s:?}")),
+            pooled.signals.as_deref().map(|s| format!("{s:?}"))
+        );
     }
 
     #[test]

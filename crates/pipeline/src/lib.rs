@@ -21,7 +21,8 @@
 //! A single [`ValidationService`], built via [`ValidationServiceBuilder`],
 //! replaces the old per-runner methods. The [`ExecutionStrategy`] selects
 //! the scheduling — the staged multi-worker pipeline of the paper, a
-//! sequential baseline, or per-file parallelism — and all strategies share
+//! sequential baseline, batch parallelism, or the stage-pipelined
+//! work-stealing executor of [`parallel`] — and all strategies share
 //! identical per-file semantics, so they produce identical records for
 //! identical inputs.
 //!
@@ -73,14 +74,15 @@
 //!   computed retroactively from one run.
 
 pub mod backend;
+pub mod parallel;
 pub mod persist;
 pub mod runner;
 pub mod service;
 pub mod stats;
 
 pub use backend::{
-    CompileBackend, CompileOutput, ExecBackend, JudgeBackend, SimCompileBackend, SimExecBackend,
-    SurrogateJudgeBackend,
+    CompileBackend, CompileOutput, ExecBackend, JudgeBackend, PacedJudge, SimCompileBackend,
+    SimExecBackend, SurrogateJudgeBackend,
 };
 pub use persist::{decode_record, encode_record, RecordStore};
 pub use runner::PipelineRun;

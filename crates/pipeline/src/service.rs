@@ -12,7 +12,7 @@
 //!   record *as it completes*. Items flow through bounded channels, so the
 //!   suite can be arbitrarily large while memory stays constant.
 //!
-//! All three execution strategies share identical per-file semantics and
+//! All four execution strategies share identical per-file semantics and
 //! therefore produce identical records for identical inputs (asserted by
 //! the strategy-parity tests); they differ only in scheduling.
 
@@ -24,8 +24,8 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::backend::{
-    CompileBackend, CompileOutput, ExecBackend, JudgeBackend, SimCompileBackend, SimExecBackend,
-    SurrogateJudgeBackend,
+    CompileBackend, CompileOutput, ExecBackend, JudgeBackend, PacedJudge, SimCompileBackend,
+    SimExecBackend, SurrogateJudgeBackend,
 };
 use crate::persist::RecordStore;
 use crate::runner::PipelineRun;
@@ -37,6 +37,31 @@ use vv_simcompiler::{CacheAdmission, CompileCache, CompileFetch, PersistentCache
 use vv_store::ArtifactStore;
 
 /// How the service schedules the per-file work.
+///
+/// All strategies share identical per-file semantics and produce
+/// byte-identical records for identical inputs (the strategy-parity laws);
+/// they differ only in scheduling, so choosing one is purely a
+/// throughput/latency/footprint decision:
+///
+/// * [`Staged`](Self::Staged) — fixed per-stage pools sized by
+///   [`PipelineConfig`]. Best when per-stage costs are known and stable,
+///   and when you want hard per-stage concurrency limits (e.g. "at most 2
+///   concurrent judge calls" to respect an external rate limit).
+/// * [`Sequential`](Self::Sequential) — one thread, submission order,
+///   no scheduling noise. The baseline for ablations and the right choice
+///   for debugging and for tiny batches where thread spawn overhead
+///   dominates.
+/// * [`RayonBatch`](Self::RayonBatch) — whole-case workers: parallel but
+///   not pipelined. Simple and effective when cases are uniform and no
+///   per-stage limits are needed; a slow stage of one case never blocks a
+///   different stage of another, because workers make no attempt to
+///   specialize.
+/// * [`Pipelined`](Self::Pipelined) — stage-pipelined work stealing: a
+///   single elastic pool where each worker prefers a home stage but steals
+///   any ready work, with lazy input admission and an ordered output
+///   stream. Best sustained throughput on mixed workloads and the only
+///   strategy whose stream yields records in *submission* order; prefer it
+///   when scaling across cores matters more than hard per-stage caps.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ExecutionStrategy {
     /// The paper's Figure-2 design: one worker pool per stage, connected by
@@ -47,21 +72,33 @@ pub enum ExecutionStrategy {
     /// One worker processes every file through all stages, in submission
     /// order. The baseline for the ablation benchmarks.
     Sequential,
-    /// Per-file parallelism: each worker runs all stages for one file
+    /// Batch parallelism: each worker runs all stages for one file
     /// ("parallel but not pipelined"). The worker count is the sum of the
     /// three stage pools, so `workers(...)` budgets comparably across
     /// strategies. The name is kept from the rayon-based runner this
     /// scheduling mode replaces (the ablation benchmarks' terminology);
     /// the implementation uses the service's own worker threads.
     RayonBatch,
+    /// Stage-pipelined work stealing over `workers` threads (`0` = one per
+    /// available core): per-worker home stages sized to measured stage
+    /// cost, stealing across stages, lazy input admission bounded by an
+    /// in-flight window, and a reorder buffer so the stream yields records
+    /// in submission order. See [`crate::parallel`] for the design.
+    Pipelined {
+        /// Worker thread count; `0` resolves to
+        /// `std::thread::available_parallelism()`.
+        workers: usize,
+    },
 }
 
 impl ExecutionStrategy {
-    /// All strategies, in display order.
-    pub const ALL: [ExecutionStrategy; 3] = [
+    /// All strategies, in display order (`Pipelined` at its auto-sized
+    /// worker count).
+    pub const ALL: [ExecutionStrategy; 4] = [
         ExecutionStrategy::Staged,
         ExecutionStrategy::Sequential,
         ExecutionStrategy::RayonBatch,
+        ExecutionStrategy::Pipelined { workers: 0 },
     ];
 
     /// A short label for tables and logs.
@@ -69,7 +106,8 @@ impl ExecutionStrategy {
         match self {
             ExecutionStrategy::Staged => "staged",
             ExecutionStrategy::Sequential => "sequential",
-            ExecutionStrategy::RayonBatch => "per-file parallel",
+            ExecutionStrategy::RayonBatch => "batch parallel",
+            ExecutionStrategy::Pipelined { .. } => "pipelined",
         }
     }
 }
@@ -92,11 +130,17 @@ pub struct ValidationServiceBuilder {
     config: PipelineConfig,
     strategy: ExecutionStrategy,
     compile: Option<Arc<dyn CompileBackend>>,
+    /// Concrete handle kept alongside `compile` when the compile backend is
+    /// the default simulated one, so the pipelined executor can lease
+    /// per-worker sessions instead of round-tripping the pool per case.
+    sim_compile: Option<Arc<SimCompileBackend>>,
     exec: Option<Arc<dyn ExecBackend>>,
     judge: Option<Arc<dyn JudgeBackend>>,
     store: Option<Arc<ArtifactStore>>,
     cache_capacity: Option<usize>,
     cache_admission: Option<CacheAdmission>,
+    cache_shards: Option<usize>,
+    judge_pacing: Option<f64>,
 }
 
 impl ValidationServiceBuilder {
@@ -126,7 +170,9 @@ impl ValidationServiceBuilder {
         self
     }
 
-    /// Scheduling strategy (staged pipeline, sequential, per-file parallel).
+    /// Scheduling strategy (staged pipeline, sequential, batch parallel, or
+    /// the pipelined work-stealing executor); see [`ExecutionStrategy`] for
+    /// when each is appropriate.
     pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
         self.strategy = strategy;
         self
@@ -159,6 +205,17 @@ impl ValidationServiceBuilder {
     /// Plug in a custom compile backend.
     pub fn compile_backend(mut self, backend: impl CompileBackend + 'static) -> Self {
         self.compile = Some(Arc::new(backend));
+        self.sim_compile = None;
+        self
+    }
+
+    /// Plug in a simulated compile backend, keeping the concrete handle so
+    /// strategies that can exploit it (per-worker session leases in the
+    /// pipelined executor) do so.
+    fn sim_compile_backend(mut self, backend: SimCompileBackend) -> Self {
+        let backend = Arc::new(backend);
+        self.sim_compile = Some(Arc::clone(&backend));
+        self.compile = Some(backend);
         self
     }
 
@@ -167,13 +224,13 @@ impl ValidationServiceBuilder {
     /// scenarios of a campaign that re-run identical corpus shards — can
     /// share one cache and compile each distinct source once between them.
     pub fn compile_cache(self, cache: Arc<vv_simcompiler::CompileCache>) -> Self {
-        self.compile_backend(SimCompileBackend::cached(cache))
+        self.sim_compile_backend(SimCompileBackend::cached(cache))
     }
 
     /// Compile every file afresh (no content-addressed cache); the
     /// benchmark baseline and the choice for memory-austere deployments.
     pub fn uncached_compile(self) -> Self {
-        self.compile_backend(SimCompileBackend::uncached())
+        self.sim_compile_backend(SimCompileBackend::uncached())
     }
 
     /// Compile through a two-tier persistent cache (memory over a durable
@@ -181,7 +238,7 @@ impl ValidationServiceBuilder {
     /// the compile stage — pair it with [`Self::artifact_store`] (usually
     /// over the same store) for whole-record persistence.
     pub fn persistent_compile(self, persist: Arc<PersistentCache>) -> Self {
-        self.compile_backend(SimCompileBackend::persistent(persist))
+        self.sim_compile_backend(SimCompileBackend::persistent(persist))
     }
 
     /// Capacity of the *default* compile cache's hot generation (total
@@ -201,6 +258,28 @@ impl ValidationServiceBuilder {
     /// Ignored when an explicit compile backend is plugged in.
     pub fn compile_cache_admission(mut self, admission: CacheAdmission) -> Self {
         self.cache_admission = Some(admission);
+        self
+    }
+
+    /// Shard count of the *default* compile cache (`0` = the library
+    /// default, [`vv_simcompiler::DEFAULT_CACHE_SHARDS`]). Each shard has
+    /// its own lock and hit/miss counters, so concurrent compile workers
+    /// contend only when their sources hash to the same shard;
+    /// [`vv_simcompiler::CompileCache::stats`] still reports the merged
+    /// totals. Use `1` to restore the single-lock layout. Ignored when an
+    /// explicit compile backend or cache is plugged in.
+    pub fn compile_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = Some(shards);
+        self
+    }
+
+    /// Pace the judge stage: sleep `latency_ms × scale` after every
+    /// judgement, realizing the simulated latency as wall-clock time (see
+    /// [`crate::backend::PacedJudge`]). `0.0` disables pacing. Applied
+    /// around whichever judge backend is in effect, custom or default;
+    /// records are unchanged — only timing is.
+    pub fn judge_pacing(mut self, scale: f64) -> Self {
+        self.judge_pacing = Some(scale);
         self
     }
 
@@ -234,34 +313,45 @@ impl ValidationServiceBuilder {
     /// Finalize the service. Unset backends fall back to the simulated
     /// substrates configured by the [`PipelineConfig`].
     pub fn build(self) -> ValidationService {
-        let judge = self.judge.unwrap_or_else(|| {
+        let mut judge = self.judge.unwrap_or_else(|| {
             Arc::new(SurrogateJudgeBackend::new(
                 self.config.judge_profile.clone(),
                 self.config.judge_style,
                 self.config.judge_seed,
             ))
         });
+        if let Some(scale) = self.judge_pacing.filter(|s| *s > 0.0) {
+            judge = Arc::new(PacedJudge::new(judge, scale));
+        }
         let exec = self
             .exec
             .unwrap_or_else(|| Arc::new(SimExecBackend::default()));
+        let mut sim_compile = self.sim_compile;
         let compile: Arc<dyn CompileBackend> = match self.compile {
             Some(backend) => backend,
             None => {
-                let cache = if self.cache_capacity.is_none() && self.cache_admission.is_none() {
+                let cache = if self.cache_capacity.is_none()
+                    && self.cache_admission.is_none()
+                    && self.cache_shards.is_none()
+                {
                     CompileCache::shared()
                 } else {
-                    Arc::new(CompileCache::with_config(
+                    Arc::new(CompileCache::with_shards(
                         self.cache_capacity
                             .unwrap_or(vv_simcompiler::cache::DEFAULT_CACHE_CAPACITY),
                         self.cache_admission.unwrap_or_default(),
+                        self.cache_shards.unwrap_or(0),
                     ))
                 };
-                match &self.store {
-                    Some(store) => Arc::new(SimCompileBackend::persistent(Arc::new(
-                        PersistentCache::new(cache, Arc::clone(store)),
+                let backend = Arc::new(match &self.store {
+                    Some(store) => SimCompileBackend::persistent(Arc::new(PersistentCache::new(
+                        cache,
+                        Arc::clone(store),
                     ))),
-                    None => Arc::new(SimCompileBackend::cached(cache)),
-                }
+                    None => SimCompileBackend::cached(cache),
+                });
+                sim_compile = Some(Arc::clone(&backend));
+                backend
             }
         };
         // Whole-record persistence requires every stage to pin its
@@ -282,6 +372,7 @@ impl ValidationServiceBuilder {
             config: self.config,
             strategy: self.strategy,
             compile,
+            sim_compile,
             exec,
             judge,
             record_store,
@@ -295,6 +386,10 @@ pub struct ValidationService {
     config: PipelineConfig,
     strategy: ExecutionStrategy,
     compile: Arc<dyn CompileBackend>,
+    /// The same backend as `compile` when it is the default simulated one
+    /// (strategies that can lease per-worker sessions use this handle);
+    /// `None` for custom backends.
+    sim_compile: Option<Arc<SimCompileBackend>>,
     exec: Arc<dyn ExecBackend>,
     judge: Arc<dyn JudgeBackend>,
     /// Whole-record persistence layer, when an artifact store is attached
@@ -406,6 +501,24 @@ impl ValidationService {
                     + self.config.judge_workers)
                     .max(1);
                 self.spawn_batch(items.into_iter(), tx_done, &stats, capacity, workers)
+            }
+            ExecutionStrategy::Pipelined { workers } => {
+                let workers = if workers == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    workers
+                };
+                let spec = crate::parallel::PipelineSpec {
+                    mode: self.config.mode,
+                    compile: Arc::clone(&self.compile),
+                    sim_compile: self.sim_compile.clone(),
+                    exec: Arc::clone(&self.exec),
+                    judge: Arc::clone(&self.judge),
+                    record_store: self.record_store.clone(),
+                };
+                crate::parallel::spawn(spec, items.into_iter(), tx_done, &stats, capacity, workers)
             }
         };
         RecordStream {
@@ -817,6 +930,12 @@ impl RecordStream {
     /// A snapshot of the statistics so far. `wall_time` is the time since
     /// `submit` was called, latched at completion once the stream is
     /// exhausted (so the snapshot is final and stable from then on).
+    ///
+    /// Under [`ExecutionStrategy::Pipelined`] the per-case counters live
+    /// in worker-private accumulators merged when each worker retires (no
+    /// shared mutable state on the case path), so mid-run snapshots lag
+    /// behind the records already yielded; the post-completion snapshot is
+    /// exact for every strategy.
     pub fn stats(&self) -> PipelineStats {
         let mut stats = self.stats.lock().clone();
         stats.wall_time = self.finished.unwrap_or_else(|| self.started.elapsed());

@@ -35,6 +35,14 @@ pub struct PipelineStats {
     /// Total *simulated* LLM latency across all judged files, in
     /// milliseconds (what the judge stage would have cost on the paper's
     /// hardware; the surrogate itself runs in microseconds).
+    ///
+    /// This is latency *summed across workers*, not elapsed time: under a
+    /// concurrent strategy it routinely exceeds [`Self::wall_time`]
+    /// (utilization above 100% is the point of running judges in
+    /// parallel). Being an `f64` sum it is also not order-stable — two
+    /// schedules of the same run can differ in the last bits — so
+    /// cross-schedule comparisons should use the exact
+    /// [`Self::judge_latency`] histogram instead.
     pub simulated_judge_latency_ms: f64,
     /// Distribution of per-judgement simulated latencies: a fixed-bucket
     /// streaming histogram, exact under [`PipelineStats::merge`], backing
@@ -52,7 +60,11 @@ pub struct PipelineStats {
     pub store_hits: usize,
     /// Cases probed against the artifact store and validated fresh.
     pub store_misses: usize,
-    /// Wall-clock duration of the run.
+    /// Wall-clock duration of the run: *elapsed* time, not per-worker
+    /// time summed. [`Self::merge`] takes the maximum, so merging the
+    /// per-worker partials of one run reports that run's elapsed wall
+    /// time, while per-case latencies (which sum) measure work performed
+    /// — the two deliberately diverge under concurrency.
     pub wall_time: Duration,
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vv-server serve --addr 127.0.0.1:7411 [--store DIR] [--workers N]
+//!                 [--strategy staged|sequential|batch|pipelined[:N]]
 //!                 [--queue N] [--inflight N]
 //! vv-server submit --addr HOST:PORT --tenant NAME [--size N]
 //!                  [--model acc|omp] [--seed N] [--mutated F]
@@ -18,7 +19,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use vv_dclang::DirectiveModel;
-use vv_pipeline::WorkItem;
+use vv_pipeline::{ExecutionStrategy, WorkItem};
 use vv_probing::{CorpusSpec, ProbeConfig};
 use vv_server::{Client, JobSpec, Server, ServerConfig};
 
@@ -40,7 +41,7 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vv-server serve --addr HOST:PORT [--store DIR] [--workers N] \
-         [--queue N] [--inflight N]\n       \
+         [--strategy staged|sequential|batch|pipelined[:N]] [--queue N] [--inflight N]\n       \
          vv-server submit --addr HOST:PORT --tenant NAME [--size N] \
          [--model acc|omp] [--seed N] [--mutated F]\n       \
          vv-server stats --addr HOST:PORT\n       \
@@ -68,6 +69,21 @@ fn find<'a>(pairs: &[(&str, &'a str)], flag: &str) -> Option<&'a str> {
         .map(|(_, value)| *value)
 }
 
+/// Parse a `--strategy` value: a bare name, or `pipelined:N` to pin the
+/// worker count (`pipelined` alone auto-sizes to the core count).
+fn parse_strategy(value: &str) -> Option<ExecutionStrategy> {
+    match value {
+        "staged" => Some(ExecutionStrategy::Staged),
+        "sequential" => Some(ExecutionStrategy::Sequential),
+        "batch" => Some(ExecutionStrategy::RayonBatch),
+        "pipelined" => Some(ExecutionStrategy::Pipelined { workers: 0 }),
+        _ => {
+            let workers = value.strip_prefix("pipelined:")?.parse().ok()?;
+            Some(ExecutionStrategy::Pipelined { workers })
+        }
+    }
+}
+
 fn serve(args: &[String]) -> ExitCode {
     let Some(pairs) = flag_pairs(args) else {
         return usage();
@@ -78,6 +94,12 @@ fn serve(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     if let Some(dir) = find(&pairs, "store") {
         config.store_dir = Some(dir.into());
+    }
+    if let Some(value) = find(&pairs, "strategy") {
+        match parse_strategy(value) {
+            Some(strategy) => config.strategy = strategy,
+            None => return usage(),
+        }
     }
     for (flag, slot) in [
         ("workers", &mut config.workers as &mut usize),

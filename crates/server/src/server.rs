@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use vv_pipeline::{encode_record, PipelineStats, ValidationService, WorkItem};
+use vv_pipeline::{encode_record, ExecutionStrategy, PipelineStats, ValidationService, WorkItem};
 use vv_simcompiler::{CompileCache, PersistentCache};
 use vv_store::ArtifactStore;
 
@@ -49,6 +49,13 @@ use crate::transport::{duplex, Conn, PipeEnd};
 pub struct ServerConfig {
     /// Validation worker threads shared by all tenants.
     pub workers: usize,
+    /// Scheduling strategy of the pooled [`ValidationService`]s. The
+    /// daemon's own per-case dispatch (tenant-fair round robin over the
+    /// worker pool) is strategy-independent — records are byte-identical
+    /// under every strategy by the parity laws — so this selects the
+    /// scheduling used for whole-stream submits through a pooled service
+    /// and is surfaced in `STATS` as deployment provenance.
+    pub strategy: ExecutionStrategy,
     /// Bounded queue depth per tenant (admission control).
     pub tenant_queue_capacity: usize,
     /// In-flight case budget per tenant (fairness bound).
@@ -63,6 +70,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            strategy: ExecutionStrategy::default(),
             tenant_queue_capacity: 256,
             max_in_flight_per_tenant: 64,
             store_dir: None,
@@ -290,6 +298,7 @@ impl ServerInner {
         Arc::clone(services.entry(spec.key()).or_insert_with(|| {
             let builder = ValidationService::builder()
                 .mode(spec.mode)
+                .strategy(self.config.strategy)
                 .judge_style(spec.style)
                 .judge_profile(spec.profile.profile())
                 .judge_seed(spec.judge_seed);
@@ -392,6 +401,8 @@ impl ServerInner {
             uptime_ms: self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
             connections: self.connections.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::SeqCst),
+            workers: self.config.workers.max(1) as u64,
+            strategy: self.config.strategy.label().to_string(),
             served: self.global.lock().clone(),
             compile_cache: CacheSnapshot {
                 hits: cache.hits,

@@ -94,6 +94,12 @@ pub struct ServerStats {
     pub connections: u64,
     /// True once a shutdown drain has begun.
     pub draining: bool,
+    /// Validation worker threads in the daemon's pool.
+    pub workers: u64,
+    /// The [`vv_pipeline::ExecutionStrategy`] label of the pooled
+    /// services (per-case records are identical under every strategy by
+    /// the parity laws; this reports the configured scheduling).
+    pub strategy: String,
     /// Merged statistics of every case ever served, across all tenants
     /// and jobs (cache/store provenance is tracked by the resident pools
     /// below, not per case).
@@ -113,6 +119,8 @@ impl ServerStats {
         w.put_u64(self.uptime_ms);
         w.put_u64(self.connections);
         w.put_u8(self.draining as u8);
+        w.put_u64(self.workers);
+        w.put_str(&self.strategy);
         self.served.encode_into(w);
         w.put_u64(self.compile_cache.hits);
         w.put_u64(self.compile_cache.misses);
@@ -154,6 +162,8 @@ impl ServerStats {
                 })
             }
         };
+        let workers = r.get_u64("stats workers")?;
+        let strategy = r.get_str("stats strategy")?.to_string();
         let served = PipelineStats::decode_from(r)?;
         let compile_cache = CacheSnapshot {
             hits: r.get_u64("stats cache hits")?,
@@ -193,6 +203,8 @@ impl ServerStats {
             uptime_ms,
             connections,
             draining,
+            workers,
+            strategy,
             served,
             compile_cache,
             store,
@@ -206,9 +218,11 @@ impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "uptime {:.1}s | {} connection(s) | {}",
+            "uptime {:.1}s | {} connection(s) | {} worker(s), {} | {}",
             self.uptime_ms as f64 / 1000.0,
             self.connections,
+            self.workers,
+            self.strategy,
             if self.draining { "draining" } else { "serving" }
         )?;
         writeln!(f, "served: {}", self.served)?;
@@ -274,6 +288,8 @@ mod tests {
             uptime_ms: 123_456,
             connections: 3,
             draining: true,
+            workers: 4,
+            strategy: "pipelined".into(),
             served,
             compile_cache: CacheSnapshot {
                 hits: 410,
@@ -341,6 +357,7 @@ mod tests {
     fn display_mentions_the_headlines() {
         let shown = busy_snapshot().to_string();
         assert!(shown.contains("draining"), "{shown}");
+        assert!(shown.contains("4 worker(s), pipelined"), "{shown}");
         assert!(shown.contains("compile cache"), "{shown}");
         assert!(shown.contains("acme"), "{shown}");
         assert!(shown.contains("zeta"), "{shown}");

@@ -29,6 +29,22 @@
 //! hits are promoted back to hot. At most `2 * capacity` entries are ever
 //! retained, so streaming arbitrarily large corpora through a cached
 //! session keeps the constant-memory property of the pipeline.
+//!
+//! # Sharding
+//!
+//! The cache is internally split into up to [`DEFAULT_CACHE_SHARDS`]
+//! independent shards, each with its own lock, generations, admission
+//! filter and hit/miss counters; an address deterministically selects its
+//! shard, so per-address semantics (second-touch admission, promotion,
+//! object sharing) are exactly those of a single-shard cache while
+//! concurrent compile workers touching distinct sources never contend on
+//! one lock. [`CompileCache::stats`] merges the per-shard counters (the
+//! shard-union law: per-shard tallies sum to the global tally because every
+//! lookup lands in exactly one shard); [`CompileCache::shard_stats`]
+//! exposes the unmerged rows. The explicit-capacity constructors
+//! ([`CompileCache::with_capacity`] / [`CompileCache::with_config`]) stay
+//! single-shard so small caches keep the exact legacy eviction order;
+//! [`CompileCache::shared`] and [`CompileCache::with_shards`] shard.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +58,12 @@ use crate::vendors::VendorStyle;
 
 /// Default bound on the hot generation (total retention ≤ 2x this).
 pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
+
+/// Default shard count for [`CompileCache::shared`] and the shard cap for
+/// [`CompileCache::with_shards`] requests of 0 ("auto"). Eight shards keep
+/// lock hold times negligible at any worker count this workspace targets
+/// while each shard still holds a useful fraction of the capacity.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
 
 /// When a freshly compiled outcome is admitted into the cache.
 ///
@@ -176,80 +198,24 @@ struct Generations {
     seen: HashSet<u64>,
 }
 
-/// Bound on the admission filter (8 bytes per address; ~32 MB worst case).
+/// Bound on the admission filters, summed across shards (8 bytes per
+/// address; ~32 MB worst case).
 const MAX_SEEN_ADDRESSES: usize = 1 << 22;
 
-/// A concurrency-safe, bounded, content-addressed map from compilation
-/// identity to memoized [`CompileOutcome`]. See the module docs.
-pub struct CompileCache {
-    capacity: usize,
-    admission: CacheAdmission,
+/// One independently locked slice of the cache: its own generations,
+/// admission filter and hit/miss counters.
+struct Shard {
     state: Mutex<Generations>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl std::fmt::Debug for CompileCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let stats = self.stats();
-        f.debug_struct("CompileCache")
-            .field("capacity", &self.capacity)
-            .field("entries", &stats.entries)
-            .field("hits", &stats.hits)
-            .field("misses", &stats.misses)
-            .finish()
-    }
-}
-
-impl Default for CompileCache {
-    fn default() -> Self {
-        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
-    }
-}
-
-impl CompileCache {
-    /// A cache bounded to `capacity` hot entries (≤ `2 * capacity` total),
-    /// with the default [`CacheAdmission::SecondTouch`] policy.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self::with_config(capacity, CacheAdmission::default())
-    }
-
-    /// A cache with an explicit capacity *and* admission policy — the
-    /// constructor behind `ValidationServiceBuilder`'s compile-cache knobs.
-    /// See [`CacheAdmission`] for the policy trade-off and the eviction
-    /// behavior both policies share.
-    pub fn with_config(capacity: usize, admission: CacheAdmission) -> Self {
+impl Shard {
+    fn new() -> Self {
         Self {
-            capacity: capacity.max(1),
-            admission,
             state: Mutex::new(Generations::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        }
-    }
-
-    /// The admission policy in effect.
-    pub fn admission(&self) -> CacheAdmission {
-        self.admission
-    }
-
-    /// The hot-generation capacity (total retention ≤ 2x this).
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// A shared cache with the default capacity.
-    pub fn shared() -> Arc<Self> {
-        Arc::new(Self::default())
-    }
-
-    /// Statistics so far.
-    pub fn stats(&self) -> CacheStats {
-        let state = self.lock();
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: state.hot_entries + state.cold_entries,
         }
     }
 
@@ -259,18 +225,153 @@ impl CompileCache {
             .unwrap_or_else(|poison| poison.into_inner())
     }
 
+    fn stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: state.hot_entries + state.cold_entries,
+        }
+    }
+}
+
+/// A concurrency-safe, bounded, content-addressed map from compilation
+/// identity to memoized [`CompileOutcome`]. See the module docs.
+pub struct CompileCache {
+    /// Total hot capacity across all shards (retention ≤ 2x this).
+    capacity: usize,
+    /// Hot capacity of each shard (`capacity / shards`, at least 1).
+    shard_capacity: usize,
+    /// Per-shard bound on the second-touch admission filter.
+    seen_limit: usize,
+    admission: CacheAdmission,
+    shards: Box<[Shard]>,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CompileCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl Default for CompileCache {
+    /// Default capacity, sharded [`DEFAULT_CACHE_SHARDS`] ways.
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_CACHE_CAPACITY, CacheAdmission::default(), 0)
+    }
+}
+
+impl CompileCache {
+    /// A single-shard cache bounded to `capacity` hot entries (≤ `2 *
+    /// capacity` total), with the default [`CacheAdmission::SecondTouch`]
+    /// policy. Single-shard keeps the exact legacy eviction order, which
+    /// matters for small capacities; use [`CompileCache::with_shards`] for
+    /// caches shared by concurrent compile workers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_config(capacity, CacheAdmission::default())
+    }
+
+    /// A single-shard cache with an explicit capacity *and* admission
+    /// policy — the constructor behind `ValidationServiceBuilder`'s
+    /// compile-cache knobs. See [`CacheAdmission`] for the policy
+    /// trade-off and the eviction behavior both policies share.
+    pub fn with_config(capacity: usize, admission: CacheAdmission) -> Self {
+        Self::with_shards(capacity, admission, 1)
+    }
+
+    /// A cache split into `shards` independently locked shards (0 means
+    /// "auto": [`DEFAULT_CACHE_SHARDS`]). The shard count is clamped to
+    /// `capacity` so each shard holds at least one hot entry and total
+    /// retention stays ≤ `2 * capacity`. An address always selects the
+    /// same shard, so per-address admission/eviction semantics are those
+    /// of a single-shard cache of `capacity / shards` entries.
+    pub fn with_shards(capacity: usize, admission: CacheAdmission, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = if shards == 0 {
+            DEFAULT_CACHE_SHARDS
+        } else {
+            shards
+        }
+        .min(capacity)
+        .max(1);
+        Self {
+            capacity,
+            shard_capacity: (capacity / shards).max(1),
+            seen_limit: (MAX_SEEN_ADDRESSES / shards).max(1024),
+            admission,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The admission policy in effect.
+    pub fn admission(&self) -> CacheAdmission {
+        self.admission
+    }
+
+    /// The total hot-generation capacity (total retention ≤ 2x this).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of independently locked shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shared cache with the default capacity and shard count.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Statistics so far, merged across shards. Every lookup lands in
+    /// exactly one shard, so the merged counters equal what an unsharded
+    /// cache would have tallied (the shard-union law); see
+    /// [`CompileCache::shard_stats`] for the unmerged rows.
+    pub fn stats(&self) -> CacheStats {
+        let mut merged = CacheStats::default();
+        for shard in self.shards.iter() {
+            let row = shard.stats();
+            merged.hits += row.hits;
+            merged.misses += row.misses;
+            merged.entries += row.entries;
+        }
+        merged
+    }
+
+    /// Per-shard statistics, in shard order (their field-wise sum is
+    /// [`CompileCache::stats`]).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    /// The shard an address routes to. The address bits are remixed first:
+    /// FNV-1a is well distributed in its low bits but the shard index must
+    /// not correlate with the `HashMap` bucketing inside the shard.
+    fn shard_of(&self, addr: u64) -> &Shard {
+        let mixed = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 57) as usize % self.shards.len()]
+    }
+
     /// Look up a memoized outcome under a precomputed [`KeyRef::address`];
     /// a `None` must be followed by [`CompileCache::insert`] with the same
     /// address and the freshly compiled outcome. Callers hash once per
     /// compile and thread the address through both calls.
     pub(crate) fn get(&self, addr: u64, key: KeyRef<'_>) -> Option<Arc<CompileOutcome>> {
+        let shard = self.shard_of(addr);
         let matches = |entry: &Entry| key.matches(&entry.key);
-        let mut state = self.lock();
+        let mut state = shard.lock();
         if let Some(bucket) = state.hot.get(&addr) {
             if let Some(entry) = bucket.iter().find(|e| matches(e)) {
                 let outcome = Arc::clone(&entry.outcome);
                 drop(state);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(outcome);
             }
         }
@@ -284,13 +385,13 @@ impl CompileCache {
         if let Some(entry) = promoted {
             state.cold_entries -= 1;
             let outcome = Arc::clone(&entry.outcome);
-            Self::push(&mut state, self.capacity, addr, entry);
+            Self::push(&mut state, self.shard_capacity, addr, entry);
             drop(state);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Some(outcome);
         }
         drop(state);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -299,9 +400,10 @@ impl CompileCache {
     /// policy the first sighting of an address only records it in the
     /// filter, so capacity is never spent on sources that never recur.
     pub(crate) fn insert(&self, addr: u64, key: KeyRef<'_>, outcome: Arc<CompileOutcome>) {
-        let mut state = self.lock();
+        let shard = self.shard_of(addr);
+        let mut state = shard.lock();
         if self.admission == CacheAdmission::SecondTouch {
-            if state.seen.len() >= MAX_SEEN_ADDRESSES {
+            if state.seen.len() >= self.seen_limit {
                 state.seen.clear();
             }
             if state.seen.insert(addr) {
@@ -312,7 +414,7 @@ impl CompileCache {
             key: key.to_owned_key(),
             outcome,
         };
-        Self::push(&mut state, self.capacity, addr, entry);
+        Self::push(&mut state, self.shard_capacity, addr, entry);
     }
 
     fn push(state: &mut Generations, capacity: usize, addr: u64, entry: Entry) {
@@ -410,6 +512,59 @@ mod tests {
             "entries {} exceed 2x capacity",
             cache.stats().entries
         );
+    }
+
+    #[test]
+    fn shard_counts_clamp_sensibly() {
+        // 0 means auto; explicit constructors stay single-shard; the shard
+        // count never exceeds the capacity (each shard holds ≥ 1 entry).
+        assert_eq!(CompileCache::default().shards(), DEFAULT_CACHE_SHARDS);
+        assert_eq!(CompileCache::with_capacity(4).shards(), 1);
+        assert_eq!(
+            CompileCache::with_config(8, CacheAdmission::FirstTouch).shards(),
+            1
+        );
+        let tiny = CompileCache::with_shards(2, CacheAdmission::default(), 8);
+        assert_eq!(tiny.shards(), 2);
+        assert_eq!(tiny.capacity(), 2);
+    }
+
+    #[test]
+    fn sharded_hits_still_share_the_outcome_object() {
+        let cache = Arc::new(CompileCache::with_shards(64, CacheAdmission::default(), 8));
+        let mut session =
+            CompileSession::for_model(DirectiveModel::OpenAcc).with_cache(Arc::clone(&cache));
+        let _first = session.compile(SRC_A, Lang::C); // first touch
+        let second = session.compile(SRC_A, Lang::C); // admitted
+        let third = session.compile(SRC_A, Lang::C); // hit
+        assert!(Arc::ptr_eq(&second, &third), "hit must share the outcome");
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_merged_stats() {
+        let cache = Arc::new(CompileCache::with_shards(64, CacheAdmission::FirstTouch, 8));
+        let mut session =
+            CompileSession::for_model(DirectiveModel::OpenAcc).with_cache(Arc::clone(&cache));
+        for i in 0..40 {
+            let source = format!("int main() {{ return {}; }}", i % 20);
+            let _ = session.compile(&source, Lang::C);
+        }
+        let merged = cache.stats();
+        assert_eq!(merged.hits + merged.misses, 40);
+        assert!(merged.hits >= 1, "recurring sources must hit");
+        let rows = cache.shard_stats();
+        assert_eq!(rows.len(), 8);
+        assert!(
+            rows.iter().filter(|r| r.hits + r.misses > 0).count() > 1,
+            "40 distinct-ish sources must spread across shards"
+        );
+        assert_eq!(rows.iter().map(|r| r.hits).sum::<u64>(), merged.hits);
+        assert_eq!(rows.iter().map(|r| r.misses).sum::<u64>(), merged.misses);
+        assert_eq!(
+            rows.iter().map(|r| r.entries).sum::<usize>(),
+            merged.entries
+        );
+        assert!(merged.entries <= 2 * cache.capacity());
     }
 
     #[test]

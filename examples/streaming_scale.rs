@@ -2,29 +2,61 @@
 //! `ValidationService::submit_source` without ever materializing the suite.
 //!
 //! The corpus pipeline (template generation → negative probing) runs lazily
-//! on the service's feeder thread; at most `channel_capacity` cases exist
-//! per pipeline stage at any moment, so peak memory is bounded by the
+//! as the validation pipeline demands more work; at most the in-flight
+//! window of cases exists at any moment, so peak memory is bounded by the
 //! channel capacity — not by the suite size. The same suite as a
 //! materialized `Vec<WorkItem>` would hold 120k source files in memory at
 //! once.
 //!
 //! ```text
-//! cargo run --release --example streaming_scale            # 120k cases
-//! cargo run --release --example streaming_scale -- 250000  # pick a size
+//! cargo run --release --example streaming_scale                 # 120k cases
+//! cargo run --release --example streaming_scale -- 250000       # pick a size
+//! cargo run --release --example streaming_scale -- 120000 pipelined:4
 //! ```
+//!
+//! The optional second argument selects the scheduling strategy
+//! (`staged` | `sequential` | `batch` | `pipelined[:N]`); every strategy
+//! produces identical records, so the counters printed here are
+//! strategy-independent by construction.
 
 use std::time::Instant;
 
 use vv_dclang::DirectiveModel;
 use vv_judge::Verdict;
-use vv_pipeline::ValidationService;
+use vv_pipeline::{ExecutionStrategy, ValidationService};
 use vv_probing::CorpusSpec;
+
+fn parse_strategy(arg: &str) -> Option<ExecutionStrategy> {
+    match arg {
+        "staged" => Some(ExecutionStrategy::Staged),
+        "sequential" => Some(ExecutionStrategy::Sequential),
+        "batch" => Some(ExecutionStrategy::RayonBatch),
+        "pipelined" => Some(ExecutionStrategy::Pipelined { workers: 0 }),
+        _ => {
+            let workers = arg.strip_prefix("pipelined:")?.parse().ok()?;
+            Some(ExecutionStrategy::Pipelined { workers })
+        }
+    }
+}
 
 fn main() {
     let size: usize = std::env::args()
         .nth(1)
         .and_then(|arg| arg.parse().ok())
         .unwrap_or(120_000);
+    let strategy = match std::env::args().nth(2) {
+        Some(arg) => match parse_strategy(&arg) {
+            Some(strategy) => strategy,
+            None => {
+                eprintln!(
+                    "unknown strategy {arg:?} (expected staged | sequential | batch | \
+                     pipelined[:N])"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => ExecutionStrategy::Staged,
+    };
 
     let spec = CorpusSpec::new(DirectiveModel::OpenAcc)
         .seed(0xACC5)
@@ -35,7 +67,9 @@ fn main() {
     let service = ValidationService::builder()
         .workers(4, 4, 2)
         .channel_capacity(64)
+        .strategy(strategy)
         .build();
+    println!("strategy: {}", service.strategy().label());
 
     let started = Instant::now();
     let mut stream = service.submit_source(spec.source());

@@ -1,5 +1,5 @@
 //! Validation-service throughput demo: run the same probed OpenACC suite
-//! through all three execution strategies of the `ValidationService`
+//! through all four execution strategies of the `ValidationService`
 //! (early-exit and record-all), compare wall time, judge-stage savings and
 //! verdict agreement, then stream a corpus source through `submit_source`
 //! to show records arriving as the suite is generated on the fly.
@@ -47,8 +47,12 @@ fn main() {
         .strategy(ExecutionStrategy::Sequential)
         .build()
         .run(items.clone());
-    let per_file = ValidationService::builder()
+    let batch = ValidationService::builder()
         .strategy(ExecutionStrategy::RayonBatch)
+        .build()
+        .run(items.clone());
+    let pipelined = ValidationService::builder()
+        .strategy(ExecutionStrategy::Pipelined { workers: 0 })
         .build()
         .run(items.clone());
 
@@ -67,7 +71,8 @@ fn main() {
         ("staged, early-exit", &staged),
         ("staged, record-all", &staged_all),
         ("sequential, early-exit", &sequential),
-        ("per-file par., early-exit", &per_file),
+        ("batch par., early-exit", &batch),
+        ("pipelined, early-exit", &pipelined),
     ] {
         println!(
             "{:<28} {:>10.1} {:>10} {:>11.0}% {:>16.0}",
